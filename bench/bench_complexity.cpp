@@ -1,0 +1,190 @@
+// Micro-benchmarks backing the Sec. IV-D complexity analysis:
+//  - eta-BFS / epsilon-DFS sampling cost as a function of width and depth
+//    (the O(2 k^eta N) subgraph-pair sampling term);
+//  - EIE fusion cost per variant (mean O(N+1), attn O(2N), GRU O(N d^2));
+//  - DGNN encoder step cost per backbone;
+//  - design-choice ablations called out in DESIGN.md: GRU-vs-RNN memory
+//    updater and last-vs-mean message aggregation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evolution.h"
+#include "data/generators.h"
+#include "dgnn/encoder.h"
+#include "sampler/samplers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cpdg;
+
+graph::TemporalGraph MakeGraph(int64_t num_events) {
+  data::UniverseSpec spec;
+  spec.num_users = 300;
+  data::FieldSpec f;
+  f.name = "bench";
+  f.num_items = 200;
+  f.num_events_early = num_events;
+  spec.fields = {f};
+  data::DynamicGraphUniverse universe(spec, 99);
+  return graph::TemporalGraph::Create(universe.num_nodes(),
+                                      universe.EarlyEvents(0))
+      .ValueOrDie();
+}
+
+void BM_EtaBfsSampling(benchmark::State& state) {
+  static graph::TemporalGraph g = MakeGraph(8000);
+  sampler::StructuralTemporalSampler s(&g);
+  sampler::StructuralTemporalSampler::Options opts;
+  opts.width = state.range(0);
+  opts.depth = state.range(1);
+  Rng rng(1);
+  graph::NodeId root = 0;
+  for (auto _ : state) {
+    auto sample = s.SampleEtaBfs(root, g.max_time() + 1.0,
+                                 sampler::TemporalBias::kChronological,
+                                 opts, &rng);
+    benchmark::DoNotOptimize(sample.nodes.data());
+    root = (root + 1) % 300;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EtaBfsSampling)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 3})
+    ->Args({5, 2})
+    ->Args({10, 2})
+    ->Args({20, 2});
+
+void BM_EpsilonDfsSampling(benchmark::State& state) {
+  static graph::TemporalGraph g = MakeGraph(8000);
+  sampler::StructuralTemporalSampler s(&g);
+  sampler::StructuralTemporalSampler::Options opts;
+  opts.width = state.range(0);
+  opts.depth = state.range(1);
+  graph::NodeId root = 0;
+  for (auto _ : state) {
+    auto sample = s.SampleEpsilonDfs(root, g.max_time() + 1.0, opts);
+    benchmark::DoNotOptimize(sample.nodes.data());
+    root = (root + 1) % 300;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsilonDfsSampling)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 3})
+    ->Args({5, 2});
+
+void BM_TemporalProbabilities(benchmark::State& state) {
+  std::vector<double> times(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < times.size(); ++i) {
+    times[i] = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    auto p = sampler::TemporalProbabilities(
+        times, static_cast<double>(times.size()),
+        sampler::TemporalBias::kChronological, 0.2);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_TemporalProbabilities)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EieFusion(benchmark::State& state) {
+  int64_t dim = 32;
+  int64_t num_nodes = 512;
+  dgnn::Memory mem(num_nodes, dim);
+  core::EvolutionCheckpoints ckpts(num_nodes, dim);
+  Rng fill(3);
+  std::vector<graph::NodeId> all(num_nodes);
+  for (int64_t i = 0; i < num_nodes; ++i) all[i] = i;
+  for (int l = 0; l < 10; ++l) {
+    mem.SetStates(all, tensor::Tensor::RandomUniform(num_nodes, dim, 1.0f,
+                                                     &fill));
+    ckpts.Record(mem);
+  }
+  Rng rng(7);
+  auto variant = static_cast<core::EieVariant>(state.range(0));
+  core::EvolutionFusion fusion(variant, dim, dim, &rng);
+  std::vector<graph::NodeId> batch(all.begin(), all.begin() + 128);
+  for (auto _ : state) {
+    tensor::Tensor out = fusion.Forward(ckpts, batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(core::EieVariantName(variant));
+}
+BENCHMARK(BM_EieFusion)
+    ->Arg(static_cast<int>(core::EieVariant::kMean))
+    ->Arg(static_cast<int>(core::EieVariant::kAttention))
+    ->Arg(static_cast<int>(core::EieVariant::kGru));
+
+void EncoderStep(benchmark::State& state, dgnn::EncoderType type,
+                 dgnn::MemoryUpdaterType updater,
+                 dgnn::AggregatorType aggregator) {
+  static graph::TemporalGraph g = MakeGraph(4000);
+  Rng rng(11);
+  dgnn::EncoderConfig config = dgnn::EncoderConfig::Preset(type,
+                                                           g.num_nodes());
+  config.updater = updater;
+  config.aggregator = aggregator;
+  config.memory_dim = 32;
+  config.embed_dim = 32;
+  config.time_dim = 8;
+  config.num_neighbors = 5;
+  dgnn::DgnnEncoder encoder(config, &g, &rng);
+
+  const auto& events = g.events();
+  size_t cursor = 0;
+  const size_t batch_size = 100;
+  for (auto _ : state) {
+    size_t end = std::min(events.size(), cursor + batch_size);
+    std::vector<graph::Event> batch(events.begin() + cursor,
+                                    events.begin() + end);
+    std::vector<graph::NodeId> srcs;
+    std::vector<double> times;
+    for (const auto& e : batch) {
+      srcs.push_back(e.src);
+      times.push_back(e.time);
+    }
+    encoder.BeginBatch();
+    tensor::Tensor z = encoder.ComputeEmbeddings(srcs, times);
+    benchmark::DoNotOptimize(z.data());
+    encoder.CommitBatch(batch);
+    cursor = end < events.size() ? end : 0;
+    if (cursor == 0) encoder.memory().Reset();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+}
+
+void BM_EncoderStepJodie(benchmark::State& state) {
+  EncoderStep(state, dgnn::EncoderType::kJodie,
+              dgnn::MemoryUpdaterType::kRnn, dgnn::AggregatorType::kLast);
+}
+void BM_EncoderStepDyRep(benchmark::State& state) {
+  EncoderStep(state, dgnn::EncoderType::kDyRep,
+              dgnn::MemoryUpdaterType::kRnn, dgnn::AggregatorType::kLast);
+}
+void BM_EncoderStepTgn(benchmark::State& state) {
+  EncoderStep(state, dgnn::EncoderType::kTgn, dgnn::MemoryUpdaterType::kGru,
+              dgnn::AggregatorType::kLast);
+}
+// Design-choice ablations (DESIGN.md section 5).
+void BM_EncoderStepTgnRnnUpdater(benchmark::State& state) {
+  EncoderStep(state, dgnn::EncoderType::kTgn, dgnn::MemoryUpdaterType::kRnn,
+              dgnn::AggregatorType::kLast);
+}
+void BM_EncoderStepTgnMeanAggregator(benchmark::State& state) {
+  EncoderStep(state, dgnn::EncoderType::kTgn, dgnn::MemoryUpdaterType::kGru,
+              dgnn::AggregatorType::kMean);
+}
+BENCHMARK(BM_EncoderStepJodie);
+BENCHMARK(BM_EncoderStepDyRep);
+BENCHMARK(BM_EncoderStepTgn);
+BENCHMARK(BM_EncoderStepTgnRnnUpdater);
+BENCHMARK(BM_EncoderStepTgnMeanAggregator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

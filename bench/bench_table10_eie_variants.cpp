@@ -1,0 +1,61 @@
+// Reproduces Table X: fine-tuning strategy comparison on Amazon-Beauty and
+// Amazon-Luxury under time+field transfer — Full fine-tuning vs the three
+// EIE variants (mean / attention / GRU). Expected shape: every EIE variant
+// >= Full, with EIE-GRU best.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/experiment.h"
+#include "data/transfer.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace cpdg;
+  bench::ExperimentScale scale = bench::ExperimentScale::FromEnv();
+  std::printf(
+      "Table X reproduction: fine-tuning strategies, time+field transfer "
+      "(seeds=%lld)\n\n",
+      static_cast<long long>(scale.num_seeds));
+
+  data::TransferBenchmarkBuilder amazon(
+      bench::ScaleSpec(data::MakeAmazonLike(), scale.event_scale), 20241001);
+
+  struct Variant {
+    const char* label;
+    bool use_eie;
+    core::EieVariant variant;
+  };
+  const std::vector<Variant> variants = {
+      {"Full", false, core::EieVariant::kMean},
+      {"EIE-mean", true, core::EieVariant::kMean},
+      {"EIE-attn", true, core::EieVariant::kAttention},
+      {"EIE-GRU", true, core::EieVariant::kGru},
+  };
+
+  for (int64_t field = 0; field < 2; ++field) {
+    data::TransferDataset ds =
+        amazon.Build(data::TransferSetting::kTimeField, field);
+    TablePrinter table({"Strategy", "AUC", "AP"});
+    for (const Variant& v : variants) {
+      bench::MethodSpec spec = bench::MethodSpec::Cpdg();
+      spec.cpdg_use_eie = v.use_eie;
+      spec.eie_variant = v.variant;
+      bench::AggregatedResult agg =
+          bench::RunLinkPredictionSeeds(spec, ds, scale);
+      table.AddRow({v.label,
+                    TablePrinter::FormatMeanStd(agg.auc.mean(),
+                                                agg.auc.stddev()),
+                    TablePrinter::FormatMeanStd(agg.ap.mean(),
+                                                agg.ap.stddev())});
+      std::fprintf(stderr, "  [table10/field%lld] %s done\n",
+                   static_cast<long long>(field), v.label);
+    }
+    std::printf("--- %s ---\n",
+                field == 0 ? "Amazon-Beauty" : "Amazon-Luxury");
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Table V: dynamic link prediction on the Amazon-like (Beauty,
+// Luxury) and Gowalla-like (Entertainment, Outdoors) benchmarks under the
+// three transfer settings (time / field / time+field), comparing all
+// eleven methods on AUC and AP (mean ± std over seeds).
+//
+// Scale knobs: CPDG_SEEDS, CPDG_EVENT_SCALE, CPDG_EPOCHS (see
+// bench_common/experiment.h). Expected shape (not absolute values):
+// dynamic methods > static methods; task-supervised dynamic >
+// self-supervised dynamic; CPDG best or tied-best per column.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common/experiment.h"
+#include "data/transfer.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cpdg;
+
+struct Column {
+  std::string label;
+  data::TransferDataset dataset;
+};
+
+}  // namespace
+
+int main() {
+  bench::ExperimentScale scale = bench::ExperimentScale::FromEnv();
+  std::printf(
+      "Table V reproduction: dynamic link prediction under three transfer "
+      "settings\n(seeds=%lld, event_scale=%.2f)\n\n",
+      static_cast<long long>(scale.num_seeds), scale.event_scale);
+
+  data::TransferBenchmarkBuilder amazon(
+      bench::ScaleSpec(data::MakeAmazonLike(), scale.event_scale), 20240501);
+  data::TransferBenchmarkBuilder gowalla(
+      bench::ScaleSpec(data::MakeGowallaLike(), scale.event_scale),
+      20240502);
+
+  const std::vector<bench::MethodId> methods = {
+      bench::MethodId::kGraphSage, bench::MethodId::kGin,
+      bench::MethodId::kGat,       bench::MethodId::kDgi,
+      bench::MethodId::kGptGnn,    bench::MethodId::kDyRep,
+      bench::MethodId::kJodie,     bench::MethodId::kTgn,
+      bench::MethodId::kDdgcl,     bench::MethodId::kSelfRgnn,
+      bench::MethodId::kCpdg,
+  };
+
+  for (auto setting :
+       {data::TransferSetting::kTime, data::TransferSetting::kField,
+        data::TransferSetting::kTimeField}) {
+    // Materialize the four downstream columns for this setting.
+    std::vector<Column> columns;
+    columns.push_back({"Beauty", amazon.Build(setting, 0)});
+    columns.push_back({"Luxury", amazon.Build(setting, 1)});
+    columns.push_back({"Entertainment", gowalla.Build(setting, 0)});
+    columns.push_back({"Outdoors", gowalla.Build(setting, 1)});
+
+    std::vector<std::string> header = {"Method"};
+    for (const Column& c : columns) {
+      header.push_back(c.label + " AUC");
+      header.push_back(c.label + " AP");
+    }
+    TablePrinter table(header);
+
+    for (bench::MethodId id : methods) {
+      bench::MethodSpec spec = id == bench::MethodId::kCpdg
+                                   ? bench::MethodSpec::Cpdg()
+                                   : bench::MethodSpec::Baseline(id);
+      std::vector<std::string> row = {bench::MethodName(id)};
+      for (const Column& c : columns) {
+        bench::AggregatedResult agg =
+            bench::RunLinkPredictionSeeds(spec, c.dataset, scale);
+        row.push_back(TablePrinter::FormatMeanStd(agg.auc.mean(),
+                                                  agg.auc.stddev()));
+        row.push_back(
+            TablePrinter::FormatMeanStd(agg.ap.mean(), agg.ap.stddev()));
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "  [table5/%s] %s done\n",
+                   data::TransferSettingName(setting),
+                   bench::MethodName(id));
+    }
+    std::printf("--- %s transfer ---\n",
+                data::TransferSettingName(setting));
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Dataset and model I/O: generate a synthetic dynamic graph, persist it as
+// CSV, reload it, pre-train a CPDG encoder, checkpoint the trained
+// parameters to disk, and restore them into a fresh model — the workflow a
+// production deployment uses to ship pre-trained encoders to downstream
+// fine-tuning jobs.
+//
+// Also demonstrates the JODIE-format loader, which reads the published
+// wikipedia.csv / mooc.csv / reddit.csv files directly if you have them:
+//   auto graph = graph::LoadJodieGraph("wikipedia.csv").ValueOrDie();
+
+#include <cstdio>
+
+#include "core/pretrainer.h"
+#include "data/generators.h"
+#include "graph/io.h"
+#include "tensor/serialization.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace cpdg;
+
+  // 1) Generate and persist a dataset.
+  data::UniverseSpec spec = data::MakeMeituanLike();
+  spec.fields[0].num_events_early = 2000;
+  data::DynamicGraphUniverse universe(spec, /*seed=*/11);
+  std::vector<graph::Event> events = universe.EarlyEvents(0);
+  const std::string csv_path = "/tmp/cpdg_example_events.csv";
+  Status st = graph::WriteEventsCsv(csv_path, events);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events to %s\n", events.size(), csv_path.c_str());
+
+  // 2) Reload and rebuild the temporal graph.
+  auto loaded = graph::ReadEventsCsv(csv_path);
+  auto graph_result = graph::TemporalGraph::Create(universe.num_nodes(),
+                                                   loaded.ValueOrDie());
+  graph::TemporalGraph graph = graph_result.ValueOrDie();
+  std::printf("reloaded: %s\n", graph.StatsString().c_str());
+
+  // 3) Pre-train a CPDG encoder on the reloaded data.
+  Rng rng(7);
+  dgnn::EncoderConfig config =
+      dgnn::EncoderConfig::Preset(dgnn::EncoderType::kTgn, graph.num_nodes());
+  config.memory_dim = 16;
+  config.embed_dim = 16;
+  dgnn::DgnnEncoder encoder(config, &graph, &rng);
+  dgnn::LinkPredictor decoder(16, 16, &rng);
+  core::CpdgConfig cpdg_config;
+  cpdg_config.epochs = 1;
+  cpdg_config.negative_pool = universe.ItemPool(0);
+  core::CpdgPretrainer pretrainer(cpdg_config, &rng);
+  core::PretrainResult result =
+      pretrainer.Pretrain(&encoder, &decoder, graph);
+  std::printf("pre-trained: loss=%.4f, %lld parameters\n",
+              result.log.final_loss(),
+              static_cast<long long>(encoder.ParameterCount()));
+
+  // 4) Checkpoint the encoder and restore it into a fresh instance.
+  const std::string ckpt_path = "/tmp/cpdg_example_encoder.ckpt";
+  st = tensor::SaveParameters(encoder, ckpt_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Rng rng2(999);  // different init: proves the load overwrites it
+  dgnn::DgnnEncoder restored(config, &graph, &rng2);
+  st = tensor::LoadParameters(&restored, ckpt_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 5) Verify: identical parameters produce identical memory evolution.
+  encoder.memory().Reset();
+  encoder.ReplayEvents(graph.events(), 200);
+  restored.ReplayEvents(graph.events(), 200);
+  std::printf("memory norm original=%.6f restored=%.6f\n",
+              encoder.memory().StateNorm(), restored.memory().StateNorm());
+  std::printf("checkpoint round-trip %s\n",
+              std::abs(encoder.memory().StateNorm() -
+                       restored.memory().StateNorm()) < 1e-3
+                  ? "OK"
+                  : "MISMATCH");
+  return 0;
+}

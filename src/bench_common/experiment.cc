@@ -1,0 +1,466 @@
+#include "bench_common/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/finetuner.h"
+#include "dgnn/trainer.h"
+#include "eval/evaluators.h"
+#include "ssl/ssl_baselines.h"
+#include "static_gnn/static_gnn.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cpdg::bench {
+
+namespace ts = cpdg::tensor;
+using graph::Event;
+using graph::NodeId;
+
+ExperimentScale ExperimentScale::FromEnv() {
+  ExperimentScale s;
+  if (const char* v = std::getenv("CPDG_SEEDS")) {
+    s.num_seeds = std::max(1L, std::atol(v));
+  }
+  if (const char* v = std::getenv("CPDG_EVENT_SCALE")) {
+    double x = std::atof(v);
+    if (x > 0.0) s.event_scale = x;
+  }
+  if (const char* v = std::getenv("CPDG_EPOCHS")) {
+    long e = std::max(1L, std::atol(v));
+    s.pretrain_epochs = e;
+    s.finetune_epochs = e;
+  }
+  if (const char* v = std::getenv("CPDG_LR")) {
+    double lr = std::atof(v);
+    if (lr > 0.0) s.learning_rate = static_cast<float>(lr);
+  }
+  return s;
+}
+
+data::UniverseSpec ScaleSpec(data::UniverseSpec spec, double event_scale) {
+  for (data::FieldSpec& f : spec.fields) {
+    f.num_events_early = std::max<int64_t>(
+        500, static_cast<int64_t>(f.num_events_early * event_scale));
+    f.num_events_late = std::max<int64_t>(
+        500, static_cast<int64_t>(f.num_events_late * event_scale));
+  }
+  return spec;
+}
+
+const char* MethodName(MethodId id) {
+  switch (id) {
+    case MethodId::kGraphSage:
+      return "GraphSAGE";
+    case MethodId::kGin:
+      return "GIN";
+    case MethodId::kGat:
+      return "GAT";
+    case MethodId::kDgi:
+      return "DGI";
+    case MethodId::kGptGnn:
+      return "GPT-GNN";
+    case MethodId::kDyRep:
+      return "DyRep";
+    case MethodId::kJodie:
+      return "JODIE";
+    case MethodId::kTgn:
+      return "TGN";
+    case MethodId::kDdgcl:
+      return "DDGCL";
+    case MethodId::kSelfRgnn:
+      return "SelfRGNN";
+    case MethodId::kCpdg:
+      return "CPDG";
+  }
+  return "?";
+}
+
+MethodSpec MethodSpec::Baseline(MethodId id) {
+  MethodSpec spec;
+  spec.id = id;
+  switch (id) {
+    case MethodId::kDyRep:
+      spec.backbone = dgnn::EncoderType::kDyRep;
+      break;
+    case MethodId::kJodie:
+      spec.backbone = dgnn::EncoderType::kJodie;
+      break;
+    default:
+      spec.backbone = dgnn::EncoderType::kTgn;
+      break;
+  }
+  return spec;
+}
+
+MethodSpec MethodSpec::BaselineWithBackbone(MethodId id,
+                                            dgnn::EncoderType backbone) {
+  MethodSpec spec = Baseline(id);
+  spec.backbone = backbone;
+  return spec;
+}
+
+MethodSpec MethodSpec::Cpdg(dgnn::EncoderType backbone) {
+  MethodSpec spec;
+  spec.id = MethodId::kCpdg;
+  spec.backbone = backbone;
+  return spec;
+}
+
+namespace {
+
+bool IsStaticMethod(MethodId id) {
+  switch (id) {
+    case MethodId::kGraphSage:
+    case MethodId::kGin:
+    case MethodId::kGat:
+    case MethodId::kDgi:
+    case MethodId::kGptGnn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+dgnn::EncoderConfig MakeEncoderConfig(const MethodSpec& spec,
+                                      const data::TransferDataset& dataset,
+                                      const ExperimentScale& scale) {
+  dgnn::EncoderConfig config =
+      dgnn::EncoderConfig::Preset(spec.backbone, dataset.num_nodes);
+  config.memory_dim = scale.memory_dim;
+  config.embed_dim = scale.embed_dim;
+  config.time_dim = scale.time_dim;
+  config.num_neighbors = scale.num_neighbors;
+  return config;
+}
+
+/// Shared dynamic pipeline: pre-train (per method), fine-tune, and return
+/// (encoder, fine-tuned model, checkpoints) ready for evaluation.
+struct DynamicPipeline {
+  std::unique_ptr<dgnn::DgnnEncoder> encoder;
+  std::unique_ptr<core::FineTunedModel> model;
+  core::EvolutionCheckpoints checkpoints;
+};
+
+DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
+                                   const data::TransferDataset& dataset,
+                                   const ExperimentScale& scale, Rng* rng) {
+  DynamicPipeline out;
+  dgnn::EncoderConfig config = MakeEncoderConfig(spec, dataset, scale);
+  Rng enc_rng = rng->Split();
+  out.encoder = std::make_unique<dgnn::DgnnEncoder>(
+      config, &dataset.pretrain_graph, &enc_rng);
+
+  bool eie = false;
+  if (spec.pretrain) {
+    switch (spec.id) {
+      case MethodId::kDyRep:
+      case MethodId::kJodie:
+      case MethodId::kTgn: {
+        // Task-supervised pre-training: temporal link prediction.
+        Rng dec_rng = rng->Split();
+        dgnn::LinkPredictor pre_decoder(config.embed_dim, scale.embed_dim,
+                                        &dec_rng);
+        dgnn::TlpTrainOptions opts;
+        opts.epochs = scale.pretrain_epochs;
+        opts.batch_size = scale.batch_size;
+        opts.learning_rate = scale.learning_rate;
+        opts.negative_pool = dataset.pretrain_negative_pool;
+        dgnn::TrainLinkPrediction(out.encoder.get(), &pre_decoder,
+                                  dataset.pretrain_graph, opts, rng);
+        break;
+      }
+      case MethodId::kDdgcl: {
+        ssl::SslTrainOptions opts;
+        opts.epochs = scale.pretrain_epochs;
+        opts.batch_size = scale.batch_size;
+        opts.learning_rate = scale.learning_rate;
+        ssl::PretrainDdgcl(out.encoder.get(), dataset.pretrain_graph, opts,
+                           rng);
+        break;
+      }
+      case MethodId::kSelfRgnn: {
+        ssl::SslTrainOptions opts;
+        opts.epochs = scale.pretrain_epochs;
+        opts.batch_size = scale.batch_size;
+        opts.learning_rate = scale.learning_rate;
+        ssl::PretrainSelfRgnn(out.encoder.get(), dataset.pretrain_graph,
+                              opts, rng);
+        break;
+      }
+      case MethodId::kCpdg: {
+        core::CpdgConfig config_cpdg;
+        config_cpdg.beta = spec.beta;
+        config_cpdg.use_temporal_contrast = spec.cpdg_use_temporal_contrast;
+        config_cpdg.use_structural_contrast =
+            spec.cpdg_use_structural_contrast;
+        config_cpdg.epochs = scale.pretrain_epochs;
+        config_cpdg.batch_size = scale.batch_size;
+        config_cpdg.learning_rate = scale.learning_rate;
+        config_cpdg.negative_pool = dataset.pretrain_negative_pool;
+        Rng dec_rng = rng->Split();
+        dgnn::LinkPredictor pre_decoder(config.embed_dim, scale.embed_dim,
+                                        &dec_rng);
+        core::CpdgPretrainer pretrainer(config_cpdg, rng);
+        core::PretrainResult result = pretrainer.Pretrain(
+            out.encoder.get(), &pre_decoder, dataset.pretrain_graph);
+        out.checkpoints = std::move(result.checkpoints);
+        eie = spec.cpdg_use_eie;
+        break;
+      }
+      default:
+        CPDG_CHECK(false) << "static method in dynamic pipeline";
+    }
+  }
+
+  // Downstream fine-tuning (full fine-tuning; optionally EIE-enhanced).
+  out.encoder->AttachGraph(&dataset.downstream_train_graph);
+  core::FineTuneConfig ft;
+  ft.train.epochs = scale.finetune_epochs;
+  ft.train.batch_size = scale.batch_size;
+  ft.train.learning_rate = scale.learning_rate;
+  ft.train.negative_pool = dataset.downstream_negative_pool;
+  ft.use_eie = eie && !out.checkpoints.empty();
+  ft.eie_variant = spec.eie_variant;
+  ft.eie_dim = scale.embed_dim;
+  ft.decoder_hidden = scale.embed_dim;
+  out.model = std::make_unique<core::FineTunedModel>(core::FineTuneLinkPrediction(
+      out.encoder.get(), dataset.downstream_train_graph, ft,
+      out.checkpoints.empty() ? nullptr : &out.checkpoints, rng));
+  return out;
+}
+
+LinkPredResult EvaluateDynamic(DynamicPipeline* pipeline,
+                               const data::TransferDataset& dataset,
+                               const ExperimentScale& scale, Rng* rng,
+                               bool inductive) {
+  eval::ScoreFn score = [&](const std::vector<NodeId>& srcs,
+                            const std::vector<NodeId>& dsts,
+                            const std::vector<double>& times) {
+    return pipeline->model->ScoreLogits(pipeline->encoder.get(), srcs, dsts,
+                                        times);
+  };
+  // Validation events advance memory only (no model selection here: all
+  // methods use fixed hyper-parameters).
+  eval::EvaluateDynamicLinkPrediction(
+      pipeline->encoder.get(), score, dataset.downstream_val_events,
+      dataset.downstream_negative_pool, scale.batch_size, rng);
+
+  std::unordered_set<NodeId> seen;
+  if (inductive) {
+    seen = eval::CollectNodes(dataset.downstream_train_graph.events());
+    for (const Event& e : dataset.downstream_val_events) {
+      // Validation nodes are also "seen" by test time.
+      seen.insert(e.src);
+      seen.insert(e.dst);
+    }
+  }
+  eval::LinkPredictionMetrics metrics = eval::EvaluateDynamicLinkPrediction(
+      pipeline->encoder.get(), score, dataset.downstream_test_events,
+      dataset.downstream_negative_pool, scale.batch_size, rng,
+      inductive ? &seen : nullptr);
+  return {metrics.auc, metrics.ap};
+}
+
+LinkPredResult RunStaticLinkPrediction(const MethodSpec& spec,
+                                       const data::TransferDataset& dataset,
+                                       const ExperimentScale& scale,
+                                       Rng* rng, bool inductive) {
+  static_gnn::StaticGnnEncoder::Config config;
+  switch (spec.id) {
+    case MethodId::kGraphSage:
+    case MethodId::kDgi:
+    case MethodId::kGptGnn:
+      config.type = static_gnn::StaticGnnType::kGraphSage;
+      break;
+    case MethodId::kGat:
+      config.type = static_gnn::StaticGnnType::kGat;
+      break;
+    case MethodId::kGin:
+      config.type = static_gnn::StaticGnnType::kGin;
+      break;
+    default:
+      CPDG_CHECK(false) << "dynamic method in static pipeline";
+  }
+  config.num_nodes = dataset.num_nodes;
+  config.feature_dim = scale.embed_dim;
+  config.hidden_dim = scale.embed_dim;
+  config.embed_dim = scale.embed_dim;
+  // Static encoders sample a full two-hop tree per query (n*g*g feature
+  // gathers); cap the fan-out so the baselines stay CPU-cheap.
+  config.num_neighbors = std::min<int64_t>(5, scale.num_neighbors);
+
+  Rng enc_rng = rng->Split();
+  static_gnn::StaticGnnEncoder encoder(config, &enc_rng);
+
+  double inf = std::numeric_limits<double>::infinity();
+  graph::StaticSnapshot pre_snapshot =
+      graph::StaticSnapshot::FromTemporalGraph(dataset.pretrain_graph, inf);
+  encoder.AttachSnapshot(&pre_snapshot);
+
+  static_gnn::StaticTrainOptions pre_opts;
+  pre_opts.steps = 60 * scale.pretrain_epochs;
+  pre_opts.learning_rate = scale.learning_rate;
+  pre_opts.negative_pool = dataset.pretrain_negative_pool;
+  if (spec.pretrain) {
+    switch (spec.id) {
+      case MethodId::kDgi: {
+        std::vector<NodeId> train_nodes =
+            dataset.pretrain_graph.NodesBefore(inf);
+        static_gnn::TrainDgi(&encoder, train_nodes, pre_opts, rng);
+        break;
+      }
+      case MethodId::kGptGnn:
+        static_gnn::TrainGptGnn(&encoder, dataset.pretrain_graph.events(),
+                                pre_opts, rng);
+        break;
+      default: {
+        Rng dec_rng = rng->Split();
+        ts::Mlp pre_decoder({2 * config.embed_dim, config.embed_dim, 1},
+                            &dec_rng);
+        static_gnn::TrainLinkPredictionStatic(
+            &encoder, &pre_decoder, dataset.pretrain_graph.events(),
+            pre_opts, rng);
+        break;
+      }
+    }
+  }
+
+  // Fine-tune with a fresh decoder on the downstream snapshot.
+  graph::StaticSnapshot down_snapshot =
+      graph::StaticSnapshot::FromTemporalGraph(
+          dataset.downstream_train_graph, inf);
+  encoder.AttachSnapshot(&down_snapshot);
+  Rng dec_rng = rng->Split();
+  ts::Mlp decoder({2 * config.embed_dim, config.embed_dim, 1}, &dec_rng);
+  static_gnn::StaticTrainOptions ft_opts;
+  ft_opts.steps = 60 * scale.finetune_epochs;
+  ft_opts.learning_rate = scale.learning_rate;
+  ft_opts.negative_pool = dataset.downstream_negative_pool;
+  static_gnn::TrainLinkPredictionStatic(
+      &encoder, &decoder, dataset.downstream_train_graph.events(), ft_opts,
+      rng);
+
+  // Evaluate on test events with static embeddings.
+  std::unordered_set<NodeId> seen;
+  if (inductive) {
+    seen = eval::CollectNodes(dataset.downstream_train_graph.events());
+    for (const Event& e : dataset.downstream_val_events) {
+      seen.insert(e.src);
+      seen.insert(e.dst);
+    }
+  }
+  std::vector<eval::ScoredLabel> samples;
+  const auto& tests = dataset.downstream_test_events;
+  for (size_t start = 0; start < tests.size();
+       start += static_cast<size_t>(scale.batch_size)) {
+    size_t end = std::min(tests.size(),
+                          start + static_cast<size_t>(scale.batch_size));
+    std::vector<NodeId> srcs, dsts, negs;
+    for (size_t i = start; i < end; ++i) {
+      const Event& e = tests[i];
+      if (inductive && seen.count(e.src) != 0 && seen.count(e.dst) != 0) {
+        continue;
+      }
+      srcs.push_back(e.src);
+      dsts.push_back(e.dst);
+      negs.push_back(dgnn::SampleNegative(dataset.downstream_negative_pool,
+                                          dataset.num_nodes, e.dst, rng));
+    }
+    if (srcs.empty()) continue;
+    ts::Tensor z_src = encoder.ComputeEmbeddings(srcs, rng);
+    ts::Tensor z_dst = encoder.ComputeEmbeddings(dsts, rng);
+    ts::Tensor z_neg = encoder.ComputeEmbeddings(negs, rng);
+    ts::Tensor pos = ts::Sigmoid(
+        static_gnn::StaticEdgeLogits(decoder, z_src, z_dst));
+    ts::Tensor neg = ts::Sigmoid(
+        static_gnn::StaticEdgeLogits(decoder, z_src, z_neg));
+    for (int64_t i = 0; i < pos.rows(); ++i) {
+      samples.push_back({static_cast<double>(pos.at(i, 0)), 1});
+      samples.push_back({static_cast<double>(neg.at(i, 0)), 0});
+    }
+  }
+  LinkPredResult result;
+  if (!samples.empty()) {
+    result.auc = eval::RocAuc(samples);
+    result.ap = eval::AveragePrecision(samples);
+  }
+  return result;
+}
+
+}  // namespace
+
+LinkPredResult RunLinkPrediction(const MethodSpec& spec,
+                                 const data::TransferDataset& dataset,
+                                 const ExperimentScale& scale, uint64_t seed,
+                                 bool inductive) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 17);
+  if (IsStaticMethod(spec.id)) {
+    return RunStaticLinkPrediction(spec, dataset, scale, &rng, inductive);
+  }
+  DynamicPipeline pipeline = RunDynamicPipeline(spec, dataset, scale, &rng);
+  return EvaluateDynamic(&pipeline, dataset, scale, &rng, inductive);
+}
+
+double RunNodeClassification(const MethodSpec& spec,
+                             const data::TransferDataset& dataset,
+                             const ExperimentScale& scale, uint64_t seed) {
+  CPDG_CHECK(!IsStaticMethod(spec.id));
+  Rng rng(seed * 0xD1B54A32D192ED03ULL + 29);
+  DynamicPipeline pipeline = RunDynamicPipeline(spec, dataset, scale, &rng);
+
+  // Stream all downstream events (train + val + test) from a fresh memory
+  // and classify labeled events with a logistic head.
+  std::vector<Event> all_events = dataset.downstream_train_graph.events();
+  double train_end = all_events.empty()
+                         ? 0.0
+                         : all_events.back().time + 1e-9;
+  all_events.insert(all_events.end(), dataset.downstream_val_events.begin(),
+                    dataset.downstream_val_events.end());
+  double test_start = dataset.downstream_test_events.empty()
+                          ? train_end
+                          : dataset.downstream_test_events.front().time;
+  all_events.insert(all_events.end(),
+                    dataset.downstream_test_events.begin(),
+                    dataset.downstream_test_events.end());
+
+  pipeline.encoder->memory().Reset();
+  dgnn::DgnnEncoder* encoder = pipeline.encoder.get();
+  core::FineTunedModel* model = pipeline.model.get();
+  eval::EmbedFn embed = [encoder, model](const std::vector<NodeId>& nodes,
+                                         const std::vector<double>& times) {
+    return model->Embed(encoder, nodes, times);
+  };
+  eval::NodeClassificationMetrics metrics =
+      eval::EvaluateDynamicNodeClassification(
+          encoder, embed, all_events, train_end, test_start,
+          scale.batch_size, /*head_epochs=*/120, /*head_lr=*/1e-2f, &rng);
+  return metrics.auc;
+}
+
+AggregatedResult RunLinkPredictionSeeds(const MethodSpec& spec,
+                                        const data::TransferDataset& dataset,
+                                        const ExperimentScale& scale,
+                                        bool inductive) {
+  AggregatedResult agg;
+  for (int64_t s = 0; s < scale.num_seeds; ++s) {
+    LinkPredResult r =
+        RunLinkPrediction(spec, dataset, scale, 1000 + s, inductive);
+    agg.auc.Add(r.auc);
+    agg.ap.Add(r.ap);
+  }
+  return agg;
+}
+
+RunningStats RunNodeClassificationSeeds(const MethodSpec& spec,
+                                        const data::TransferDataset& dataset,
+                                        const ExperimentScale& scale) {
+  RunningStats stats;
+  for (int64_t s = 0; s < scale.num_seeds; ++s) {
+    stats.Add(RunNodeClassification(spec, dataset, scale, 2000 + s));
+  }
+  return stats;
+}
+
+}  // namespace cpdg::bench

@@ -1,0 +1,122 @@
+#ifndef CPDG_BENCH_COMMON_EXPERIMENT_H_
+#define CPDG_BENCH_COMMON_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evolution.h"
+#include "core/pretrainer.h"
+#include "data/transfer.h"
+#include "dgnn/encoder.h"
+#include "util/stats.h"
+
+namespace cpdg::bench {
+
+/// \brief Global knobs for the benchmark suite, overridable via
+/// environment variables so the full paper sweep can be scaled up or down
+/// without recompiling:
+///   CPDG_SEEDS        number of random seeds per cell (default 3)
+///   CPDG_EVENT_SCALE  multiplies all dataset event counts (default 1.0)
+///   CPDG_EPOCHS       pre-train/fine-tune epochs (default 2)
+struct ExperimentScale {
+  int64_t num_seeds = 3;
+  double event_scale = 1.0;
+  int64_t pretrain_epochs = 3;
+  int64_t finetune_epochs = 3;
+  int64_t batch_size = 200;
+  float learning_rate = 5e-3f;
+  int64_t memory_dim = 32;
+  int64_t embed_dim = 32;
+  int64_t time_dim = 8;
+  int64_t num_neighbors = 10;
+
+  static ExperimentScale FromEnv();
+};
+
+/// \brief Applies the event scale to a universe spec.
+data::UniverseSpec ScaleSpec(data::UniverseSpec spec, double event_scale);
+
+/// \brief All eleven methods of the paper's comparison (Sec. V-B) plus the
+/// "no pre-train" control used by the inductive study.
+enum class MethodId {
+  kGraphSage,
+  kGin,
+  kGat,
+  kDgi,
+  kGptGnn,
+  kDyRep,
+  kJodie,
+  kTgn,
+  kDdgcl,
+  kSelfRgnn,
+  kCpdg,
+};
+
+const char* MethodName(MethodId id);
+
+/// \brief Fully specifies one method variant, including the CPDG ablation
+/// and EIE knobs used by Tables VIII/X and Figures 5/6.
+struct MethodSpec {
+  MethodId id = MethodId::kCpdg;
+  /// Backbone for dynamic methods (DyRep/JODIE/TGN rows use their own
+  /// names; CPDG/DDGCL/SelfRGNN default to the TGN backbone).
+  dgnn::EncoderType backbone = dgnn::EncoderType::kTgn;
+  /// If false, skip pre-training entirely (the "No Pre-train" rows).
+  bool pretrain = true;
+
+  /// \name CPDG-specific knobs
+  /// @{
+  bool cpdg_use_temporal_contrast = true;
+  bool cpdg_use_structural_contrast = true;
+  bool cpdg_use_eie = true;
+  core::EieVariant eie_variant = core::EieVariant::kGru;
+  float beta = 0.5f;
+  /// @}
+
+  /// Convenience constructors for common rows.
+  static MethodSpec Baseline(MethodId id);
+  static MethodSpec BaselineWithBackbone(MethodId id,
+                                         dgnn::EncoderType backbone);
+  static MethodSpec Cpdg(dgnn::EncoderType backbone = dgnn::EncoderType::kTgn);
+};
+
+struct LinkPredResult {
+  double auc = 0.5;
+  double ap = 0.0;
+};
+
+/// \brief Runs one (method, dataset, seed) cell end to end:
+/// pre-train on dataset.pretrain_graph, fine-tune on the downstream train
+/// graph, evaluate AUC/AP on the downstream test events (validation events
+/// only advance memory). With `inductive`, only test events touching a
+/// node unseen in downstream training are scored (Table IX).
+LinkPredResult RunLinkPrediction(const MethodSpec& spec,
+                                 const data::TransferDataset& dataset,
+                                 const ExperimentScale& scale, uint64_t seed,
+                                 bool inductive = false);
+
+/// \brief Runs one dynamic-node-classification cell (Table VII): the same
+/// pre-train + fine-tune pipeline, then a logistic head over streamed
+/// embeddings of labeled events; returns test ROC-AUC.
+double RunNodeClassification(const MethodSpec& spec,
+                             const data::TransferDataset& dataset,
+                             const ExperimentScale& scale, uint64_t seed);
+
+/// \brief Aggregates a cell over `scale.num_seeds` seeds.
+struct AggregatedResult {
+  RunningStats auc;
+  RunningStats ap;
+};
+
+AggregatedResult RunLinkPredictionSeeds(const MethodSpec& spec,
+                                        const data::TransferDataset& dataset,
+                                        const ExperimentScale& scale,
+                                        bool inductive = false);
+
+RunningStats RunNodeClassificationSeeds(const MethodSpec& spec,
+                                        const data::TransferDataset& dataset,
+                                        const ExperimentScale& scale);
+
+}  // namespace cpdg::bench
+
+#endif  // CPDG_BENCH_COMMON_EXPERIMENT_H_

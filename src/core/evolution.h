@@ -1,0 +1,86 @@
+#ifndef CPDG_CORE_EVOLUTION_H_
+#define CPDG_CORE_EVOLUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dgnn/memory.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace cpdg::core {
+
+using graph::NodeId;
+
+/// \brief The l uniformly spaced memory checkpoints [S^1, ..., S^l]
+/// recorded during pre-training, the raw material of the evolution
+/// information EI of Eq. (18).
+class EvolutionCheckpoints {
+ public:
+  EvolutionCheckpoints() = default;
+  EvolutionCheckpoints(int64_t num_nodes, int64_t dim)
+      : num_nodes_(num_nodes), dim_(dim) {}
+
+  /// Appends a snapshot of the memory (must match num_nodes/dim).
+  void Record(const dgnn::Memory& memory);
+
+  int64_t num_checkpoints() const {
+    return static_cast<int64_t>(snapshots_.size());
+  }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t dim() const { return dim_; }
+  bool empty() const { return snapshots_.empty(); }
+
+  /// State of `node` at checkpoint `l` (pointer to dim floats).
+  const float* StateAt(int64_t checkpoint, NodeId node) const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  int64_t dim_ = 0;
+  std::vector<std::vector<float>> snapshots_;
+};
+
+/// \brief Variants of the checkpoint-sequence fusion f_EI (Sec. IV-C):
+/// mean pooling, attention (last checkpoint attends over the sequence),
+/// and GRU (sequence rolled through a GRU cell).
+enum class EieVariant { kMean, kAttention, kGru };
+
+const char* EieVariantName(EieVariant variant);
+
+/// \brief Computes the evolution-information feature EI for a batch of
+/// nodes (Eq. 18) and adapts it with a two-layer MLP (Eq. 19's MLP(EI)).
+///
+/// The checkpoints themselves are constants; the fusion (attention/GRU)
+/// and the adapter MLP are trainable and fine-tuned with the downstream
+/// objective.
+class EvolutionFusion : public tensor::Module {
+ public:
+  /// `state_dim` must equal the checkpoints' dim; `out_dim` is the width
+  /// of the adapted feature concatenated to downstream embeddings.
+  EvolutionFusion(EieVariant variant, int64_t state_dim, int64_t out_dim,
+                  Rng* rng);
+
+  /// [n, out_dim] adapted evolution features for `nodes`.
+  tensor::Tensor Forward(const EvolutionCheckpoints& checkpoints,
+                         const std::vector<NodeId>& nodes) const;
+
+  EieVariant variant() const { return variant_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  /// Raw fused EI before the adapter MLP, [n, state_dim].
+  tensor::Tensor Fuse(const EvolutionCheckpoints& checkpoints,
+                      const std::vector<NodeId>& nodes) const;
+
+  EieVariant variant_;
+  int64_t state_dim_;
+  int64_t out_dim_;
+  std::unique_ptr<tensor::GroupedAttentionLayer> attention_;  // kAttention
+  std::unique_ptr<tensor::GruCell> gru_;                      // kGru
+  std::unique_ptr<tensor::Mlp> adapter_;  // two-layer MLP of Eq. 19
+};
+
+}  // namespace cpdg::core
+
+#endif  // CPDG_CORE_EVOLUTION_H_

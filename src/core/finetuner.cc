@@ -1,0 +1,127 @@
+#include "core/finetuner.h"
+
+#include "graph/batching.h"
+#include "tensor/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cpdg::core {
+
+namespace ts = cpdg::tensor;
+using graph::NodeId;
+
+FineTunedModel::FineTunedModel(std::unique_ptr<dgnn::LinkPredictor> decoder,
+                               std::unique_ptr<EvolutionFusion> fusion,
+                               const EvolutionCheckpoints* checkpoints)
+    : decoder_(std::move(decoder)),
+      fusion_(std::move(fusion)),
+      checkpoints_(checkpoints) {
+  CPDG_CHECK(decoder_ != nullptr);
+  if (fusion_ != nullptr) {
+    CPDG_CHECK(checkpoints_ != nullptr);
+    CPDG_CHECK(!checkpoints_->empty());
+  }
+}
+
+tensor::Tensor FineTunedModel::Embed(dgnn::DgnnEncoder* encoder,
+                                     const std::vector<NodeId>& nodes,
+                                     const std::vector<double>& times) const {
+  ts::Tensor z = encoder->ComputeEmbeddings(nodes, times);
+  if (fusion_ == nullptr) return z;
+  ts::Tensor ei = fusion_->Forward(*checkpoints_, nodes);
+  return ts::Concat(z, ei);  // Eq. (19)
+}
+
+tensor::Tensor FineTunedModel::ScoreLogits(
+    dgnn::DgnnEncoder* encoder, const std::vector<NodeId>& srcs,
+    const std::vector<NodeId>& dsts, const std::vector<double>& times) const {
+  ts::Tensor z_src = Embed(encoder, srcs, times);
+  ts::Tensor z_dst = Embed(encoder, dsts, times);
+  return decoder_->ForwardLogits(z_src, z_dst);
+}
+
+std::vector<tensor::Tensor> FineTunedModel::Parameters() const {
+  std::vector<ts::Tensor> params = decoder_->Parameters();
+  if (fusion_ != nullptr) {
+    std::vector<ts::Tensor> f = fusion_->Parameters();
+    params.insert(params.end(), f.begin(), f.end());
+  }
+  return params;
+}
+
+FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
+                                      const graph::TemporalGraph& graph,
+                                      const FineTuneConfig& config,
+                                      const EvolutionCheckpoints* checkpoints,
+                                      Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(rng != nullptr);
+
+  int64_t node_dim = encoder->config().embed_dim;
+  std::unique_ptr<EvolutionFusion> fusion;
+  if (config.use_eie) {
+    CPDG_CHECK(checkpoints != nullptr && !checkpoints->empty())
+        << "EIE fine-tuning requires pre-training checkpoints";
+    fusion = std::make_unique<EvolutionFusion>(
+        config.eie_variant, checkpoints->dim(), config.eie_dim, rng);
+    node_dim += config.eie_dim;
+  }
+  auto decoder = std::make_unique<dgnn::LinkPredictor>(
+      node_dim, config.decoder_hidden, rng);
+
+  FineTunedModel model(std::move(decoder), std::move(fusion),
+                       config.use_eie ? checkpoints : nullptr);
+
+  std::vector<ts::Tensor> params = model.Parameters();
+  if (config.train.train_encoder) {
+    std::vector<ts::Tensor> enc = encoder->Parameters();
+    params.insert(params.end(), enc.begin(), enc.end());
+  }
+  ts::Adam optimizer(params, config.train.learning_rate);
+
+  for (int64_t epoch = 0; epoch < config.train.epochs; ++epoch) {
+    encoder->memory().Reset();
+    graph::ChronologicalBatcher batcher(&graph, config.train.batch_size);
+    graph::EventBatch batch;
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    while (batcher.Next(&batch)) {
+      std::vector<NodeId> srcs, dsts, negs;
+      std::vector<double> times;
+      for (const graph::Event& e : batch.events) {
+        srcs.push_back(e.src);
+        dsts.push_back(e.dst);
+        negs.push_back(dgnn::SampleNegative(config.train.negative_pool,
+                                            graph.num_nodes(), e.dst, rng));
+        times.push_back(e.time);
+      }
+
+      encoder->BeginBatch();
+      ts::Tensor pos_logits = model.ScoreLogits(encoder, srcs, dsts, times);
+      ts::Tensor neg_logits = model.ScoreLogits(encoder, srcs, negs, times);
+      int64_t n = pos_logits.rows();
+      ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
+      std::vector<float> target_data(static_cast<size_t>(2 * n), 0.0f);
+      std::fill(target_data.begin(), target_data.begin() + n, 1.0f);
+      ts::Tensor targets =
+          ts::Tensor::FromVector(2 * n, 1, std::move(target_data));
+      ts::Tensor loss = ts::BceWithLogitsLoss(logits, targets);
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ts::ClipGradNorm(params, config.train.grad_clip);
+      optimizer.Step();
+      encoder->CommitBatch(batch.events);
+
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= static_cast<double>(batches);
+    CPDG_LOG(Debug) << "fine-tune epoch " << epoch << " loss=" << epoch_loss;
+  }
+  return model;
+}
+
+}  // namespace cpdg::core

@@ -1,0 +1,80 @@
+#ifndef CPDG_CORE_FINETUNER_H_
+#define CPDG_CORE_FINETUNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/evolution.h"
+#include "dgnn/encoder.h"
+#include "dgnn/trainer.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace cpdg::core {
+
+/// \brief Downstream fine-tuning configuration (Sec. IV-C).
+///
+/// With use_eie == false this is the "Full" fine-tuning strategy of
+/// Table X: the pre-trained encoder initializes the downstream encoder and
+/// everything trains on the downstream objective. With use_eie == true the
+/// pre-trained memory checkpoints are fused into evolution features that
+/// are concatenated to downstream embeddings (Eq. 19).
+struct FineTuneConfig {
+  dgnn::TlpTrainOptions train;
+  bool use_eie = false;
+  EieVariant eie_variant = EieVariant::kGru;
+  /// Width of the adapted EI feature appended to embeddings.
+  int64_t eie_dim = 32;
+  int64_t decoder_hidden = 32;
+};
+
+/// \brief A fine-tuned downstream model: the decoder plus (optionally) the
+/// EIE fusion, with helpers to embed nodes and score edges. The encoder is
+/// owned by the caller (it is the pre-trained encoder, fine-tuned in
+/// place).
+class FineTunedModel {
+ public:
+  FineTunedModel(std::unique_ptr<dgnn::LinkPredictor> decoder,
+                 std::unique_ptr<EvolutionFusion> fusion,
+                 const EvolutionCheckpoints* checkpoints);
+
+  /// Enhanced node embeddings Z^EIE (Eq. 19), or plain embeddings when EIE
+  /// is disabled.
+  tensor::Tensor Embed(dgnn::DgnnEncoder* encoder,
+                       const std::vector<graph::NodeId>& nodes,
+                       const std::vector<double>& times) const;
+
+  /// Edge logits for (src, dst) pairs at the given times.
+  tensor::Tensor ScoreLogits(dgnn::DgnnEncoder* encoder,
+                             const std::vector<graph::NodeId>& srcs,
+                             const std::vector<graph::NodeId>& dsts,
+                             const std::vector<double>& times) const;
+
+  dgnn::LinkPredictor* decoder() { return decoder_.get(); }
+  EvolutionFusion* fusion() { return fusion_.get(); }
+  bool uses_eie() const { return fusion_ != nullptr; }
+
+  /// All trainable parameters (decoder + fusion).
+  std::vector<tensor::Tensor> Parameters() const;
+
+ private:
+  std::unique_ptr<dgnn::LinkPredictor> decoder_;
+  std::unique_ptr<EvolutionFusion> fusion_;
+  const EvolutionCheckpoints* checkpoints_;
+};
+
+/// \brief Fine-tunes a (typically pre-trained) encoder on the downstream
+/// temporal link prediction task over `graph`, returning the trained
+/// downstream model. `checkpoints` is required when config.use_eie.
+///
+/// The encoder memory is reset and rebuilt from downstream events, exactly
+/// as a deployment would replay the downstream graph.
+FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
+                                      const graph::TemporalGraph& graph,
+                                      const FineTuneConfig& config,
+                                      const EvolutionCheckpoints* checkpoints,
+                                      Rng* rng);
+
+}  // namespace cpdg::core
+
+#endif  // CPDG_CORE_FINETUNER_H_

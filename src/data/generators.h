@@ -1,0 +1,147 @@
+#ifndef CPDG_DATA_GENERATORS_H_
+#define CPDG_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace cpdg::data {
+
+using graph::Event;
+using graph::NodeId;
+
+/// \brief Generative knobs for one "field" (item universe) of a synthetic
+/// bipartite user-item dynamic graph.
+///
+/// The generator is built around the two pattern families the paper's
+/// method targets (Sec. I / IV-B):
+///  - long-term stable patterns: each user has a persistent community
+///    preference; `community_strength` controls how dominant it is;
+///  - short-term fluctuating patterns: each user also follows a transient
+///    interest community that re-rolls every `short_term_window` time
+///    units, plus recency-driven repeat interactions.
+struct FieldSpec {
+  std::string name = "field";
+  int64_t num_items = 300;
+  int64_t num_communities = 8;
+  /// Probability that a long-term pick lands inside the user's community.
+  double community_strength = 0.8;
+  /// Probability an event is driven by the transient interest instead of
+  /// the long-term preference.
+  double short_term_prob = 0.35;
+  /// Probability of repeating one of the user's recent items.
+  double repeat_prob = 0.25;
+  /// Time between re-rolls of the transient interest (fractions of the
+  /// unit time span).
+  double short_term_window = 0.05;
+  /// Item popularity skew inside a community (Zipf exponent).
+  double zipf_exponent = 1.6;
+  /// Probability that consecutive events share the same user (sessions).
+  double burstiness = 0.3;
+  /// Events generated in the early period [0, split_time) and the late
+  /// period [split_time, 1).
+  int64_t num_events_early = 5000;
+  int64_t num_events_late = 3000;
+
+  /// \name Dynamic node labels (node-classification datasets)
+  /// @{
+  bool labeled = false;
+  /// Fraction of users that undergo a state flip ("banned"/"drop-out").
+  double bad_user_fraction = 0.15;
+  /// Length of the window after the flip during which events are labeled 1
+  /// and behaviour deviates (uniform random items, extra bursts).
+  double label_window = 0.15;
+  /// @}
+};
+
+/// \brief A multi-field user-item universe sharing one node-id space:
+/// users occupy [0, num_users); field f's items occupy a contiguous block
+/// after all users. Sharing the space is what makes time / field /
+/// time+field transfer meaningful (and lets EIE propagate per-node
+/// evolution information across stages).
+struct UniverseSpec {
+  int64_t num_users = 500;
+  /// Boundary between the "early" (pre-training) and "late" (downstream)
+  /// periods on the unit time span.
+  double split_time = 0.6;
+  std::vector<FieldSpec> fields;
+};
+
+/// \brief Deterministic synthetic CTDG generator over a shared node
+/// universe.
+///
+/// All per-user latent structure (long-term community, transient interest
+/// per window, flip times) is derived by hashing (seed, user, field,
+/// window), so generating the early and late periods separately yields one
+/// coherent process — exactly what time transfer requires.
+class DynamicGraphUniverse {
+ public:
+  DynamicGraphUniverse(const UniverseSpec& spec, uint64_t seed);
+
+  const UniverseSpec& spec() const { return spec_; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_fields() const {
+    return static_cast<int64_t>(spec_.fields.size());
+  }
+
+  /// First node id of field `f`'s item block.
+  NodeId ItemBase(int64_t field) const;
+  /// All item ids of field `f` (the negative-sampling pool).
+  std::vector<NodeId> ItemPool(int64_t field) const;
+
+  /// \brief Generates `num_events` events of field `f` with times evenly
+  /// spread over [t_lo, t_hi) (jittered, strictly increasing).
+  std::vector<Event> GenerateEvents(int64_t field, double t_lo, double t_hi,
+                                    int64_t num_events) const;
+
+  /// Early-period events of field `f` ([0, split_time)).
+  std::vector<Event> EarlyEvents(int64_t field) const;
+  /// Late-period events of field `f` ([split_time, 1)).
+  std::vector<Event> LateEvents(int64_t field) const;
+
+  /// Long-term community of (user, field); exposed for tests.
+  int64_t UserCommunity(NodeId user, int64_t field) const;
+  /// Transient interest community of (user, field) at time t.
+  int64_t UserShortTermCommunity(NodeId user, int64_t field, double t) const;
+  /// Flip time of a user in [0,1], or a value > 1 if the user never flips.
+  double UserFlipTime(NodeId user, int64_t field) const;
+
+ private:
+  int64_t ItemCommunity(NodeId item, int64_t field) const;
+  uint64_t HashMix(uint64_t a, uint64_t b, uint64_t c, uint64_t d) const;
+
+  UniverseSpec spec_;
+  uint64_t seed_;
+  int64_t num_nodes_ = 0;
+  std::vector<NodeId> item_bases_;
+  /// Per field, per community: member item ids (Zipf-weighted at pick
+  /// time).
+  std::vector<std::vector<std::vector<NodeId>>> community_items_;
+};
+
+/// \name Dataset profiles mirroring the paper's datasets (Table IV).
+/// Sizes are laptop-scale; shapes (relative density, burstiness, label
+/// signal strength) follow the qualitative description in Sec. V-A.
+/// @{
+/// Amazon-like: 3 fields (Beauty, Luxury, Arts-Crafts-Sewing), sparse.
+UniverseSpec MakeAmazonLike();
+/// Gowalla-like: 3 fields (Entertainment, Outdoors, Food), denser with
+/// more repeat check-ins.
+UniverseSpec MakeGowallaLike();
+/// Meituan-like: single field, short span, strongly bursty.
+UniverseSpec MakeMeituanLike();
+/// Wikipedia-like: single labeled field, moderate signal.
+UniverseSpec MakeWikipediaLike();
+/// MOOC-like: single labeled field with deliberately weak structural and
+/// temporal patterns (the paper observes CPDG < TGN here).
+UniverseSpec MakeMoocLike();
+/// Reddit-like: single labeled field, bursty with strong label signal.
+UniverseSpec MakeRedditLike();
+/// @}
+
+}  // namespace cpdg::data
+
+#endif  // CPDG_DATA_GENERATORS_H_

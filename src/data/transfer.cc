@@ -1,0 +1,100 @@
+#include "data/transfer.h"
+
+#include "util/check.h"
+
+namespace cpdg::data {
+
+const char* TransferSettingName(TransferSetting setting) {
+  switch (setting) {
+    case TransferSetting::kTime:
+      return "time";
+    case TransferSetting::kField:
+      return "field";
+    case TransferSetting::kTimeField:
+      return "time+field";
+  }
+  return "?";
+}
+
+TransferBenchmarkBuilder::TransferBenchmarkBuilder(const UniverseSpec& spec,
+                                                   uint64_t seed)
+    : universe_(spec, seed) {}
+
+TransferDataset TransferBenchmarkBuilder::Assemble(
+    const std::string& name, std::vector<Event> pretrain_events,
+    std::vector<Event> downstream_events, int64_t pretrain_field,
+    int64_t downstream_field, double train_frac, double val_frac) const {
+  TransferDataset out;
+  out.name = name;
+  out.num_nodes = universe_.num_nodes();
+  out.pretrain_graph =
+      graph::TemporalGraph::Create(out.num_nodes, std::move(pretrain_events))
+          .ValueOrDie();
+
+  // Chronological split of the downstream span.
+  size_t n = downstream_events.size();
+  size_t train_end = static_cast<size_t>(train_frac * static_cast<double>(n));
+  size_t val_end = static_cast<size_t>((train_frac + val_frac) *
+                                       static_cast<double>(n));
+  CPDG_CHECK_GT(train_end, 0u);
+  CPDG_CHECK_LT(val_end, n);
+  std::vector<Event> train(downstream_events.begin(),
+                           downstream_events.begin() + train_end);
+  out.downstream_val_events.assign(downstream_events.begin() + train_end,
+                                   downstream_events.begin() + val_end);
+  out.downstream_test_events.assign(downstream_events.begin() + val_end,
+                                    downstream_events.end());
+  out.downstream_train_graph =
+      graph::TemporalGraph::Create(out.num_nodes, std::move(train))
+          .ValueOrDie();
+
+  out.pretrain_negative_pool = universe_.ItemPool(pretrain_field);
+  out.downstream_negative_pool = universe_.ItemPool(downstream_field);
+  return out;
+}
+
+TransferDataset TransferBenchmarkBuilder::Build(
+    TransferSetting setting, int64_t downstream_field) const {
+  CPDG_CHECK_GE(universe_.num_fields(), 2);
+  CPDG_CHECK_GE(downstream_field, 0);
+  CPDG_CHECK_LT(downstream_field, universe_.num_fields() - 1)
+      << "the last field is reserved for pre-training";
+  int64_t pretrain_field = universe_.num_fields() - 1;
+
+  std::vector<Event> pretrain_events;
+  int64_t pf = downstream_field;
+  switch (setting) {
+    case TransferSetting::kTime:
+      pretrain_events = universe_.EarlyEvents(downstream_field);
+      pf = downstream_field;
+      break;
+    case TransferSetting::kField:
+      pretrain_events = universe_.LateEvents(pretrain_field);
+      pf = pretrain_field;
+      break;
+    case TransferSetting::kTimeField:
+      pretrain_events = universe_.EarlyEvents(pretrain_field);
+      pf = pretrain_field;
+      break;
+  }
+
+  std::string name =
+      universe_.spec().fields[static_cast<size_t>(downstream_field)].name;
+  name += "/";
+  name += TransferSettingName(setting);
+  return Assemble(name, std::move(pretrain_events),
+                  universe_.LateEvents(downstream_field), pf,
+                  downstream_field, 0.7, 0.15);
+}
+
+TransferDataset TransferBenchmarkBuilder::BuildSingleField() const {
+  CPDG_CHECK_EQ(universe_.num_fields(), 1);
+  std::string name = universe_.spec().fields[0].name;
+  name += "/time";
+  // 6:2:1:1 overall = early 60% pre-train, then 50/25/25 within the late
+  // span for fine-tune / validation / test.
+  return Assemble(name, universe_.EarlyEvents(0), universe_.LateEvents(0),
+                  0, 0, 0.5, 0.25);
+}
+
+}  // namespace cpdg::data

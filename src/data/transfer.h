@@ -1,0 +1,72 @@
+#ifndef CPDG_DATA_TRANSFER_H_
+#define CPDG_DATA_TRANSFER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "graph/temporal_graph.h"
+
+namespace cpdg::data {
+
+/// \brief The three transfer settings of the paper's evaluation
+/// (Sec. V-C): pre-train on a different time span, a different field, or
+/// both, then fine-tune on the downstream field's late period.
+enum class TransferSetting { kTime, kField, kTimeField };
+
+const char* TransferSettingName(TransferSetting setting);
+
+/// \brief One fully materialized transfer experiment: the pre-training
+/// graph, the downstream fine-tuning graph, held-out validation/test
+/// events (chronological), and the negative-sampling pools (the item
+/// universe of each stage's field).
+struct TransferDataset {
+  std::string name;
+  int64_t num_nodes = 0;
+  graph::TemporalGraph pretrain_graph;
+  graph::TemporalGraph downstream_train_graph;
+  std::vector<Event> downstream_val_events;
+  std::vector<Event> downstream_test_events;
+  std::vector<NodeId> pretrain_negative_pool;
+  std::vector<NodeId> downstream_negative_pool;
+};
+
+/// \brief Builds TransferDatasets from a universe spec.
+///
+/// For multi-field universes (Amazon/Gowalla-like), fields [0, F-2] are
+/// downstream fields and field F-1 is the dedicated pre-training field,
+/// mirroring Table IV:
+///  - time transfer:        pre-train on the downstream field's early span;
+///  - field transfer:       pre-train on the pre-training field's late span;
+///  - time+field transfer:  pre-train on the pre-training field's early
+///    span.
+/// The downstream late span is split chronologically 70/15/15 into
+/// fine-tune / validation / test.
+class TransferBenchmarkBuilder {
+ public:
+  TransferBenchmarkBuilder(const UniverseSpec& spec, uint64_t seed);
+
+  const DynamicGraphUniverse& universe() const { return universe_; }
+
+  /// Multi-field build; requires at least two fields.
+  TransferDataset Build(TransferSetting setting,
+                        int64_t downstream_field) const;
+
+  /// \brief Single-field (time-only) build used for Meituan / Wikipedia /
+  /// MOOC / Reddit: pre-train on the early 60%, and split the late span
+  /// 50/25/25 into fine-tune / validation / test (the paper's 6:2:1:1).
+  TransferDataset BuildSingleField() const;
+
+ private:
+  TransferDataset Assemble(const std::string& name,
+                           std::vector<Event> pretrain_events,
+                           std::vector<Event> downstream_events,
+                           int64_t pretrain_field, int64_t downstream_field,
+                           double train_frac, double val_frac) const;
+
+  DynamicGraphUniverse universe_;
+};
+
+}  // namespace cpdg::data
+
+#endif  // CPDG_DATA_TRANSFER_H_

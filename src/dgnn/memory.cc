@@ -1,0 +1,108 @@
+#include "dgnn/memory.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cpdg::dgnn {
+
+Memory::Memory(int64_t num_nodes, int64_t dim)
+    : num_nodes_(num_nodes), dim_(dim) {
+  CPDG_CHECK_GT(num_nodes, 0);
+  CPDG_CHECK_GT(dim, 0);
+  states_.assign(static_cast<size_t>(num_nodes * dim), 0.0f);
+  last_update_.assign(static_cast<size_t>(num_nodes), 0.0);
+  pending_.resize(static_cast<size_t>(num_nodes));
+}
+
+void Memory::Reset() {
+  std::fill(states_.begin(), states_.end(), 0.0f);
+  std::fill(last_update_.begin(), last_update_.end(), 0.0);
+  for (auto& p : pending_) p.clear();
+}
+
+tensor::Tensor Memory::GetStates(const std::vector<NodeId>& nodes) const {
+  CPDG_CHECK(!nodes.empty());
+  std::vector<float> data(nodes.size() * static_cast<size_t>(dim_));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    CPDG_CHECK_GE(v, 0);
+    CPDG_CHECK_LT(v, num_nodes_);
+    std::copy(states_.begin() + v * dim_, states_.begin() + (v + 1) * dim_,
+              data.begin() + static_cast<int64_t>(i) * dim_);
+  }
+  return tensor::Tensor::FromVector(static_cast<int64_t>(nodes.size()), dim_,
+                                    std::move(data));
+}
+
+void Memory::SetStates(const std::vector<NodeId>& nodes,
+                       const tensor::Tensor& states) {
+  CPDG_CHECK_EQ(states.rows(), static_cast<int64_t>(nodes.size()));
+  CPDG_CHECK_EQ(states.cols(), dim_);
+  const float* src = states.data();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    CPDG_CHECK_GE(v, 0);
+    CPDG_CHECK_LT(v, num_nodes_);
+    std::copy(src + static_cast<int64_t>(i) * dim_,
+              src + static_cast<int64_t>(i + 1) * dim_,
+              states_.begin() + v * dim_);
+  }
+}
+
+const float* Memory::StateData(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  return states_.data() + node * dim_;
+}
+
+double Memory::LastUpdate(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  return last_update_[static_cast<size_t>(node)];
+}
+
+void Memory::SetLastUpdate(NodeId node, double time) {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  last_update_[static_cast<size_t>(node)] = time;
+}
+
+void Memory::EnqueueMessage(NodeId node, RawMessage message) {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  pending_[static_cast<size_t>(node)].push_back(message);
+}
+
+bool Memory::HasPending(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  return !pending_[static_cast<size_t>(node)].empty();
+}
+
+const std::vector<Memory::RawMessage>& Memory::Pending(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  return pending_[static_cast<size_t>(node)];
+}
+
+void Memory::ClearPending(NodeId node) {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  pending_[static_cast<size_t>(node)].clear();
+}
+
+std::vector<float> Memory::SnapshotFlat() const { return states_; }
+
+void Memory::RestoreFlat(const std::vector<float>& snapshot) {
+  CPDG_CHECK_EQ(snapshot.size(), states_.size());
+  states_ = snapshot;
+}
+
+double Memory::StateNorm() const {
+  double acc = 0.0;
+  for (float v : states_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace cpdg::dgnn

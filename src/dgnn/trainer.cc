@@ -1,0 +1,93 @@
+#include "dgnn/trainer.h"
+
+#include "graph/batching.h"
+#include "tensor/losses.h"
+#include "tensor/optim.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cpdg::dgnn {
+
+namespace ts = cpdg::tensor;
+
+NodeId SampleNegative(const std::vector<NodeId>& pool, int64_t num_nodes,
+                      NodeId positive, Rng* rng) {
+  CPDG_CHECK(rng != nullptr);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    NodeId cand;
+    if (pool.empty()) {
+      cand = static_cast<NodeId>(
+          rng->NextBounded(static_cast<uint64_t>(num_nodes)));
+    } else {
+      cand = pool[rng->NextBounded(pool.size())];
+    }
+    if (cand != positive) return cand;
+  }
+  return positive;  // degenerate pool; accept the collision
+}
+
+TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
+                             const graph::TemporalGraph& graph,
+                             const TlpTrainOptions& options, Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(decoder != nullptr);
+  CPDG_CHECK(rng != nullptr);
+
+  std::vector<ts::Tensor> params = decoder->Parameters();
+  if (options.train_encoder) {
+    std::vector<ts::Tensor> enc = encoder->Parameters();
+    params.insert(params.end(), enc.begin(), enc.end());
+  }
+  ts::Adam optimizer(params, options.learning_rate);
+
+  TrainLog log;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    encoder->memory().Reset();
+    graph::ChronologicalBatcher batcher(&graph, options.batch_size);
+    graph::EventBatch batch;
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    while (batcher.Next(&batch)) {
+      std::vector<NodeId> srcs, dsts, negs;
+      std::vector<double> times;
+      srcs.reserve(batch.events.size());
+      for (const graph::Event& e : batch.events) {
+        srcs.push_back(e.src);
+        dsts.push_back(e.dst);
+        negs.push_back(SampleNegative(options.negative_pool,
+                                      graph.num_nodes(), e.dst, rng));
+        times.push_back(e.time);
+      }
+
+      encoder->BeginBatch();
+      ts::Tensor z_src = encoder->ComputeEmbeddings(srcs, times);
+      ts::Tensor z_dst = encoder->ComputeEmbeddings(dsts, times);
+      ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, times);
+
+      ts::Tensor pos_logits = decoder->ForwardLogits(z_src, z_dst);
+      ts::Tensor neg_logits = decoder->ForwardLogits(z_src, z_neg);
+      int64_t n = pos_logits.rows();
+      ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
+      std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
+      std::fill(targets.begin(), targets.begin() + n, 1.0f);
+      ts::Tensor target_tensor =
+          ts::Tensor::FromVector(2 * n, 1, std::move(targets));
+      ts::Tensor loss = ts::BceWithLogitsLoss(logits, target_tensor);
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ts::ClipGradNorm(params, options.grad_clip);
+      optimizer.Step();
+
+      encoder->CommitBatch(batch.events);
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= static_cast<double>(batches);
+    log.epoch_losses.push_back(epoch_loss);
+    CPDG_LOG(Debug) << "TLP epoch " << epoch << " loss=" << epoch_loss;
+  }
+  return log;
+}
+
+}  // namespace cpdg::dgnn

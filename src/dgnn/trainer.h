@@ -1,0 +1,50 @@
+#ifndef CPDG_DGNN_TRAINER_H_
+#define CPDG_DGNN_TRAINER_H_
+
+#include <vector>
+
+#include "dgnn/encoder.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace cpdg::dgnn {
+
+/// \brief Options for temporal-link-prediction training, used both as the
+/// task-supervised pre-training of the DyRep/JODIE/TGN baselines and as
+/// the downstream fine-tuning objective.
+struct TlpTrainOptions {
+  int64_t epochs = 1;
+  int64_t batch_size = 200;
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+  /// Nodes eligible as sampled negatives; empty means all graph nodes.
+  /// For bipartite interaction graphs this should be the item universe.
+  std::vector<NodeId> negative_pool;
+  /// If false, encoder parameters are frozen and only the decoder trains
+  /// (used by probes and some ablations).
+  bool train_encoder = true;
+};
+
+/// \brief Per-epoch training diagnostics.
+struct TrainLog {
+  std::vector<double> epoch_losses;
+  double final_loss() const {
+    return epoch_losses.empty() ? 0.0 : epoch_losses.back();
+  }
+};
+
+/// \brief Samples a negative destination (uniform over the pool) different
+/// from `positive` when possible.
+NodeId SampleNegative(const std::vector<NodeId>& pool, int64_t num_nodes,
+                      NodeId positive, Rng* rng);
+
+/// \brief Trains encoder + decoder on the temporal link prediction task
+/// (Eq. 15-16): chronological batches, one sampled negative per event.
+/// The encoder's memory is reset at the start of every epoch.
+TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
+                             const graph::TemporalGraph& graph,
+                             const TlpTrainOptions& options, Rng* rng);
+
+}  // namespace cpdg::dgnn
+
+#endif  // CPDG_DGNN_TRAINER_H_

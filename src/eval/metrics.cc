@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace cpdg::eval {
+
+double RocAuc(const std::vector<ScoredLabel>& samples) {
+  std::vector<ScoredLabel> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredLabel& a, const ScoredLabel& b) {
+              return a.score < b.score;
+            });
+  int64_t num_pos = 0, num_neg = 0;
+  for (const auto& s : sorted) {
+    if (s.label == 1) {
+      ++num_pos;
+    } else {
+      ++num_neg;
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  // Sum of positive ranks with average ranks for ties.
+  double rank_sum = 0.0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) ++j;
+    // Ranks are 1-based; tied block [i, j) all get the average rank.
+    double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) /
+                      2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (sorted[k].label == 1) rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  double u = rank_sum - static_cast<double>(num_pos) *
+                            (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double AveragePrecision(const std::vector<ScoredLabel>& samples) {
+  std::vector<ScoredLabel> sorted = samples;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ScoredLabel& a, const ScoredLabel& b) {
+                     return a.score > b.score;
+                   });
+  int64_t num_pos = 0;
+  for (const auto& s : sorted) num_pos += (s.label == 1) ? 1 : 0;
+  if (num_pos == 0) return 0.0;
+
+  double ap = 0.0;
+  int64_t tp = 0;
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    if (sorted[k].label == 1) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+    }
+  }
+  return ap / static_cast<double>(num_pos);
+}
+
+double AccuracyAtHalf(const std::vector<ScoredLabel>& samples) {
+  if (samples.empty()) return 0.0;
+  int64_t correct = 0;
+  for (const auto& s : samples) {
+    int32_t pred = s.score >= 0.5 ? 1 : 0;
+    if (pred == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+}  // namespace cpdg::eval

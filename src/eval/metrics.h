@@ -1,0 +1,29 @@
+#ifndef CPDG_EVAL_METRICS_H_
+#define CPDG_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cpdg::eval {
+
+/// \brief A scored binary example.
+struct ScoredLabel {
+  double score = 0.0;
+  int32_t label = 0;  // 0 or 1
+};
+
+/// \brief ROC-AUC via the Mann-Whitney U statistic (ties get half credit).
+/// Returns 0.5 when either class is absent.
+double RocAuc(const std::vector<ScoredLabel>& samples);
+
+/// \brief Average precision (area under the precision-recall curve,
+/// computed as the mean of precision at each positive in score-descending
+/// order, ties broken deterministically). Returns 0 when no positives.
+double AveragePrecision(const std::vector<ScoredLabel>& samples);
+
+/// \brief Accuracy at a 0.5 threshold; convenience for tests.
+double AccuracyAtHalf(const std::vector<ScoredLabel>& samples);
+
+}  // namespace cpdg::eval
+
+#endif  // CPDG_EVAL_METRICS_H_

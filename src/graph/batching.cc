@@ -1,0 +1,33 @@
+#include "graph/batching.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cpdg::graph {
+
+ChronologicalBatcher::ChronologicalBatcher(const TemporalGraph* graph,
+                                           int64_t batch_size)
+    : graph_(graph), batch_size_(batch_size) {
+  CPDG_CHECK(graph != nullptr);
+  CPDG_CHECK_GT(batch_size, 0);
+}
+
+void ChronologicalBatcher::Reset() { cursor_ = 0; }
+
+bool ChronologicalBatcher::Next(EventBatch* batch) {
+  CPDG_CHECK(batch != nullptr);
+  if (cursor_ >= graph_->num_events()) return false;
+  int64_t end = std::min(cursor_ + batch_size_, graph_->num_events());
+  batch->first_event_index = cursor_;
+  batch->events.assign(graph_->events().begin() + cursor_,
+                       graph_->events().begin() + end);
+  cursor_ = end;
+  return true;
+}
+
+int64_t ChronologicalBatcher::num_batches() const {
+  return (graph_->num_events() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace cpdg::graph

@@ -1,0 +1,43 @@
+#ifndef CPDG_GRAPH_BATCHING_H_
+#define CPDG_GRAPH_BATCHING_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace cpdg::graph {
+
+/// \brief A chronological slice of events, the unit of DGNN batch
+/// processing (the Monte-Carlo batching of Sec. IV-D).
+struct EventBatch {
+  /// Index of the first event in the batch within the source graph.
+  int64_t first_event_index = 0;
+  std::vector<Event> events;
+  bool empty() const { return events.empty(); }
+  int64_t size() const { return static_cast<int64_t>(events.size()); }
+};
+
+/// \brief Iterates a temporal graph's events in fixed-size chronological
+/// batches. DGNN training processes batches in order so that memory states
+/// only ever see the past.
+class ChronologicalBatcher {
+ public:
+  ChronologicalBatcher(const TemporalGraph* graph, int64_t batch_size);
+
+  /// Resets iteration to the first event.
+  void Reset();
+
+  /// Returns false when exhausted; otherwise fills `batch`.
+  bool Next(EventBatch* batch);
+
+  int64_t num_batches() const;
+
+ private:
+  const TemporalGraph* graph_;
+  int64_t batch_size_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace cpdg::graph
+
+#endif  // CPDG_GRAPH_BATCHING_H_

@@ -1,0 +1,166 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cpdg::graph {
+namespace {
+
+/// Splits a CSV line on commas (the formats here never quote fields).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Status WriteEventsCsv(const std::string& path,
+                      const std::vector<Event>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "src,dst,time,edge_type,label\n";
+  for (const Event& e : events) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%lld,%lld,%.17g,%d,%d\n",
+                  static_cast<long long>(e.src),
+                  static_cast<long long>(e.dst), e.time, e.edge_type,
+                  e.label);
+    out << buf;
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty file: " + path);
+  }
+  if (line.rfind("src,", 0) != 0) {
+    return Status::InvalidArgument("missing native CSV header in " + path);
+  }
+  std::vector<Event> events;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> f = SplitCsvLine(line);
+    if (f.size() != 5) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 5 fields");
+    }
+    Event e;
+    int64_t edge_type = 0, label = 0;
+    if (!ParseInt(f[0], &e.src) || !ParseInt(f[1], &e.dst) ||
+        !ParseDouble(f[2], &e.time) || !ParseInt(f[3], &edge_type) ||
+        !ParseInt(f[4], &label)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": parse error");
+    }
+    e.edge_type = static_cast<int32_t>(edge_type);
+    e.label = static_cast<int32_t>(label);
+    events.push_back(e);
+  }
+  return events;
+}
+
+Result<JodieDataset> ReadJodieCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty file: " + path);
+  }
+  // First line is a header (e.g. "user_id,item_id,timestamp,state_label,
+  // comma_separated_list_of_features"); it is not validated strictly
+  // because published files vary slightly.
+
+  JodieDataset ds;
+  struct RawRow {
+    int64_t user;
+    int64_t item;
+    double time;
+    int32_t label;
+  };
+  std::vector<RawRow> rows;
+  int64_t max_user = -1, max_item = -1;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> f = SplitCsvLine(line);
+    if (f.size() < 4) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected >= 4 fields");
+    }
+    RawRow r;
+    int64_t label = 0;
+    if (!ParseInt(f[0], &r.user) || !ParseInt(f[1], &r.item) ||
+        !ParseDouble(f[2], &r.time) || !ParseInt(f[3], &label)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": parse error");
+    }
+    if (r.user < 0 || r.item < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": negative id");
+    }
+    r.label = static_cast<int32_t>(label);
+    max_user = std::max(max_user, r.user);
+    max_item = std::max(max_item, r.item);
+    rows.push_back(r);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  ds.num_users = max_user + 1;
+  ds.num_items = max_item + 1;
+  ds.events.reserve(rows.size());
+  for (const RawRow& r : rows) {
+    Event e;
+    e.src = r.user;
+    e.dst = ds.num_users + r.item;  // re-base items after users
+    e.time = r.time;
+    e.label = r.label;
+    ds.events.push_back(e);
+  }
+  return ds;
+}
+
+Result<TemporalGraph> LoadJodieGraph(const std::string& path) {
+  CPDG_ASSIGN_OR_RETURN(JodieDataset ds, ReadJodieCsv(path));
+  return TemporalGraph::Create(ds.num_nodes(), std::move(ds.events));
+}
+
+}  // namespace cpdg::graph

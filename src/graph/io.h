@@ -1,0 +1,52 @@
+#ifndef CPDG_GRAPH_IO_H_
+#define CPDG_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace cpdg::graph {
+
+/// \file Event-list I/O.
+///
+/// Two interchange formats are supported:
+///
+///  1. The native CSV format: `src,dst,time,edge_type,label` with a header
+///     line; lossless for this library's Event struct.
+///  2. The JODIE dataset format used by the paper's Wikipedia / MOOC /
+///     Reddit datasets (`user_id,item_id,timestamp,state_label,
+///     comma_separated_list_of_features`): user and item ids are re-based
+///     into one node id space (items after users), the state label maps to
+///     Event::label, and edge features are ignored (this implementation is
+///     featureless; see DESIGN.md).
+
+/// \brief Writes events as native CSV. Overwrites the file.
+Status WriteEventsCsv(const std::string& path,
+                      const std::vector<Event>& events);
+
+/// \brief Reads events from native CSV (as written by WriteEventsCsv).
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path);
+
+/// \brief Parsed JODIE-format dataset: events plus the id-space layout.
+struct JodieDataset {
+  std::vector<Event> events;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  /// Total node count (= num_users + num_items); item j's node id is
+  /// num_users + j.
+  int64_t num_nodes() const { return num_users + num_items; }
+};
+
+/// \brief Parses a JODIE-format CSV (header line, then
+/// `user_id,item_id,timestamp,state_label[,features...]`). User/item ids
+/// must be dense non-negative integers (as in the published datasets).
+Result<JodieDataset> ReadJodieCsv(const std::string& path);
+
+/// \brief Convenience: builds a TemporalGraph directly from a JODIE CSV.
+Result<TemporalGraph> LoadJodieGraph(const std::string& path);
+
+}  // namespace cpdg::graph
+
+#endif  // CPDG_GRAPH_IO_H_

@@ -1,0 +1,171 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cpdg::graph {
+
+Result<TemporalGraph> TemporalGraph::Create(int64_t num_nodes,
+                                            std::vector<Event> events) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("num_nodes must be positive");
+  }
+  for (const Event& e : events) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      return Status::InvalidArgument(
+          "event references node id outside [0, num_nodes)");
+    }
+  }
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  TemporalGraph g;
+  g.num_nodes_ = num_nodes;
+  g.events_ = std::move(events);
+  if (!g.events_.empty()) {
+    g.min_time_ = g.events_.front().time;
+    g.max_time_ = g.events_.back().time;
+  }
+
+  // Build CSR adjacency: each event contributes (src -> dst) and
+  // (dst -> src); within each node, entries stay chronologically sorted
+  // because we scan events in time order.
+  std::vector<int64_t> counts(static_cast<size_t>(num_nodes), 0);
+  for (const Event& e : g.events_) {
+    ++counts[static_cast<size_t>(e.src)];
+    ++counts[static_cast<size_t>(e.dst)];
+  }
+  g.adj_offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    g.adj_offsets_[static_cast<size_t>(i) + 1] =
+        g.adj_offsets_[static_cast<size_t>(i)] + counts[static_cast<size_t>(i)];
+  }
+  g.adj_neighbors_.resize(static_cast<size_t>(g.adj_offsets_.back()));
+  std::vector<int64_t> cursor(g.adj_offsets_.begin(), g.adj_offsets_.end() - 1);
+  for (int64_t idx = 0; idx < static_cast<int64_t>(g.events_.size()); ++idx) {
+    const Event& e = g.events_[static_cast<size_t>(idx)];
+    g.adj_neighbors_[static_cast<size_t>(
+        cursor[static_cast<size_t>(e.src)]++)] =
+        TemporalNeighbor{e.dst, e.time, idx};
+    g.adj_neighbors_[static_cast<size_t>(
+        cursor[static_cast<size_t>(e.dst)]++)] =
+        TemporalNeighbor{e.src, e.time, idx};
+  }
+  return g;
+}
+
+const Event& TemporalGraph::event(int64_t index) const {
+  CPDG_CHECK_GE(index, 0);
+  CPDG_CHECK_LT(index, num_events());
+  return events_[static_cast<size_t>(index)];
+}
+
+TemporalGraph::NeighborView TemporalGraph::NeighborsBefore(NodeId node,
+                                                           double time) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  const TemporalNeighbor* begin =
+      adj_neighbors_.data() + adj_offsets_[static_cast<size_t>(node)];
+  const TemporalNeighbor* end =
+      adj_neighbors_.data() + adj_offsets_[static_cast<size_t>(node) + 1];
+  // Entries are time-sorted; find the first with time >= t.
+  const TemporalNeighbor* cut =
+      std::lower_bound(begin, end, time,
+                       [](const TemporalNeighbor& n, double t) {
+                         return n.time < t;
+                       });
+  return NeighborView{begin, cut - begin};
+}
+
+int64_t TemporalGraph::Degree(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  return adj_offsets_[static_cast<size_t>(node) + 1] -
+         adj_offsets_[static_cast<size_t>(node)];
+}
+
+std::vector<NodeId> TemporalGraph::NodesBefore(double time) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (!NeighborsBefore(v, time).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Event> TemporalGraph::EventsInWindow(double t_lo,
+                                                 double t_hi) const {
+  std::vector<Event> out;
+  for (int64_t i = LowerBoundEvent(t_lo); i < num_events(); ++i) {
+    const Event& e = events_[static_cast<size_t>(i)];
+    if (e.time >= t_hi) break;
+    out.push_back(e);
+  }
+  return out;
+}
+
+int64_t TemporalGraph::LowerBoundEvent(double t) const {
+  auto it = std::lower_bound(
+      events_.begin(), events_.end(), t,
+      [](const Event& e, double time) { return e.time < time; });
+  return it - events_.begin();
+}
+
+double TemporalGraph::Density() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(num_events()) /
+         (static_cast<double>(num_nodes_) * static_cast<double>(num_nodes_));
+}
+
+std::string TemporalGraph::StatsString() const {
+  std::ostringstream os;
+  os << "TemporalGraph{nodes=" << num_nodes_ << ", events=" << num_events()
+     << ", span=[" << min_time_ << ", " << max_time_ << "]"
+     << ", density=" << Density() << "}";
+  return os.str();
+}
+
+StaticSnapshot StaticSnapshot::FromTemporalGraph(const TemporalGraph& graph,
+                                                 double time) {
+  int64_t n = graph.num_nodes();
+  std::vector<std::vector<NodeId>> adj(static_cast<size_t>(n));
+  for (const Event& e : graph.events()) {
+    if (e.time >= time) break;  // events are sorted
+    adj[static_cast<size_t>(e.src)].push_back(e.dst);
+    adj[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  StaticSnapshot snap;
+  snap.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t v = 0; v < n; ++v) {
+    auto& nbrs = adj[static_cast<size_t>(v)];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    snap.offsets_[static_cast<size_t>(v) + 1] =
+        snap.offsets_[static_cast<size_t>(v)] +
+        static_cast<int64_t>(nbrs.size());
+  }
+  snap.neighbors_.resize(static_cast<size_t>(snap.offsets_.back()));
+  for (int64_t v = 0; v < n; ++v) {
+    const auto& nbrs = adj[static_cast<size_t>(v)];
+    std::copy(nbrs.begin(), nbrs.end(),
+              snap.neighbors_.begin() + snap.offsets_[static_cast<size_t>(v)]);
+  }
+  return snap;
+}
+
+StaticSnapshot::View StaticSnapshot::Neighbors(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes());
+  const NodeId* begin =
+      neighbors_.data() + offsets_[static_cast<size_t>(node)];
+  return View{begin, offsets_[static_cast<size_t>(node) + 1] -
+                         offsets_[static_cast<size_t>(node)]};
+}
+
+int64_t StaticSnapshot::Degree(NodeId node) const {
+  return Neighbors(node).count;
+}
+
+}  // namespace cpdg::graph

@@ -1,0 +1,149 @@
+#ifndef CPDG_GRAPH_TEMPORAL_GRAPH_H_
+#define CPDG_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpdg::graph {
+
+using NodeId = int64_t;
+
+/// \brief One interaction event (i, j, t) of a continuous-time dynamic
+/// graph (Definition 1 of the paper), with an optional edge type and a
+/// dynamic label on the source node (used by node-classification datasets,
+/// where labels mark state changes such as a user being banned).
+struct Event {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double time = 0.0;
+  int32_t edge_type = 0;
+  /// Dynamic label of `src` as of this event; -1 when unlabeled.
+  int32_t label = -1;
+};
+
+/// \brief A temporal neighbor as seen from some node: the neighbor id, the
+/// interaction time, and the index of the originating event.
+struct TemporalNeighbor {
+  NodeId node = -1;
+  double time = 0.0;
+  int64_t event_index = -1;
+};
+
+/// \brief Immutable continuous-time dynamic graph (CTDG).
+///
+/// Stores the chronological event list plus, per node, the time-sorted list
+/// of its interactions (both directions of each event, since interactions
+/// are undirected for neighborhood purposes). Supports the core temporal
+/// query of every DGNN: "the neighbors of node i that interacted before
+/// time t" (the N_i^t of Definition 1), answered with binary search.
+class TemporalGraph {
+ public:
+  /// Empty graph (0 nodes); useful as a placeholder before assignment.
+  TemporalGraph() = default;
+
+  /// \brief Builds a graph from events. Events need not be pre-sorted; they
+  /// are sorted chronologically (stable on ties). num_nodes must exceed
+  /// every node id in the events.
+  static Result<TemporalGraph> Create(int64_t num_nodes,
+                                      std::vector<Event> events);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
+
+  /// Chronologically sorted events.
+  const std::vector<Event>& events() const { return events_; }
+  const Event& event(int64_t index) const;
+
+  /// Earliest / latest event time (0 if empty).
+  double min_time() const { return min_time_; }
+  double max_time() const { return max_time_; }
+
+  /// \brief All neighbors of `node` with interaction time strictly before
+  /// `time`, in chronological order. Returns a (pointer, count) view into
+  /// internal storage — valid as long as the graph lives.
+  ///
+  /// This is N_i^t of Definition 1; T_i^t (the event-time set of Sec. IV-A)
+  /// is the `time` field of each entry.
+  struct NeighborView {
+    const TemporalNeighbor* data = nullptr;
+    int64_t count = 0;
+    const TemporalNeighbor* begin() const { return data; }
+    const TemporalNeighbor* end() const { return data + count; }
+    bool empty() const { return count == 0; }
+    const TemporalNeighbor& operator[](int64_t i) const { return data[i]; }
+  };
+  NeighborView NeighborsBefore(NodeId node, double time) const;
+
+  /// Total number of interactions involving `node` (any time).
+  int64_t Degree(NodeId node) const;
+
+  /// \brief Whether `node` appears in at least one event.
+  bool HasInteractions(NodeId node) const { return Degree(node) > 0; }
+
+  /// \brief Ids of all nodes with at least one event before `time`
+  /// (V^t of Definition 1).
+  std::vector<NodeId> NodesBefore(double time) const;
+
+  /// \brief Events with time in [t_lo, t_hi).
+  std::vector<Event> EventsInWindow(double t_lo, double t_hi) const;
+
+  /// \brief Index of the first event with time >= t.
+  int64_t LowerBoundEvent(double t) const;
+
+  /// Graph density |E| / (|V|^2), mirroring Table IV's statistics column.
+  double Density() const;
+
+  /// Human-readable summary (nodes/edges/time span/density).
+  std::string StatsString() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<Event> events_;  // sorted by time
+  // CSR-style per-node adjacency over both event endpoints, time-sorted.
+  std::vector<int64_t> adj_offsets_;             // size num_nodes_ + 1
+  std::vector<TemporalNeighbor> adj_neighbors_;  // grouped by node
+  double min_time_ = 0.0;
+  double max_time_ = 0.0;
+};
+
+/// \brief A static snapshot of a temporal graph: the plain undirected graph
+/// G^t = (V^t, E^t) with multi-edges collapsed. Static GNN baselines
+/// (GraphSAGE / GAT / GIN / DGI / GPT-GNN) operate on this view, which is
+/// exactly how the paper applies them to dynamic data.
+class StaticSnapshot {
+ public:
+  /// Snapshot of all events strictly before `time` (use +inf for "all").
+  static StaticSnapshot FromTemporalGraph(const TemporalGraph& graph,
+                                          double time);
+
+  int64_t num_nodes() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(neighbors_.size()) / 2;
+  }
+
+  /// Unique neighbors of `node`, sorted by id.
+  struct View {
+    const NodeId* data = nullptr;
+    int64_t count = 0;
+    const NodeId* begin() const { return data; }
+    const NodeId* end() const { return data + count; }
+    bool empty() const { return count == 0; }
+    NodeId operator[](int64_t i) const { return data[i]; }
+  };
+  View Neighbors(NodeId node) const;
+
+  int64_t Degree(NodeId node) const;
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace cpdg::graph
+
+#endif  // CPDG_GRAPH_TEMPORAL_GRAPH_H_

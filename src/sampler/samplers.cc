@@ -1,0 +1,202 @@
+#include "sampler/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace cpdg::sampler {
+
+std::vector<double> TemporalProbabilities(
+    const std::vector<double>& neighbor_times, double t, TemporalBias bias,
+    double tau) {
+  CPDG_CHECK(!neighbor_times.empty());
+  CPDG_CHECK_GT(tau, 0.0);
+  size_t n = neighbor_times.size();
+  std::vector<double> probs(n, 1.0 / static_cast<double>(n));
+  if (bias == TemporalBias::kUniform) return probs;
+
+  double t_min = *std::min_element(neighbor_times.begin(),
+                                   neighbor_times.end());
+  double denom = t - t_min;
+  if (denom <= 0.0) return probs;  // all events at the query time: uniform
+
+  // Eq. (6): normalized event time in [0,1]; Eq. (7)/(8): softmax of the
+  // (reversed) normalized time with temperature tau.
+  std::vector<double> logits(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t_hat = (neighbor_times[i] - t_min) / denom;
+    if (bias == TemporalBias::kReverseChronological) t_hat = 1.0 - t_hat;
+    logits[i] = t_hat / tau;
+  }
+  double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+StructuralTemporalSampler::StructuralTemporalSampler(
+    const TemporalGraph* graph)
+    : graph_(graph) {
+  CPDG_CHECK(graph != nullptr);
+}
+
+SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
+    NodeId root, double time, TemporalBias bias, const Options& options,
+    Rng* rng) const {
+  CPDG_CHECK(rng != nullptr);
+  CPDG_CHECK_GT(options.width, 0);
+  CPDG_CHECK_GT(options.depth, 0);
+
+  SubgraphSample out;
+  std::unordered_set<NodeId> seen;
+  seen.insert(root);
+
+  std::vector<std::pair<NodeId, double>> frontier = {{root, time}};
+  for (int64_t hop = 0; hop < options.depth && !frontier.empty(); ++hop) {
+    std::vector<std::pair<NodeId, double>> next;
+    for (const auto& [u, ut] : frontier) {
+      auto view = graph_->NeighborsBefore(u, ut);
+      if (view.empty()) continue;
+
+      std::vector<double> times(static_cast<size_t>(view.count));
+      for (int64_t i = 0; i < view.count; ++i) times[i] = view[i].time;
+      std::vector<double> probs =
+          TemporalProbabilities(times, ut, bias, options.temperature);
+
+      // Weighted sampling without replacement: draw up to `width` distinct
+      // neighbor positions by zeroing drawn weights.
+      int64_t draws = std::min(options.width, view.count);
+      for (int64_t d = 0; d < draws; ++d) {
+        double total = 0.0;
+        for (double p : probs) total += p;
+        if (total <= 0.0) break;
+        double x = rng->NextDouble() * total;
+        double acc = 0.0;
+        size_t pick = probs.size() - 1;
+        for (size_t i = 0; i < probs.size(); ++i) {
+          acc += probs[i];
+          if (x < acc) {
+            pick = i;
+            break;
+          }
+        }
+        probs[pick] = 0.0;
+        const auto& nbr = view[static_cast<int64_t>(pick)];
+        if (seen.insert(nbr.node).second) {
+          out.nodes.push_back(nbr.node);
+          out.times.push_back(nbr.time);
+        }
+        // Expand from the neighbor at the time of the sampled interaction,
+        // so deeper hops only see the past of that interaction.
+        next.emplace_back(nbr.node, nbr.time);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
+    NodeId root, double time, const Options& options) const {
+  CPDG_CHECK_GT(options.width, 0);
+  CPDG_CHECK_GT(options.depth, 0);
+
+  SubgraphSample out;
+  std::unordered_set<NodeId> seen;
+  seen.insert(root);
+
+  // Explicit stack of (node, time, remaining_depth); expansion picks the
+  // ε most recent neighbors (the tail of the chronologically sorted
+  // NS_i^t of Eq. 5).
+  struct Frame {
+    NodeId node;
+    double time;
+    int64_t depth_left;
+  };
+  std::vector<Frame> stack = {{root, time, options.depth}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.depth_left == 0) continue;
+    auto view = graph_->NeighborsBefore(f.node, f.time);
+    if (view.empty()) continue;
+    int64_t take = std::min(options.width, view.count);
+    // Most recent `take` entries, newest first for DFS order.
+    for (int64_t i = 0; i < take; ++i) {
+      const auto& nbr = view[view.count - 1 - i];
+      if (seen.insert(nbr.node).second) {
+        out.nodes.push_back(nbr.node);
+        out.times.push_back(nbr.time);
+      }
+      stack.push_back({nbr.node, nbr.time, f.depth_left - 1});
+    }
+  }
+  return out;
+}
+
+NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
+                                  const std::vector<NodeId>& roots,
+                                  const std::vector<double>& times,
+                                  int64_t group, NeighborStrategy strategy,
+                                  Rng* rng) {
+  CPDG_CHECK_EQ(roots.size(), times.size());
+  CPDG_CHECK_GT(group, 0);
+  if (strategy == NeighborStrategy::kUniform) {
+    CPDG_CHECK(rng != nullptr);
+  }
+
+  int64_t n = static_cast<int64_t>(roots.size());
+  NeighborBatch batch;
+  batch.group = group;
+  batch.nodes.assign(static_cast<size_t>(n * group), -1);
+  batch.times.assign(static_cast<size_t>(n * group), 0.0);
+  batch.valid.assign(static_cast<size_t>(n * group), 0);
+
+  for (int64_t i = 0; i < n; ++i) {
+    auto view = graph.NeighborsBefore(roots[static_cast<size_t>(i)],
+                                      times[static_cast<size_t>(i)]);
+    if (view.empty()) continue;
+    int64_t take = std::min(group, view.count);
+    for (int64_t j = 0; j < take; ++j) {
+      int64_t src_idx;
+      if (strategy == NeighborStrategy::kMostRecent) {
+        src_idx = view.count - take + j;  // chronological tail
+      } else {
+        src_idx = static_cast<int64_t>(
+            rng->NextBounded(static_cast<uint64_t>(view.count)));
+      }
+      int64_t slot = i * group + j;
+      batch.nodes[static_cast<size_t>(slot)] = view[src_idx].node;
+      batch.times[static_cast<size_t>(slot)] = view[src_idx].time;
+      batch.valid[static_cast<size_t>(slot)] = 1;
+    }
+  }
+  return batch;
+}
+
+std::vector<NodeId> TemporalRandomWalk(const TemporalGraph& graph, NodeId root,
+                                       double time, int64_t length, Rng* rng) {
+  CPDG_CHECK(rng != nullptr);
+  CPDG_CHECK_GE(length, 0);
+  std::vector<NodeId> walk = {root};
+  NodeId cur = root;
+  double cur_time = time;
+  for (int64_t step = 0; step < length; ++step) {
+    auto view = graph.NeighborsBefore(cur, cur_time);
+    if (view.empty()) break;
+    int64_t pick = static_cast<int64_t>(
+        rng->NextBounded(static_cast<uint64_t>(view.count)));
+    cur = view[pick].node;
+    cur_time = view[pick].time;
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+}  // namespace cpdg::sampler

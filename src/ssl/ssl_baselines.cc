@@ -1,0 +1,233 @@
+#include "ssl/ssl_baselines.h"
+
+#include <algorithm>
+
+#include "graph/batching.h"
+#include "tensor/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cpdg::ssl {
+
+namespace ts = cpdg::tensor;
+using graph::NodeId;
+
+namespace {
+
+/// Neighbors of `node` with interaction time in [t_lo, t_hi).
+std::vector<NodeId> NeighborsInWindow(const graph::TemporalGraph& graph,
+                                      NodeId node, double t_lo, double t_hi) {
+  std::vector<NodeId> out;
+  auto view = graph.NeighborsBefore(node, t_hi);
+  for (int64_t i = view.count - 1; i >= 0; --i) {
+    if (view[i].time < t_lo) break;  // chronologically sorted
+    out.push_back(view[i].node);
+  }
+  return out;
+}
+
+}  // namespace
+
+dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
+                             const graph::TemporalGraph& graph,
+                             const SslTrainOptions& options, Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(rng != nullptr);
+  int64_t d = encoder->config().embed_dim;
+  CPDG_CHECK_EQ(d, encoder->config().memory_dim);
+
+  // Bilinear time-dependent critic: score(z, h) = rowsum(z * (h W)).
+  Rng init_rng = rng->Split();
+  ts::Tensor critic_w = ts::Tensor::XavierUniform(d, d, &init_rng, true);
+
+  std::vector<ts::Tensor> params = encoder->Parameters();
+  params.push_back(critic_w);
+  ts::Adam optimizer(params, options.learning_rate);
+
+  dgnn::TrainLog log;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    encoder->memory().Reset();
+    graph::ChronologicalBatcher batcher(&graph, options.batch_size);
+    graph::EventBatch batch;
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    while (batcher.Next(&batch)) {
+      encoder->BeginBatch();
+
+      // Collect anchors with non-empty nearby views.
+      std::vector<NodeId> anchors;
+      std::vector<double> anchor_times;
+      std::vector<std::vector<NodeId>> view_recent, view_earlier;
+      for (const graph::Event& e : batch.events) {
+        if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
+          break;
+        }
+        double w = options.view_window;
+        std::vector<NodeId> recent =
+            NeighborsInWindow(graph, e.src, e.time - w, e.time);
+        std::vector<NodeId> earlier =
+            NeighborsInWindow(graph, e.src, e.time - 2 * w, e.time - w);
+        if (recent.empty() || earlier.empty()) continue;
+        anchors.push_back(e.src);
+        anchor_times.push_back(e.time);
+        view_recent.push_back(std::move(recent));
+        view_earlier.push_back(std::move(earlier));
+      }
+
+      ts::Tensor loss;
+      if (!anchors.empty()) {
+        ts::Tensor z = encoder->ComputeEmbeddings(anchors, anchor_times);
+        // Pool each view from memory states.
+        auto pool = [&](const std::vector<std::vector<NodeId>>& views) {
+          std::vector<NodeId> all;
+          std::vector<std::pair<int64_t, int64_t>> spans;
+          for (const auto& v : views) {
+            spans.emplace_back(static_cast<int64_t>(all.size()),
+                               static_cast<int64_t>(v.size()));
+            all.insert(all.end(), v.begin(), v.end());
+          }
+          ts::Tensor states = encoder->ComputeUpdatedStates(all);
+          std::vector<ts::Tensor> rows;
+          for (const auto& [off, len] : spans) {
+            rows.push_back(ts::ColMean(ts::SliceRows(states, off, len)));
+          }
+          return ts::ConcatRows(rows);
+        };
+        ts::Tensor h_recent = pool(view_recent);
+        ts::Tensor h_earlier = pool(view_earlier);
+
+        // Positive: agreement between the node's two views; negative: the
+        // recent view of a shifted (different) anchor.
+        int64_t n = z.rows();
+        std::vector<int64_t> shifted(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) shifted[i] = (i + 1) % n;
+        ts::Tensor h_neg = ts::Gather(h_recent, shifted);
+
+        auto score = [&](const ts::Tensor& a, const ts::Tensor& b) {
+          return ts::RowSum(ts::Mul(a, ts::MatMul(b, critic_w)));
+        };
+        ts::Tensor pos1 = score(z, h_recent);
+        ts::Tensor pos2 = score(h_earlier, h_recent);
+        ts::Tensor neg = score(z, h_neg);
+        ts::Tensor logits = ts::ConcatRows({pos1, pos2, neg});
+        std::vector<float> targets(static_cast<size_t>(3 * n), 0.0f);
+        std::fill(targets.begin(), targets.begin() + 2 * n, 1.0f);
+        loss = ts::BceWithLogitsLoss(
+            logits, ts::Tensor::FromVector(3 * n, 1, std::move(targets)));
+
+        optimizer.ZeroGrad();
+        loss.Backward();
+        ts::ClipGradNorm(params, options.grad_clip);
+        optimizer.Step();
+        epoch_loss += loss.item();
+      } else {
+        // Keep memory advancing even when no anchor qualifies.
+        std::vector<NodeId> touched;
+        for (const graph::Event& e : batch.events) {
+          touched.push_back(e.src);
+          touched.push_back(e.dst);
+        }
+        ts::Tensor unused = encoder->ComputeUpdatedStates(touched);
+        (void)unused;
+      }
+      encoder->CommitBatch(batch.events);
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= static_cast<double>(batches);
+    log.epoch_losses.push_back(epoch_loss);
+    CPDG_LOG(Debug) << "DDGCL epoch " << epoch << " loss=" << epoch_loss;
+  }
+  return log;
+}
+
+dgnn::TrainLog PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
+                                const graph::TemporalGraph& graph,
+                                const SslTrainOptions& options, Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(rng != nullptr);
+  CPDG_CHECK_EQ(encoder->config().embed_dim, encoder->config().memory_dim);
+
+  // Learnable time-varying curvature: kappa(t) = kappa0 + kappa1 * t.
+  ts::Tensor kappa0 = ts::Tensor::Zeros(1, 1, true);
+  ts::Tensor kappa1 = ts::Tensor::Zeros(1, 1, true);
+
+  std::vector<ts::Tensor> params = encoder->Parameters();
+  params.push_back(kappa0);
+  params.push_back(kappa1);
+  ts::Adam optimizer(params, options.learning_rate);
+
+  dgnn::TrainLog log;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    encoder->memory().Reset();
+    graph::ChronologicalBatcher batcher(&graph, options.batch_size);
+    graph::EventBatch batch;
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    while (batcher.Next(&batch)) {
+      encoder->BeginBatch();
+
+      std::vector<NodeId> anchors;
+      std::vector<double> anchor_times;
+      for (const graph::Event& e : batch.events) {
+        if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
+          break;
+        }
+        if (graph.NeighborsBefore(e.src, e.time).empty()) continue;
+        anchors.push_back(e.src);
+        anchor_times.push_back(e.time);
+      }
+
+      if (!anchors.empty()) {
+        int64_t n = static_cast<int64_t>(anchors.size());
+        ts::Tensor z = encoder->ComputeEmbeddings(anchors, anchor_times);
+        // Positive: the node's own (past) memory state; negative: a
+        // shifted anchor's state.
+        ts::Tensor own = encoder->ComputeUpdatedStates(anchors);
+        std::vector<int64_t> shifted(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) shifted[i] = (i + 1) % n;
+        ts::Tensor other = ts::Gather(own, shifted);
+
+        // Riemannian reweighting proxy: distances scaled by
+        // sigmoid(kappa(t)) with the batch's mean time.
+        double mean_t = 0.0;
+        for (double t : anchor_times) mean_t += t;
+        mean_t /= static_cast<double>(n);
+        ts::Tensor kappa = ts::Add(
+            kappa0, ts::MulScalar(kappa1, static_cast<float>(mean_t)));
+        ts::Tensor weight = ts::Sigmoid(kappa);  // [1,1]
+
+        ts::Tensor d_pos = ts::RowEuclideanDistance(z, own);
+        ts::Tensor d_neg = ts::RowEuclideanDistance(z, other);
+        ts::Tensor margin_term =
+            ts::Relu(ts::AddScalar(ts::Sub(d_pos, d_neg), 1.0f));
+        // Scale the per-row hinge by the curvature weight (broadcast via
+        // matmul with the [1,1] weight).
+        ts::Tensor loss = ts::Mean(ts::MatMul(margin_term, weight));
+
+        optimizer.ZeroGrad();
+        loss.Backward();
+        ts::ClipGradNorm(params, options.grad_clip);
+        optimizer.Step();
+        epoch_loss += loss.item();
+      } else {
+        std::vector<NodeId> touched;
+        for (const graph::Event& e : batch.events) {
+          touched.push_back(e.src);
+          touched.push_back(e.dst);
+        }
+        ts::Tensor unused = encoder->ComputeUpdatedStates(touched);
+        (void)unused;
+      }
+      encoder->CommitBatch(batch.events);
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= static_cast<double>(batches);
+    log.epoch_losses.push_back(epoch_loss);
+    CPDG_LOG(Debug) << "SelfRGNN epoch " << epoch << " loss=" << epoch_loss;
+  }
+  return log;
+}
+
+}  // namespace cpdg::ssl

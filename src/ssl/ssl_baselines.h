@@ -1,0 +1,53 @@
+#ifndef CPDG_SSL_SSL_BASELINES_H_
+#define CPDG_SSL_SSL_BASELINES_H_
+
+#include "dgnn/encoder.h"
+#include "dgnn/trainer.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace cpdg::ssl {
+
+/// \brief Options shared by the self-supervised dynamic baselines.
+struct SslTrainOptions {
+  int64_t epochs = 2;
+  int64_t batch_size = 200;
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+  /// Width of the temporal views (fractions of the unit time span) for
+  /// DDGCL's two nearby views.
+  double view_window = 0.05;
+  /// Anchors per batch for the contrastive terms.
+  int64_t max_anchors = 64;
+};
+
+/// \brief DDGCL (Tian et al., CIKM'21) pre-training: maximizes the
+/// time-dependent agreement between two nearby temporal views of the same
+/// node identity with a GAN-type (binary cross-entropy) contrastive loss.
+///
+/// View 1 pools the node's neighbors from [t-2w, t-w); view 2 pools
+/// [t-w, t). The critic is bilinear with a learned time-decay weight.
+/// There is no link-prediction pretext task: as the paper observes, purely
+/// self-supervised dynamic objectives underperform task-supervised
+/// pre-training.
+dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
+                             const graph::TemporalGraph& graph,
+                             const SslTrainOptions& options, Rng* rng);
+
+/// \brief SelfRGNN (Sun et al., CIKM'22), simplified: Riemannian
+/// reweighting self-contrast with a time-varying learnable curvature.
+///
+/// Substitution note (see DESIGN.md): the full method learns hyperbolic
+/// representations with per-snapshot curvature; we keep the self-contrast
+/// structure (a node's present embedding against its own past state vs
+/// other nodes' states) and the curvature-based reweighting as a learnable
+/// scalar factor on distances. The paper's own evaluation shows this
+/// family is weak/unstable for pre-training, which the simplification
+/// reproduces.
+dgnn::TrainLog PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
+                                const graph::TemporalGraph& graph,
+                                const SslTrainOptions& options, Rng* rng);
+
+}  // namespace cpdg::ssl
+
+#endif  // CPDG_SSL_SSL_BASELINES_H_

@@ -1,0 +1,338 @@
+#include "static_gnn/static_gnn.h"
+
+#include <algorithm>
+
+#include "tensor/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/check.h"
+
+namespace cpdg::static_gnn {
+
+namespace ts = cpdg::tensor;
+
+const char* StaticGnnTypeName(StaticGnnType type) {
+  switch (type) {
+    case StaticGnnType::kGraphSage:
+      return "GraphSAGE";
+    case StaticGnnType::kGat:
+      return "GAT";
+    case StaticGnnType::kGin:
+      return "GIN";
+  }
+  return "?";
+}
+
+StaticGnnEncoder::StaticGnnEncoder(const Config& config, Rng* rng)
+    : config_(config) {
+  CPDG_CHECK_GT(config.num_nodes, 0);
+  features_ = RegisterParameter(ts::Tensor::RandomNormal(
+      config.num_nodes, config.feature_dim, 0.1f, rng));
+
+  int64_t dims[3] = {config.feature_dim, config.hidden_dim, config.embed_dim};
+  for (int layer = 0; layer < 2; ++layer) {
+    int64_t in = dims[layer], out = dims[layer + 1];
+    switch (config_.type) {
+      case StaticGnnType::kGraphSage:
+        // W on [h_self || mean(h_nbr)].
+        sage_linears_.push_back(
+            std::make_unique<ts::Linear>(2 * in, out, rng));
+        RegisterModule(sage_linears_.back().get());
+        break;
+      case StaticGnnType::kGat:
+        gat_layers_.push_back(std::make_unique<ts::GroupedAttentionLayer>(
+            in, in, out, out, rng));
+        RegisterModule(gat_layers_.back().get());
+        break;
+      case StaticGnnType::kGin:
+        gin_mlps_.push_back(std::make_unique<ts::Mlp>(
+            std::vector<int64_t>{in, out, out}, rng));
+        RegisterModule(gin_mlps_.back().get());
+        break;
+    }
+  }
+}
+
+void StaticGnnEncoder::AttachSnapshot(const StaticSnapshot* snapshot) {
+  CPDG_CHECK(snapshot != nullptr);
+  CPDG_CHECK_LE(snapshot->num_nodes(), config_.num_nodes);
+  snapshot_ = snapshot;
+}
+
+tensor::Tensor StaticGnnEncoder::Features(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<int64_t> idx(nodes.begin(), nodes.end());
+  return ts::Gather(features_, idx);
+}
+
+tensor::Tensor StaticGnnEncoder::Aggregate(
+    int layer, const tensor::Tensor& self, const tensor::Tensor& neighbors,
+    const std::vector<uint8_t>& valid) const {
+  int64_t n = self.rows();
+  int64_t g = config_.num_neighbors;
+  CPDG_CHECK_EQ(neighbors.rows(), n * g);
+
+  switch (config_.type) {
+    case StaticGnnType::kGraphSage: {
+      ts::Tensor mean = ts::GroupedMean(neighbors, g, valid);  // [n, d]
+      ts::Tensor h = sage_linears_[static_cast<size_t>(layer)]->Forward(
+          ts::Concat(self, mean));
+      return ts::Relu(h);
+    }
+    case StaticGnnType::kGat: {
+      ts::Tensor att = gat_layers_[static_cast<size_t>(layer)]->Forward(
+          self, neighbors, g, valid);
+      return ts::Relu(att);
+    }
+    case StaticGnnType::kGin: {
+      // (1+eps) h_self + sum(h_nbr) with eps = 0, then MLP. The sum is
+      // the masked mean rescaled by the neighbor count (here all-or-none
+      // since sampling is with replacement).
+      ts::Tensor sum = ts::MulScalar(ts::GroupedMean(neighbors, g, valid),
+                                     static_cast<float>(g));
+      return gin_mlps_[static_cast<size_t>(layer)]->Forward(
+          ts::Add(self, sum));
+    }
+  }
+  (void)n;
+  CPDG_CHECK(false) << "unreachable";
+  return self;
+}
+
+tensor::Tensor StaticGnnEncoder::ComputeEmbeddings(
+    const std::vector<NodeId>& nodes, Rng* rng) const {
+  CPDG_CHECK(snapshot_ != nullptr) << "AttachSnapshot before embedding";
+  CPDG_CHECK(rng != nullptr);
+  CPDG_CHECK(!nodes.empty());
+  int64_t g = config_.num_neighbors;
+  int64_t n = static_cast<int64_t>(nodes.size());
+
+  // Sample the two-hop tree: hop1 neighbors of roots, hop2 neighbors of
+  // hop1 nodes. Padding slots reuse node 0 but are masked via `valid`.
+  auto sample_hop = [&](const std::vector<NodeId>& roots,
+                        std::vector<NodeId>* out,
+                        std::vector<uint8_t>* valid) {
+    out->assign(roots.size() * static_cast<size_t>(g), 0);
+    valid->assign(roots.size() * static_cast<size_t>(g), 0);
+    for (size_t i = 0; i < roots.size(); ++i) {
+      auto view = snapshot_->Neighbors(roots[i]);
+      if (view.empty()) continue;
+      for (int64_t j = 0; j < g; ++j) {
+        size_t slot = i * static_cast<size_t>(g) + static_cast<size_t>(j);
+        (*out)[slot] =
+            view[static_cast<int64_t>(rng->NextBounded(
+                static_cast<uint64_t>(view.count)))];
+        (*valid)[slot] = 1;
+      }
+    }
+  };
+
+  std::vector<NodeId> hop1, hop2;
+  std::vector<uint8_t> valid1, valid2;
+  sample_hop(nodes, &hop1, &valid1);
+  sample_hop(hop1, &hop2, &valid2);
+
+  // Layer 1: update hop1 features from hop2, and root features from raw
+  // hop1 features... following the standard two-layer scheme:
+  //   h1(hop1) = Agg1(x(hop1), x(hop2))
+  //   h2(root) = Agg2(Agg1(x(root), x(hop1)), h1(hop1))
+  ts::Tensor x_root = Features(nodes);
+  ts::Tensor x_hop1 = Features(hop1);
+  ts::Tensor x_hop2 = Features(hop2);
+
+  ts::Tensor h_root_l1 = Aggregate(0, x_root, x_hop1, valid1);
+  ts::Tensor h_hop1_l1 = Aggregate(0, x_hop1, x_hop2, valid2);
+  ts::Tensor z = Aggregate(1, h_root_l1, h_hop1_l1, valid1);
+  CPDG_CHECK_EQ(z.rows(), n);
+  return z;
+}
+
+tensor::Tensor StaticEdgeLogits(const tensor::Mlp& decoder,
+                                const tensor::Tensor& z_src,
+                                const tensor::Tensor& z_dst) {
+  return decoder.Forward(ts::Concat(z_src, z_dst));
+}
+
+namespace {
+
+/// Draws a batch of positive events and matched negatives.
+void SampleEdgeBatch(const std::vector<graph::Event>& events,
+                     const StaticTrainOptions& options, int64_t num_nodes,
+                     Rng* rng, std::vector<NodeId>* srcs,
+                     std::vector<NodeId>* dsts, std::vector<NodeId>* negs) {
+  int64_t b = std::min<int64_t>(options.batch_size,
+                                static_cast<int64_t>(events.size()));
+  for (int64_t i = 0; i < b; ++i) {
+    const graph::Event& e = events[rng->NextBounded(events.size())];
+    srcs->push_back(e.src);
+    dsts->push_back(e.dst);
+    NodeId neg;
+    if (options.negative_pool.empty()) {
+      neg = static_cast<NodeId>(
+          rng->NextBounded(static_cast<uint64_t>(num_nodes)));
+    } else {
+      neg = options.negative_pool[rng->NextBounded(
+          options.negative_pool.size())];
+    }
+    negs->push_back(neg);
+  }
+}
+
+}  // namespace
+
+double TrainLinkPredictionStatic(StaticGnnEncoder* encoder,
+                                 tensor::Mlp* decoder,
+                                 const std::vector<graph::Event>&
+                                     positive_events,
+                                 const StaticTrainOptions& options,
+                                 Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(decoder != nullptr);
+  CPDG_CHECK(!positive_events.empty());
+
+  std::vector<ts::Tensor> params = encoder->Parameters();
+  std::vector<ts::Tensor> dec = decoder->Parameters();
+  params.insert(params.end(), dec.begin(), dec.end());
+  ts::Adam optimizer(params, options.learning_rate);
+
+  double recent = 0.0;
+  int64_t recent_count = 0;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    std::vector<NodeId> srcs, dsts, negs;
+    SampleEdgeBatch(positive_events, options,
+                    encoder->config().num_nodes, rng, &srcs, &dsts, &negs);
+    ts::Tensor z_src = encoder->ComputeEmbeddings(srcs, rng);
+    ts::Tensor z_dst = encoder->ComputeEmbeddings(dsts, rng);
+    ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, rng);
+    ts::Tensor logits = ts::ConcatRows(
+        {StaticEdgeLogits(*decoder, z_src, z_dst),
+         StaticEdgeLogits(*decoder, z_src, z_neg)});
+    int64_t n = logits.rows() / 2;
+    std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
+    std::fill(targets.begin(), targets.begin() + n, 1.0f);
+    ts::Tensor loss = ts::BceWithLogitsLoss(
+        logits, ts::Tensor::FromVector(2 * n, 1, std::move(targets)));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    ts::ClipGradNorm(params, options.grad_clip);
+    optimizer.Step();
+    if (step >= options.steps - 10) {
+      recent += loss.item();
+      ++recent_count;
+    }
+  }
+  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+}
+
+double TrainDgi(StaticGnnEncoder* encoder,
+                const std::vector<NodeId>& train_nodes,
+                const StaticTrainOptions& options, Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(!train_nodes.empty());
+
+  // Bilinear discriminator D(h, s) = h W s^T.
+  Rng init_rng = rng->Split();
+  ts::Tensor w = ts::Tensor::XavierUniform(encoder->config().embed_dim,
+                                           encoder->config().embed_dim,
+                                           &init_rng, true);
+  std::vector<ts::Tensor> params = encoder->Parameters();
+  params.push_back(w);
+  ts::Adam optimizer(params, options.learning_rate);
+
+  double recent = 0.0;
+  int64_t recent_count = 0;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    int64_t b = std::min<int64_t>(options.batch_size,
+                                  static_cast<int64_t>(train_nodes.size()));
+    std::vector<NodeId> nodes;
+    // Corrupted view: embeddings of a *shuffled* node set play the role of
+    // DGI's feature-shuffled graph.
+    std::vector<NodeId> corrupt;
+    for (int64_t i = 0; i < b; ++i) {
+      nodes.push_back(train_nodes[rng->NextBounded(train_nodes.size())]);
+      corrupt.push_back(train_nodes[rng->NextBounded(train_nodes.size())]);
+    }
+    ts::Tensor h = encoder->ComputeEmbeddings(nodes, rng);
+    ts::Tensor h_corrupt = encoder->ComputeEmbeddings(corrupt, rng);
+    ts::Tensor summary = ts::Sigmoid(ts::ColMean(h));  // [1, d]
+    ts::Tensor ws = ts::MatMul(w, ts::Transpose(summary));  // [d, 1]
+    ts::Tensor pos_logits = ts::MatMul(h, ws);               // [b, 1]
+    ts::Tensor neg_logits = ts::MatMul(h_corrupt, ws);
+    ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
+    std::vector<float> targets(static_cast<size_t>(2 * b), 0.0f);
+    std::fill(targets.begin(), targets.begin() + b, 1.0f);
+    ts::Tensor loss = ts::BceWithLogitsLoss(
+        logits, ts::Tensor::FromVector(2 * b, 1, std::move(targets)));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    ts::ClipGradNorm(params, options.grad_clip);
+    optimizer.Step();
+    if (step >= options.steps - 10) {
+      recent += loss.item();
+      ++recent_count;
+    }
+  }
+  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+}
+
+double TrainGptGnn(StaticGnnEncoder* encoder,
+                   const std::vector<graph::Event>& events,
+                   const StaticTrainOptions& options, Rng* rng) {
+  CPDG_CHECK(encoder != nullptr);
+  CPDG_CHECK(!events.empty());
+
+  // Edge-generation head + attribute-generation head.
+  Rng init_rng = rng->Split();
+  ts::Mlp edge_head({2 * encoder->config().embed_dim,
+                     encoder->config().embed_dim, 1},
+                    &init_rng);
+  ts::Mlp attr_head({encoder->config().embed_dim,
+                     encoder->config().feature_dim},
+                    &init_rng);
+  std::vector<ts::Tensor> params = encoder->Parameters();
+  for (ts::Mlp* head : {&edge_head, &attr_head}) {
+    std::vector<ts::Tensor> p = head->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  ts::Adam optimizer(params, options.learning_rate);
+
+  double recent = 0.0;
+  int64_t recent_count = 0;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    std::vector<NodeId> srcs, dsts, negs;
+    SampleEdgeBatch(events, options, encoder->config().num_nodes, rng, &srcs,
+                    &dsts, &negs);
+    ts::Tensor z_src = encoder->ComputeEmbeddings(srcs, rng);
+    ts::Tensor z_dst = encoder->ComputeEmbeddings(dsts, rng);
+    ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, rng);
+
+    // Edge generation: discriminate held-out edges from negatives.
+    ts::Tensor logits =
+        ts::ConcatRows({StaticEdgeLogits(edge_head, z_src, z_dst),
+                        StaticEdgeLogits(edge_head, z_src, z_neg)});
+    int64_t n = logits.rows() / 2;
+    std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
+    std::fill(targets.begin(), targets.begin() + n, 1.0f);
+    ts::Tensor edge_loss = ts::BceWithLogitsLoss(
+        logits, ts::Tensor::FromVector(2 * n, 1, std::move(targets)));
+
+    // Attribute generation: reconstruct the (detached) input features of
+    // the source nodes from their embeddings.
+    ts::Tensor target_attr = encoder->Features(srcs).Detach();
+    ts::Tensor attr_loss =
+        ts::MseLoss(attr_head.Forward(z_src), target_attr);
+
+    ts::Tensor loss = ts::Add(edge_loss, attr_loss);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    ts::ClipGradNorm(params, options.grad_clip);
+    optimizer.Step();
+    if (step >= options.steps - 10) {
+      recent += loss.item();
+      ++recent_count;
+    }
+  }
+  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+}
+
+}  // namespace cpdg::static_gnn

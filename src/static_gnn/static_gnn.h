@@ -1,0 +1,119 @@
+#ifndef CPDG_STATIC_GNN_STATIC_GNN_H_
+#define CPDG_STATIC_GNN_STATIC_GNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace cpdg::static_gnn {
+
+using graph::NodeId;
+using graph::StaticSnapshot;
+
+/// \brief The three task-supervised static GNN baselines of Sec. V-B.
+enum class StaticGnnType { kGraphSage, kGat, kGin };
+
+const char* StaticGnnTypeName(StaticGnnType type);
+
+/// \brief Two-layer static GNN over a graph snapshot with neighbor
+/// sampling.
+///
+/// The paper's datasets carry no input node features, so the encoder owns
+/// a trainable per-node embedding table used as layer-0 features (the
+/// standard featureless-graph setup). Aggregation follows the baseline
+/// family: mean-concat (GraphSAGE), attention (GAT), or sum-MLP (GIN).
+class StaticGnnEncoder : public tensor::Module {
+ public:
+  struct Config {
+    StaticGnnType type = StaticGnnType::kGraphSage;
+    int64_t num_nodes = 0;
+    int64_t feature_dim = 32;
+    int64_t hidden_dim = 32;
+    int64_t embed_dim = 32;
+    int64_t num_neighbors = 5;
+  };
+
+  StaticGnnEncoder(const Config& config, Rng* rng);
+
+  const Config& config() const { return config_; }
+
+  /// Points the encoder at the snapshot it should aggregate over.
+  void AttachSnapshot(const StaticSnapshot* snapshot);
+
+  /// \brief Two-hop sampled-aggregation embeddings, [n, embed_dim].
+  /// Neighbor sampling uses `rng` (uniform over snapshot neighbors).
+  tensor::Tensor ComputeEmbeddings(const std::vector<NodeId>& nodes,
+                                   Rng* rng) const;
+
+  /// Raw layer-0 feature rows for `nodes` (trainable table lookups).
+  tensor::Tensor Features(const std::vector<NodeId>& nodes) const;
+
+  /// The trainable feature table, exposed for DGI-style corruption.
+  const tensor::Tensor& feature_table() const { return features_; }
+
+ private:
+  /// One aggregation layer: inputs [n, in] for roots and [n*g, in] for
+  /// sampled neighbor features (valid mask for padding).
+  tensor::Tensor Aggregate(int layer, const tensor::Tensor& self,
+                           const tensor::Tensor& neighbors,
+                           const std::vector<uint8_t>& valid) const;
+
+  Config config_;
+  const StaticSnapshot* snapshot_ = nullptr;
+  tensor::Tensor features_;  // [num_nodes, feature_dim]
+  // Per-layer parameters (layer 0: feature_dim -> hidden, 1: -> embed).
+  std::vector<std::unique_ptr<tensor::Linear>> sage_linears_;
+  std::vector<std::unique_ptr<tensor::GroupedAttentionLayer>> gat_layers_;
+  std::vector<std::unique_ptr<tensor::Mlp>> gin_mlps_;
+};
+
+/// \brief Self-supervised / pre-training strategies for static GNNs.
+///
+/// Together with plain link-prediction pre-training these cover the static
+/// baselines of Sec. V-B:
+///  - TrainLinkPredictionStatic: GraphSAGE / GAT / GIN pre-training task;
+///  - TrainDgi: Deep Graph Infomax (local-global mutual information);
+///  - TrainGptGnn: generative pre-training (edge + attribute generation).
+struct StaticTrainOptions {
+  int64_t steps = 300;
+  int64_t batch_size = 128;
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+  std::vector<NodeId> negative_pool;
+};
+
+/// \brief Link-prediction training on a snapshot: positive pairs are drawn
+/// from `positive_events`, negatives uniformly from the pool. Trains
+/// encoder + decoder in place; returns the mean loss of the last 10 steps.
+double TrainLinkPredictionStatic(StaticGnnEncoder* encoder,
+                                 tensor::Mlp* decoder,
+                                 const std::vector<graph::Event>&
+                                     positive_events,
+                                 const StaticTrainOptions& options, Rng* rng);
+
+/// \brief DGI pre-training: maximizes agreement between node embeddings
+/// and the graph summary while discriminating against embeddings computed
+/// from row-shuffled (corrupted) features.
+double TrainDgi(StaticGnnEncoder* encoder, const std::vector<NodeId>&
+                    train_nodes,
+                const StaticTrainOptions& options, Rng* rng);
+
+/// \brief GPT-GNN-style generative pre-training: masked edge generation
+/// (score held-out neighbors against negatives) plus attribute generation
+/// (reconstruct the node's own input features from its embedding).
+double TrainGptGnn(StaticGnnEncoder* encoder,
+                   const std::vector<graph::Event>& events,
+                   const StaticTrainOptions& options, Rng* rng);
+
+/// \brief Edge scorer head shared by the static pipelines:
+/// logits = MLP([z_u || z_v]).
+tensor::Tensor StaticEdgeLogits(const tensor::Mlp& decoder,
+                                const tensor::Tensor& z_src,
+                                const tensor::Tensor& z_dst);
+
+}  // namespace cpdg::static_gnn
+
+#endif  // CPDG_STATIC_GNN_STATIC_GNN_H_

@@ -1,0 +1,34 @@
+#include "tensor/losses.h"
+
+namespace cpdg::tensor {
+
+Tensor BceWithLogitsLoss(const Tensor& logits, const Tensor& targets) {
+  CPDG_CHECK_EQ(logits.rows(), targets.rows());
+  CPDG_CHECK_EQ(logits.cols(), targets.cols());
+  // -(y*log(p) + (1-y)*log(1-p)) with clamped logs for stability.
+  Tensor p = Sigmoid(logits);
+  Tensor log_p = Log(p, 1e-7f);
+  Tensor log_1mp = Log(Sub(Tensor::Ones(p.rows(), p.cols()), p), 1e-7f);
+  Tensor ones = Tensor::Ones(targets.rows(), targets.cols());
+  Tensor term = Add(Mul(targets, log_p), Mul(Sub(ones, targets), log_1mp));
+  return Neg(Mean(term));
+}
+
+Tensor RowEuclideanDistance(const Tensor& a, const Tensor& b) {
+  Tensor diff = Sub(a, b);
+  return Sqrt(RowSum(Square(diff)), 1e-12f);
+}
+
+Tensor TripletMarginLoss(const Tensor& anchor, const Tensor& positive,
+                         const Tensor& negative, float margin) {
+  Tensor d_pos = RowEuclideanDistance(anchor, positive);
+  Tensor d_neg = RowEuclideanDistance(anchor, negative);
+  Tensor hinge = Relu(AddScalar(Sub(d_pos, d_neg), margin));
+  return Mean(hinge);
+}
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  return Mean(Square(Sub(prediction, target)));
+}
+
+}  // namespace cpdg::tensor

@@ -1,0 +1,31 @@
+#ifndef CPDG_TENSOR_LOSSES_H_
+#define CPDG_TENSOR_LOSSES_H_
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace cpdg::tensor {
+
+/// \file Loss functions used by the pre-training objectives.
+///
+/// All losses are compositions of the differentiable primitives in ops.h,
+/// so their backward passes are derived automatically.
+
+/// \brief Mean binary cross-entropy on logits; `targets` holds 0/1 values
+/// and must match the logits shape. Implements Eq. (16)'s per-pair terms.
+Tensor BceWithLogitsLoss(const Tensor& logits, const Tensor& targets);
+
+/// \brief Triplet margin loss with Euclidean distance (Eq. 11 / Eq. 14):
+/// mean(max(d(anchor, positive) - d(anchor, negative) + margin, 0)).
+Tensor TripletMarginLoss(const Tensor& anchor, const Tensor& positive,
+                         const Tensor& negative, float margin);
+
+/// \brief Mean squared error.
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+
+/// \brief Per-row Euclidean distance ||a_i - b_i||_2 -> [n,1].
+Tensor RowEuclideanDistance(const Tensor& a, const Tensor& b);
+
+}  // namespace cpdg::tensor
+
+#endif  // CPDG_TENSOR_LOSSES_H_

@@ -1,0 +1,180 @@
+#include "tensor/nn.h"
+
+#include <cmath>
+
+namespace cpdg::tensor {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* m : submodules_) {
+    std::vector<Tensor> sub = m->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  std::vector<Tensor> mine = Parameters();
+  std::vector<Tensor> theirs = other.Parameters();
+  CPDG_CHECK_EQ(mine.size(), theirs.size())
+      << "CopyParametersFrom requires identical architectures";
+  for (size_t i = 0; i < mine.size(); ++i) {
+    mine[i].CopyDataFrom(theirs[i]);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const Tensor& t : Parameters()) total += t.size();
+  return total;
+}
+
+Tensor Module::RegisterParameter(Tensor t) {
+  CPDG_CHECK(t.defined());
+  t.set_requires_grad(true);
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterModule(Module* m) {
+  CPDG_CHECK(m != nullptr);
+  submodules_.push_back(m);
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      Tensor::XavierUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(Tensor::Zeros(1, out_features));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  CPDG_CHECK_EQ(x.cols(), in_features_);
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Tensor ApplyActivation(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kIdentity:
+      return x;
+  }
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, Activation activation)
+    : activation_(activation) {
+  CPDG_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+  }
+  return h;
+}
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  int64_t joint = input_size + hidden_size;
+  update_gate_ = std::make_unique<Linear>(joint, hidden_size, rng);
+  reset_gate_ = std::make_unique<Linear>(joint, hidden_size, rng);
+  candidate_gate_ = std::make_unique<Linear>(joint, hidden_size, rng);
+  RegisterModule(update_gate_.get());
+  RegisterModule(reset_gate_.get());
+  RegisterModule(candidate_gate_.get());
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  CPDG_CHECK_EQ(x.cols(), input_size_);
+  CPDG_CHECK_EQ(h.cols(), hidden_size_);
+  CPDG_CHECK_EQ(x.rows(), h.rows());
+  Tensor xh = Concat(x, h);
+  Tensor z = Sigmoid(update_gate_->Forward(xh));
+  Tensor r = Sigmoid(reset_gate_->Forward(xh));
+  Tensor x_rh = Concat(x, Mul(r, h));
+  Tensor h_tilde = Tanh(candidate_gate_->Forward(x_rh));
+  // h' = (1 - z) * h + z * h~
+  Tensor ones = Tensor::Ones(z.rows(), z.cols());
+  return Add(Mul(Sub(ones, z), h), Mul(z, h_tilde));
+}
+
+RnnCell::RnnCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  cell_ = std::make_unique<Linear>(input_size + hidden_size, hidden_size, rng);
+  RegisterModule(cell_.get());
+}
+
+Tensor RnnCell::Forward(const Tensor& x, const Tensor& h) const {
+  CPDG_CHECK_EQ(x.cols(), input_size_);
+  CPDG_CHECK_EQ(h.cols(), hidden_size_);
+  CPDG_CHECK_EQ(x.rows(), h.rows());
+  return Tanh(cell_->Forward(Concat(x, h)));
+}
+
+TimeEncoder::TimeEncoder(int64_t dim, Rng* rng) : dim_(dim) {
+  (void)rng;
+  // Log-spaced frequency grid 1/10^(k*4/d), as in TGAT's initialization;
+  // phases start at zero. Both remain trainable parameters.
+  std::vector<float> freq(static_cast<size_t>(dim));
+  for (int64_t k = 0; k < dim; ++k) {
+    freq[static_cast<size_t>(k)] = std::pow(
+        10.0f, -static_cast<float>(k) * 4.0f / static_cast<float>(dim));
+  }
+  frequencies_ = RegisterParameter(Tensor::FromVector(1, dim, std::move(freq)));
+  phases_ = RegisterParameter(Tensor::Zeros(1, dim));
+}
+
+Tensor TimeEncoder::Forward(const std::vector<double>& deltas) const {
+  CPDG_CHECK(!deltas.empty());
+  int64_t n = static_cast<int64_t>(deltas.size());
+  std::vector<float> dt(deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    dt[i] = static_cast<float>(deltas[i]);
+  }
+  Tensor dt_col = Tensor::FromVector(n, 1, std::move(dt));
+  Tensor scaled = MatMul(dt_col, frequencies_);  // [n, dim]
+  return Cos(Add(scaled, phases_));
+}
+
+GroupedAttentionLayer::GroupedAttentionLayer(int64_t query_dim,
+                                             int64_t key_dim,
+                                             int64_t attn_dim, int64_t out_dim,
+                                             Rng* rng) {
+  query_proj_ = std::make_unique<Linear>(query_dim, attn_dim, rng);
+  key_proj_ = std::make_unique<Linear>(key_dim, attn_dim, rng);
+  value_proj_ = std::make_unique<Linear>(key_dim, out_dim, rng);
+  RegisterModule(query_proj_.get());
+  RegisterModule(key_proj_.get());
+  RegisterModule(value_proj_.get());
+}
+
+Tensor GroupedAttentionLayer::Forward(const Tensor& queries,
+                                      const Tensor& candidates, int64_t group,
+                                      const std::vector<uint8_t>& valid) const {
+  Tensor q = query_proj_->Forward(queries);
+  Tensor k = key_proj_->Forward(candidates);
+  Tensor v = value_proj_->Forward(candidates);
+  return GroupedAttention(q, k, v, group, valid);
+}
+
+}  // namespace cpdg::tensor

@@ -1,0 +1,175 @@
+#ifndef CPDG_TENSOR_NN_H_
+#define CPDG_TENSOR_NN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cpdg::tensor {
+
+/// \brief Base class for parameterized layers.
+///
+/// A module owns its parameter tensors (leaves with requires_grad) and can
+/// enumerate them for optimizers and for parameter transfer between a
+/// pre-trained and a fine-tuned model.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module (including submodules).
+  std::vector<Tensor> Parameters() const;
+
+  /// \brief Copies parameter data from another module with an identical
+  /// architecture. This is the "use pre-trained weights for initialization"
+  /// step of the pre-train / fine-tune workflow.
+  void CopyParametersFrom(const Module& other);
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+ protected:
+  /// Registers a leaf parameter tensor; returns it for convenience.
+  Tensor RegisterParameter(Tensor t);
+  /// Registers a submodule whose parameters are exposed through this one.
+  void RegisterModule(Module* m);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> submodules_;
+};
+
+/// \brief Affine layer y = x W + b with Xavier-initialized W.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  /// x: [n, in] -> [n, out].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [1, out] or undefined
+};
+
+/// \brief Activation selector for MLP hidden layers.
+enum class Activation { kRelu, kTanh, kSigmoid, kIdentity };
+
+Tensor ApplyActivation(const Tensor& x, Activation act);
+
+/// \brief Multi-layer perceptron; `dims` includes input and output sizes
+/// (e.g. {64, 32, 1} is a 2-layer MLP). The activation is applied between
+/// layers, not after the last one.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& dims, Rng* rng,
+      Activation activation = Activation::kRelu);
+
+  Tensor Forward(const Tensor& x) const;
+
+  const std::vector<std::unique_ptr<Linear>>& layers() const {
+    return layers_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+/// \brief GRU cell: standard gated recurrent unit used as a memory updater
+/// (Mem(.) of Eq. 4 for TGN) and for EIE-GRU fusion (Eq. 18).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  /// x: [n, input], h: [n, hidden] -> new hidden [n, hidden].
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> update_gate_;     // on [x ‖ h]
+  std::unique_ptr<Linear> reset_gate_;      // on [x ‖ h]
+  std::unique_ptr<Linear> candidate_gate_;  // on [x ‖ r*h]
+};
+
+/// \brief Vanilla RNN cell h' = tanh([x ‖ h] W + b); the memory updater
+/// used by JODIE and DyRep in Table III.
+class RnnCell : public Module {
+ public:
+  RnnCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  std::unique_ptr<Linear> cell_;
+};
+
+/// \brief Generic time encoding phi(dt) = cos(dt * w + b) (TGAT-style
+/// Fourier features), the phi(.) of Eq. 2.
+///
+/// Frequencies are initialized on a log-spaced grid (1/10^(k*4/d)) so that
+/// both small and large time intervals produce informative features, and
+/// remain trainable.
+class TimeEncoder : public Module {
+ public:
+  TimeEncoder(int64_t dim, Rng* rng);
+
+  /// Encodes a batch of time deltas -> [n, dim].
+  Tensor Forward(const std::vector<double>& deltas) const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t dim_;
+  Tensor frequencies_;  // [1, dim]
+  Tensor phases_;       // [1, dim]
+};
+
+/// \brief Single-head scaled-dot-product attention over per-query candidate
+/// groups with learned projections; wraps the fused GroupedAttention
+/// kernel. Used by the TGN embedding module and by DyRep's attention
+/// message function.
+class GroupedAttentionLayer : public Module {
+ public:
+  /// query_dim/key_dim are input widths; attn_dim is the projected width;
+  /// out_dim is the width of the value projection output.
+  GroupedAttentionLayer(int64_t query_dim, int64_t key_dim, int64_t attn_dim,
+                        int64_t out_dim, Rng* rng);
+
+  /// queries: [n, query_dim]; keys/values source: [n*group, key_dim];
+  /// valid marks real (non-padding) candidates.
+  Tensor Forward(const Tensor& queries, const Tensor& candidates,
+                 int64_t group, const std::vector<uint8_t>& valid) const;
+
+ private:
+  std::unique_ptr<Linear> query_proj_;
+  std::unique_ptr<Linear> key_proj_;
+  std::unique_ptr<Linear> value_proj_;
+};
+
+}  // namespace cpdg::tensor
+
+#endif  // CPDG_TENSOR_NN_H_

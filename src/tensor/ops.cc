@@ -1,0 +1,834 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpdg::tensor {
+namespace {
+
+// Shapes are equal, or b is a [1, cols] row broadcast over a's rows.
+enum class BroadcastKind { kSame, kRow };
+
+BroadcastKind CheckBinaryShapes(const Tensor& a, const Tensor& b) {
+  CPDG_CHECK_EQ(a.cols(), b.cols());
+  if (a.rows() == b.rows()) return BroadcastKind::kSame;
+  CPDG_CHECK_EQ(b.rows(), 1)
+      << "binary op requires equal shapes or a [1,cols] second operand";
+  return BroadcastKind::kRow;
+}
+
+// Accumulates dout (shape [n,d]) into b.grad where b may be [1,d]
+// row-broadcast.
+void AccumulateBroadcast(const Tensor& b, const float* dout, int64_t n,
+                         int64_t d, BroadcastKind kind) {
+  float* gb = b.grad();
+  if (kind == BroadcastKind::kSame) {
+    for (int64_t i = 0; i < n * d; ++i) gb[i] += dout[i];
+  } else {
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < d; ++c) gb[c] += dout[r * d + c];
+    }
+  }
+}
+
+// Generic elementwise unary op: forward computes f(x), backward multiplies
+// the upstream grad with dfdx evaluated from (x, y).
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd, const char* name) {
+  Tensor out = Tensor::MakeOpResult(
+      a.rows(), a.cols(), {a},
+      [a, bwd](Tensor& self) mutable {
+        const float* dout = self.grad();
+        const float* x = a.data();
+        const float* y = self.data();
+        float* gx = a.grad();
+        int64_t n = a.size();
+        for (int64_t i = 0; i < n; ++i) gx[i] += dout[i] * bwd(x[i], y[i]);
+      },
+      name);
+  const float* x = a.data();
+  float* y = out.data();
+  int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) y[i] = fwd(x[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBinaryShapes(a, b);
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, d, {a, b},
+      [a, b, n, d, kind](Tensor& self) mutable {
+        const float* dout = self.grad();
+        if (a.requires_grad()) {
+          float* ga = a.grad();
+          for (int64_t i = 0; i < n * d; ++i) ga[i] += dout[i];
+        }
+        if (b.requires_grad()) AccumulateBroadcast(b, dout, n, d, kind);
+      },
+      "add");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (kind == BroadcastKind::kSame) {
+    for (int64_t i = 0; i < n * d; ++i) po[i] = pa[i] + pb[i];
+  } else {
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < d; ++c) po[r * d + c] = pa[r * d + c] + pb[c];
+    }
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBinaryShapes(a, b);
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, d, {a, b},
+      [a, b, n, d, kind](Tensor& self) mutable {
+        const float* dout = self.grad();
+        if (a.requires_grad()) {
+          float* ga = a.grad();
+          for (int64_t i = 0; i < n * d; ++i) ga[i] += dout[i];
+        }
+        if (b.requires_grad()) {
+          // Negated upstream gradient for the subtrahend.
+          std::vector<float> neg(static_cast<size_t>(n * d));
+          for (int64_t i = 0; i < n * d; ++i) neg[i] = -dout[i];
+          AccumulateBroadcast(b, neg.data(), n, d, kind);
+        }
+      },
+      "sub");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (kind == BroadcastKind::kSame) {
+    for (int64_t i = 0; i < n * d; ++i) po[i] = pa[i] - pb[i];
+  } else {
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < d; ++c) po[r * d + c] = pa[r * d + c] - pb[c];
+    }
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  BroadcastKind kind = CheckBinaryShapes(a, b);
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, d, {a, b},
+      [a, b, n, d, kind](Tensor& self) mutable {
+        const float* dout = self.grad();
+        const float* pa = a.data();
+        const float* pb = b.data();
+        if (a.requires_grad()) {
+          float* ga = a.grad();
+          if (kind == BroadcastKind::kSame) {
+            for (int64_t i = 0; i < n * d; ++i) ga[i] += dout[i] * pb[i];
+          } else {
+            for (int64_t r = 0; r < n; ++r) {
+              for (int64_t c = 0; c < d; ++c) {
+                ga[r * d + c] += dout[r * d + c] * pb[c];
+              }
+            }
+          }
+        }
+        if (b.requires_grad()) {
+          std::vector<float> scaled(static_cast<size_t>(n * d));
+          for (int64_t i = 0; i < n * d; ++i) scaled[i] = dout[i];
+          // d(a*b)/db = a, so scale by a before (possibly) reducing rows.
+          for (int64_t i = 0; i < n * d; ++i) scaled[i] *= pa[i];
+          AccumulateBroadcast(b, scaled.data(), n, d, kind);
+        }
+      },
+      "mul");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (kind == BroadcastKind::kSame) {
+    for (int64_t i = 0; i < n * d; ++i) po[i] = pa[i] * pb[i];
+  } else {
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < d; ++c) po[r * d + c] = pa[r * d + c] * pb[c];
+    }
+  }
+  return out;
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CPDG_CHECK_EQ(a.rows(), b.rows());
+  CPDG_CHECK_EQ(a.cols(), b.cols());
+  int64_t n = a.size();
+  Tensor out = Tensor::MakeOpResult(
+      a.rows(), a.cols(), {a, b},
+      [a, b, n](Tensor& self) mutable {
+        const float* dout = self.grad();
+        const float* pa = a.data();
+        const float* pb = b.data();
+        if (a.requires_grad()) {
+          float* ga = a.grad();
+          for (int64_t i = 0; i < n; ++i) ga[i] += dout[i] / pb[i];
+        }
+        if (b.requires_grad()) {
+          float* gb = b.grad();
+          for (int64_t i = 0; i < n; ++i) {
+            gb[i] += -dout[i] * pa[i] / (pb[i] * pb[i]);
+          }
+        }
+      },
+      "div");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] / pb[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; },
+      "add_scalar");
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; },
+      "mul_scalar");
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CPDG_CHECK_EQ(a.cols(), b.rows());
+  int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::MakeOpResult(
+      m, n, {a, b},
+      [a, b, m, k, n](Tensor& self) mutable {
+        const float* dout = self.grad();
+        const float* pa = a.data();
+        const float* pb = b.data();
+        if (a.requires_grad()) {
+          // dA = dOut * B^T
+          float* ga = a.grad();
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float g = dout[i * n + j];
+              if (g == 0.0f) continue;
+              const float* brow = pb + j;  // column j of B, strided
+              for (int64_t p = 0; p < k; ++p) {
+                ga[i * k + p] += g * brow[p * n];
+              }
+            }
+          }
+        }
+        if (b.requires_grad()) {
+          // dB = A^T * dOut
+          float* gb = b.grad();
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+              float av = pa[i * k + p];
+              if (av == 0.0f) continue;
+              for (int64_t j = 0; j < n; ++j) {
+                gb[p * n + j] += av * dout[i * n + j];
+              }
+            }
+          }
+        }
+      },
+      "matmul");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order for cache-friendly access to B and Out.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  int64_t m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, m, {a},
+      [a, m, n](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) ga[i * n + j] += dout[j * m + i];
+        }
+      },
+      "transpose");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Numerically stable logistic.
+        if (x >= 0.0f) {
+          float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); }, "sigmoid");
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; }, "tanh");
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "relu");
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; }, "exp");
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); }, "log");
+}
+
+Tensor Sqrt(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [eps](float x, float y) {
+        (void)x;
+        return 0.5f / std::max(y, eps);
+      },
+      "sqrt");
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; }, "square");
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::cos(x); },
+      [](float x, float) { return -std::sin(x); }, "cos");
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sin(x); },
+      [](float x, float) { return std::cos(x); }, "sin");
+}
+
+Tensor Sum(const Tensor& a) {
+  int64_t n = a.size();
+  Tensor out = Tensor::MakeOpResult(
+      1, 1, {a},
+      [a, n](Tensor& self) mutable {
+        float g = self.grad()[0];
+        float* ga = a.grad();
+        for (int64_t i = 0; i < n; ++i) ga[i] += g;
+      },
+      "sum");
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  int64_t n = a.size();
+  Tensor out = Tensor::MakeOpResult(
+      1, 1, {a},
+      [a, n](Tensor& self) mutable {
+        float g = self.grad()[0] / static_cast<float>(n);
+        float* ga = a.grad();
+        for (int64_t i = 0; i < n; ++i) ga[i] += g;
+      },
+      "mean");
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  return out;
+}
+
+Tensor RowSum(const Tensor& a) {
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, 1, {a},
+      [a, n, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        for (int64_t r = 0; r < n; ++r) {
+          for (int64_t c = 0; c < d; ++c) ga[r * d + c] += dout[r];
+        }
+      },
+      "row_sum");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < d; ++c) acc += pa[r * d + c];
+    po[r] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor ColMean(const Tensor& a) {
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      1, d, {a},
+      [a, n, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        float inv = 1.0f / static_cast<float>(n);
+        for (int64_t r = 0; r < n; ++r) {
+          for (int64_t c = 0; c < d; ++c) ga[r * d + c] += dout[c] * inv;
+        }
+      },
+      "col_mean");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t c = 0; c < d; ++c) {
+    double acc = 0.0;
+    for (int64_t r = 0; r < n; ++r) acc += pa[r * d + c];
+    po[c] = static_cast<float>(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+Tensor Concat(const Tensor& a, const Tensor& b) {
+  CPDG_CHECK_EQ(a.rows(), b.rows());
+  int64_t n = a.rows(), da = a.cols(), db = b.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, da + db, {a, b},
+      [a, b, n, da, db](Tensor& self) mutable {
+        const float* dout = self.grad();
+        int64_t d = da + db;
+        if (a.requires_grad()) {
+          float* ga = a.grad();
+          for (int64_t r = 0; r < n; ++r) {
+            for (int64_t c = 0; c < da; ++c) ga[r * da + c] += dout[r * d + c];
+          }
+        }
+        if (b.requires_grad()) {
+          float* gb = b.grad();
+          for (int64_t r = 0; r < n; ++r) {
+            for (int64_t c = 0; c < db; ++c) {
+              gb[r * db + c] += dout[r * d + da + c];
+            }
+          }
+        }
+      },
+      "concat");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t d = da + db;
+  for (int64_t r = 0; r < n; ++r) {
+    std::copy(pa + r * da, pa + (r + 1) * da, po + r * d);
+    std::copy(pb + r * db, pb + (r + 1) * db, po + r * d + da);
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  CPDG_CHECK(!parts.empty());
+  int64_t d = parts[0].cols();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    CPDG_CHECK_EQ(p.cols(), d);
+    total += p.rows();
+  }
+  std::vector<Tensor> parents = parts;
+  Tensor out = Tensor::MakeOpResult(
+      total, d, parents,
+      [parts, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        int64_t offset = 0;
+        for (Tensor& p : const_cast<std::vector<Tensor>&>(parts)) {
+          int64_t rows = p.rows();
+          if (p.requires_grad()) {
+            float* gp = p.grad();
+            for (int64_t i = 0; i < rows * d; ++i) {
+              gp[i] += dout[offset * d + i];
+            }
+          }
+          offset += rows;
+        }
+      },
+      "concat_rows");
+  float* po = out.data();
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), po + offset);
+    offset += p.size();
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
+  CPDG_CHECK_GE(start, 0);
+  CPDG_CHECK_GT(len, 0);
+  CPDG_CHECK_LE(start + len, a.rows());
+  int64_t d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      len, d, {a},
+      [a, start, len, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        for (int64_t i = 0; i < len * d; ++i) {
+          ga[start * d + i] += dout[i];
+        }
+      },
+      "slice_rows");
+  std::copy(a.data() + start * d, a.data() + (start + len) * d, out.data());
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  CPDG_CHECK_GE(start, 0);
+  CPDG_CHECK_GT(len, 0);
+  CPDG_CHECK_LE(start + len, a.cols());
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, len, {a},
+      [a, start, len, n, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        for (int64_t r = 0; r < n; ++r) {
+          for (int64_t c = 0; c < len; ++c) {
+            ga[r * d + start + c] += dout[r * len + c];
+          }
+        }
+      },
+      "slice_cols");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    std::copy(pa + r * d + start, pa + r * d + start + len, po + r * len);
+  }
+  return out;
+}
+
+Tensor RepeatRows(const Tensor& a, int64_t n) {
+  CPDG_CHECK_EQ(a.rows(), 1);
+  CPDG_CHECK_GT(n, 0);
+  int64_t d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, d, {a},
+      [a, n, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        for (int64_t r = 0; r < n; ++r) {
+          for (int64_t c = 0; c < d; ++c) ga[c] += dout[r * d + c];
+        }
+      },
+      "repeat_rows");
+  float* po = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    std::copy(a.data(), a.data() + d, po + r * d);
+  }
+  return out;
+}
+
+Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
+  CPDG_CHECK(!indices.empty());
+  int64_t n = table.rows(), d = table.cols();
+  for (int64_t idx : indices) {
+    CPDG_CHECK_GE(idx, 0);
+    CPDG_CHECK_LT(idx, n);
+  }
+  int64_t m = static_cast<int64_t>(indices.size());
+  Tensor out = Tensor::MakeOpResult(
+      m, d, {table},
+      [table, indices, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* gt = table.grad();
+        for (size_t i = 0; i < indices.size(); ++i) {
+          int64_t row = indices[i];
+          for (int64_t c = 0; c < d; ++c) {
+            gt[row * d + c] += dout[static_cast<int64_t>(i) * d + c];
+          }
+        }
+      },
+      "gather");
+  const float* pt = table.data();
+  float* po = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::copy(pt + indices[i] * d, pt + (indices[i] + 1) * d,
+              po + static_cast<int64_t>(i) * d);
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  int64_t n = a.rows(), d = a.cols();
+  Tensor out = Tensor::MakeOpResult(
+      n, d, {a},
+      [a, n, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        const float* y = self.data();
+        float* ga = a.grad();
+        for (int64_t r = 0; r < n; ++r) {
+          // dL/dx_i = y_i * (dL/dy_i - sum_j y_j dL/dy_j)
+          double dot = 0.0;
+          for (int64_t c = 0; c < d; ++c) {
+            dot += static_cast<double>(y[r * d + c]) * dout[r * d + c];
+          }
+          for (int64_t c = 0; c < d; ++c) {
+            ga[r * d + c] += y[r * d + c] *
+                             (dout[r * d + c] - static_cast<float>(dot));
+          }
+        }
+      },
+      "softmax");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    float mx = pa[r * d];
+    for (int64_t c = 1; c < d; ++c) mx = std::max(mx, pa[r * d + c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      po[r * d + c] = std::exp(pa[r * d + c] - mx);
+      sum += po[r * d + c];
+    }
+    float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < d; ++c) po[r * d + c] *= inv;
+  }
+  return out;
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  int64_t n = a.rows(), d = a.cols();
+  // Composition: x / max(||x||, eps), expressed with primitives so the
+  // backward pass comes for free.
+  Tensor sq = Square(a);
+  Tensor norms = Sqrt(RowSum(sq), eps * eps);  // [n,1]
+  // Broadcast divide by expanding norms to [n,d] via matmul with ones row.
+  Tensor ones_row = Tensor::Ones(1, d);
+  Tensor expanded = MatMul(norms, ones_row);  // [n,d]
+  (void)n;
+  return Div(a, expanded);
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  CPDG_CHECK_LT(p, 1.0f);
+  CPDG_CHECK(rng != nullptr);
+  int64_t n = a.size();
+  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng->NextBernoulli(p) ? 0.0f : scale;
+  }
+  Tensor out = Tensor::MakeOpResult(
+      a.rows(), a.cols(), {a},
+      [a, mask, n](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* ga = a.grad();
+        for (int64_t i = 0; i < n; ++i) ga[i] += dout[i] * (*mask)[i];
+      },
+      "dropout");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * (*mask)[i];
+  return out;
+}
+
+Tensor GroupedAttention(const Tensor& queries, const Tensor& keys,
+                        const Tensor& values, int64_t group,
+                        const std::vector<uint8_t>& valid) {
+  int64_t n = queries.rows();
+  int64_t dq = queries.cols();
+  int64_t dv = values.cols();
+  CPDG_CHECK_GT(group, 0);
+  CPDG_CHECK_EQ(keys.rows(), n * group);
+  CPDG_CHECK_EQ(values.rows(), n * group);
+  CPDG_CHECK_EQ(keys.cols(), dq);
+  CPDG_CHECK_EQ(static_cast<int64_t>(valid.size()), n * group);
+
+  // Attention weights are needed by the backward pass; share them between
+  // the forward computation and the closure.
+  auto alpha = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n * group), 0.0f);
+  float scale = 1.0f / std::sqrt(static_cast<float>(dq));
+
+  Tensor out = Tensor::MakeOpResult(
+      n, dv, {queries, keys, values},
+      [queries, keys, values, group, valid, alpha, n, dq, dv,
+       scale](Tensor& self) mutable {
+        const float* dout = self.grad();
+        const float* q = queries.data();
+        const float* k = keys.data();
+        const float* v = values.data();
+        float* gq = queries.requires_grad() ? queries.grad() : nullptr;
+        float* gk = keys.requires_grad() ? keys.grad() : nullptr;
+        float* gv = values.requires_grad() ? values.grad() : nullptr;
+        std::vector<float> dalpha(static_cast<size_t>(group));
+        std::vector<float> dscore(static_cast<size_t>(group));
+        for (int64_t i = 0; i < n; ++i) {
+          const float* dout_i = dout + i * dv;
+          // dalpha_j = dout_i . v_ij ; dv_ij = alpha_j * dout_i
+          double alpha_dot = 0.0;
+          for (int64_t j = 0; j < group; ++j) {
+            int64_t row = i * group + j;
+            if (!valid[row]) {
+              dalpha[j] = 0.0f;
+              continue;
+            }
+            double dot = 0.0;
+            const float* vrow = v + row * dv;
+            for (int64_t c = 0; c < dv; ++c) dot += dout_i[c] * vrow[c];
+            dalpha[j] = static_cast<float>(dot);
+            alpha_dot += (*alpha)[row] * dot;
+            if (gv != nullptr) {
+              float a = (*alpha)[row];
+              float* gvrow = gv + row * dv;
+              for (int64_t c = 0; c < dv; ++c) gvrow[c] += a * dout_i[c];
+            }
+          }
+          // Softmax backward: ds_j = alpha_j * (dalpha_j - sum_k alpha_k
+          // dalpha_k)
+          for (int64_t j = 0; j < group; ++j) {
+            int64_t row = i * group + j;
+            dscore[j] = valid[row]
+                            ? (*alpha)[row] *
+                                  (dalpha[j] - static_cast<float>(alpha_dot))
+                            : 0.0f;
+          }
+          for (int64_t j = 0; j < group; ++j) {
+            int64_t row = i * group + j;
+            if (!valid[row] || dscore[j] == 0.0f) continue;
+            float ds = dscore[j] * scale;
+            const float* krow = k + row * dq;
+            const float* qrow = q + i * dq;
+            if (gq != nullptr) {
+              float* gqrow = gq + i * dq;
+              for (int64_t c = 0; c < dq; ++c) gqrow[c] += ds * krow[c];
+            }
+            if (gk != nullptr) {
+              float* gkrow = gk + row * dq;
+              for (int64_t c = 0; c < dq; ++c) gkrow[c] += ds * qrow[c];
+            }
+          }
+        }
+      },
+      "grouped_attention");
+
+  const float* q = queries.data();
+  const float* k = keys.data();
+  const float* v = values.data();
+  float* po = out.data();
+  std::vector<float> scores(static_cast<size_t>(group));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* qrow = q + i * dq;
+    bool any = false;
+    float mx = -1e30f;
+    for (int64_t j = 0; j < group; ++j) {
+      int64_t row = i * group + j;
+      if (!valid[row]) continue;
+      any = true;
+      double dot = 0.0;
+      const float* krow = k + row * dq;
+      for (int64_t c = 0; c < dq; ++c) dot += qrow[c] * krow[c];
+      scores[j] = static_cast<float>(dot) * scale;
+      mx = std::max(mx, scores[j]);
+    }
+    if (!any) continue;  // Output stays zero; no gradients flow.
+    double sum = 0.0;
+    for (int64_t j = 0; j < group; ++j) {
+      int64_t row = i * group + j;
+      if (!valid[row]) continue;
+      float e = std::exp(scores[j] - mx);
+      (*alpha)[row] = e;
+      sum += e;
+    }
+    float inv = static_cast<float>(1.0 / sum);
+    float* orow = po + i * dv;
+    for (int64_t j = 0; j < group; ++j) {
+      int64_t row = i * group + j;
+      if (!valid[row]) continue;
+      (*alpha)[row] *= inv;
+      float a = (*alpha)[row];
+      const float* vrow = v + row * dv;
+      for (int64_t c = 0; c < dv; ++c) orow[c] += a * vrow[c];
+    }
+  }
+  return out;
+}
+
+Tensor GroupedMean(const Tensor& values, int64_t group,
+                   const std::vector<uint8_t>& valid) {
+  CPDG_CHECK_GT(group, 0);
+  CPDG_CHECK_EQ(values.rows() % group, 0);
+  int64_t n = values.rows() / group;
+  int64_t d = values.cols();
+  CPDG_CHECK_EQ(static_cast<int64_t>(valid.size()), values.rows());
+
+  auto inv_counts =
+      std::make_shared<std::vector<float>>(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t cnt = 0;
+    for (int64_t j = 0; j < group; ++j) cnt += valid[i * group + j];
+    (*inv_counts)[static_cast<size_t>(i)] =
+        cnt > 0 ? 1.0f / static_cast<float>(cnt) : 0.0f;
+  }
+
+  Tensor out = Tensor::MakeOpResult(
+      n, d, {values},
+      [values, group, valid, inv_counts, n, d](Tensor& self) mutable {
+        const float* dout = self.grad();
+        float* gv = values.grad();
+        for (int64_t i = 0; i < n; ++i) {
+          float inv = (*inv_counts)[static_cast<size_t>(i)];
+          if (inv == 0.0f) continue;
+          for (int64_t j = 0; j < group; ++j) {
+            int64_t row = i * group + j;
+            if (!valid[row]) continue;
+            for (int64_t c = 0; c < d; ++c) {
+              gv[row * d + c] += dout[i * d + c] * inv;
+            }
+          }
+        }
+      },
+      "grouped_mean");
+
+  const float* pv = values.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float inv = (*inv_counts)[static_cast<size_t>(i)];
+    if (inv == 0.0f) continue;
+    for (int64_t j = 0; j < group; ++j) {
+      int64_t row = i * group + j;
+      if (!valid[row]) continue;
+      for (int64_t c = 0; c < d; ++c) po[i * d + c] += pv[row * d + c] * inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace cpdg::tensor

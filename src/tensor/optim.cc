@@ -1,0 +1,113 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cpdg::tensor {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (Tensor& p : params_) {
+    CPDG_CHECK(p.defined());
+    CPDG_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    int64_t n = p.size();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j] + weight_decay_ * w[j];
+      if (momentum_ != 0.0f) {
+        velocity_[i][static_cast<size_t>(j)] =
+            momentum_ * velocity_[i][static_cast<size_t>(j)] + grad;
+        grad = velocity_[i][static_cast<size_t>(j)];
+      }
+      w[j] -= lr_ * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    int64_t n = p.size();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j] + weight_decay_ * w[j];
+      size_t sj = static_cast<size_t>(j);
+      m_[i][sj] = beta1_ * m_[i][sj] + (1.0f - beta1_) * grad;
+      v_[i][sj] = beta2_ * v_[i][sj] + (1.0f - beta2_) * grad * grad;
+      float m_hat = m_[i][sj] / bc1;
+      float v_hat = v_[i][sj] / bc2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  CPDG_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const Tensor& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad();
+    for (int64_t j = 0; j < p.size(); ++j) {
+      total += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      if (!p.has_grad()) continue;
+      float* g = const_cast<Tensor&>(p).grad();
+      for (int64_t j = 0; j < p.size(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace cpdg::tensor

@@ -1,0 +1,77 @@
+#ifndef CPDG_TENSOR_OPTIM_H_
+#define CPDG_TENSOR_OPTIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cpdg::tensor {
+
+/// \brief Base class for gradient-descent optimizers over a fixed parameter
+/// list. Parameters must be leaf tensors with requires_grad.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients; call between batches.
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// \brief Plain SGD with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction and L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// \brief Clips the global L2 norm of all parameter gradients to max_norm.
+/// Returns the pre-clip norm. A cheap guard against the exploding gradients
+/// GRU memory updaters can produce early in training.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace cpdg::tensor
+
+#endif  // CPDG_TENSOR_OPTIM_H_

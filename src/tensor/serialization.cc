@@ -1,0 +1,109 @@
+#include "tensor/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace cpdg::tensor {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'P', 'D', 'G', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveTensors(const std::vector<Tensor>& tensors,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    if (!t.defined()) return Status::InvalidArgument("undefined tensor");
+    WritePod(out, static_cast<int64_t>(t.rows()));
+    WritePod(out, static_cast<int64_t>(t.cols()));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path);
+  }
+  uint32_t version = 0, count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadPod(in, &count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int64_t rows = 0, cols = 0;
+    if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || rows <= 0 ||
+        cols <= 0) {
+      return Status::InvalidArgument("truncated or corrupt tensor header");
+    }
+    std::vector<float> data(static_cast<size_t>(rows * cols));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in.good()) {
+      return Status::InvalidArgument("truncated tensor payload");
+    }
+    tensors.push_back(Tensor::FromVector(rows, cols, std::move(data)));
+  }
+  return tensors;
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  return SaveTensors(module.Parameters(), path);
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  CPDG_ASSIGN_OR_RETURN(std::vector<Tensor> loaded, LoadTensors(path));
+  std::vector<Tensor> params = module->Parameters();
+  if (params.size() != loaded.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(loaded.size()) +
+        " tensors, module has " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].rows() != loaded[i].rows() ||
+        params[i].cols() != loaded[i].cols()) {
+      return Status::FailedPrecondition("shape mismatch at tensor " +
+                                        std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].CopyDataFrom(loaded[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace cpdg::tensor

@@ -1,0 +1,39 @@
+#ifndef CPDG_TENSOR_SERIALIZATION_H_
+#define CPDG_TENSOR_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace cpdg::tensor {
+
+/// \file Binary checkpointing of module parameters.
+///
+/// The on-disk format is a small self-describing container:
+///   magic "CPDGCKPT" | version u32 | tensor count u32 |
+///   per tensor: rows i64, cols i64, rows*cols f32 payload.
+/// Loading validates shapes against the target module, so a checkpoint can
+/// only be restored into an architecturally identical model — the same
+/// contract as Module::CopyParametersFrom, but across processes. This is
+/// how a pre-trained CPDG encoder is shipped to downstream fine-tuning
+/// jobs.
+
+/// \brief Writes all parameters of `module` to `path` (overwrites).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// \brief Restores parameters saved by SaveParameters into `module`.
+/// Fails without modifying anything if the tensor count or any shape
+/// disagrees.
+Status LoadParameters(Module* module, const std::string& path);
+
+/// \brief Lower-level variants operating on explicit tensor lists.
+Status SaveTensors(const std::vector<Tensor>& tensors,
+                   const std::string& path);
+Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+}  // namespace cpdg::tensor
+
+#endif  // CPDG_TENSOR_SERIALIZATION_H_

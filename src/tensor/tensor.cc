@@ -1,0 +1,252 @@
+#include "tensor/tensor.h"
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace cpdg::tensor {
+namespace {
+
+std::atomic<int64_t> g_live_tensors{0};
+
+std::shared_ptr<TensorImpl> NewImpl(int64_t rows, int64_t cols) {
+  CPDG_CHECK_GT(rows, 0);
+  CPDG_CHECK_GT(cols, 0);
+  auto impl = std::shared_ptr<TensorImpl>(new TensorImpl(), [](TensorImpl* p) {
+    g_live_tensors.fetch_sub(1, std::memory_order_relaxed);
+    delete p;
+  });
+  g_live_tensors.fetch_add(1, std::memory_order_relaxed);
+  impl->rows = rows;
+  impl->cols = cols;
+  return impl;
+}
+
+}  // namespace
+
+int64_t LiveTensorCount() {
+  return g_live_tensors.load(std::memory_order_relaxed);
+}
+
+Tensor Tensor::Zeros(int64_t rows, int64_t cols, bool requires_grad) {
+  return Full(rows, cols, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(int64_t rows, int64_t cols, bool requires_grad) {
+  return Full(rows, cols, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value,
+                    bool requires_grad) {
+  auto impl = NewImpl(rows, cols);
+  impl->data.assign(static_cast<size_t>(rows * cols), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> values, bool requires_grad) {
+  CPDG_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  auto impl = NewImpl(rows, cols);
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::RandomUniform(int64_t rows, int64_t cols, float limit,
+                             Rng* rng, bool requires_grad) {
+  CPDG_CHECK(rng != nullptr);
+  auto impl = NewImpl(rows, cols);
+  impl->data.resize(static_cast<size_t>(rows * cols));
+  for (float& v : impl->data) {
+    v = static_cast<float>(rng->NextUniform(-limit, limit));
+  }
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::XavierUniform(int64_t rows, int64_t cols, Rng* rng,
+                             bool requires_grad) {
+  float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return RandomUniform(rows, cols, limit, rng, requires_grad);
+}
+
+Tensor Tensor::RandomNormal(int64_t rows, int64_t cols, float stddev,
+                            Rng* rng, bool requires_grad) {
+  CPDG_CHECK(rng != nullptr);
+  auto impl = NewImpl(rows, cols);
+  impl->data.resize(static_cast<size_t>(rows * cols));
+  for (float& v : impl->data) {
+    v = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::MakeOpResult(int64_t rows, int64_t cols,
+                            std::vector<Tensor> parents,
+                            std::function<void(Tensor&)> backward_fn,
+                            const char* op_name) {
+  auto impl = NewImpl(rows, cols);
+  impl->data.assign(static_cast<size_t>(rows * cols), 0.0f);
+  bool any_grad = false;
+  for (const Tensor& p : parents) {
+    CPDG_CHECK(p.defined());
+    any_grad = any_grad || p.requires_grad();
+  }
+  impl->requires_grad = any_grad;
+  if (any_grad) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  impl->op_name = op_name;
+  return Tensor(std::move(impl));
+}
+
+int64_t Tensor::rows() const {
+  CPDG_CHECK(defined());
+  return impl_->rows;
+}
+
+int64_t Tensor::cols() const {
+  CPDG_CHECK(defined());
+  return impl_->cols;
+}
+
+float* Tensor::data() {
+  CPDG_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  CPDG_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  CPDG_CHECK(defined());
+  CPDG_CHECK_GE(r, 0);
+  CPDG_CHECK_LT(r, impl_->rows);
+  CPDG_CHECK_GE(c, 0);
+  CPDG_CHECK_LT(c, impl_->cols);
+  return impl_->data[static_cast<size_t>(r * impl_->cols + c)];
+}
+
+void Tensor::set(int64_t r, int64_t c, float v) {
+  CPDG_CHECK(defined());
+  CPDG_CHECK_GE(r, 0);
+  CPDG_CHECK_LT(r, impl_->rows);
+  CPDG_CHECK_GE(c, 0);
+  CPDG_CHECK_LT(c, impl_->cols);
+  impl_->data[static_cast<size_t>(r * impl_->cols + c)] = v;
+}
+
+float Tensor::item() const {
+  CPDG_CHECK(defined());
+  CPDG_CHECK_EQ(impl_->rows, 1);
+  CPDG_CHECK_EQ(impl_->cols, 1);
+  return impl_->data[0];
+}
+
+bool Tensor::requires_grad() const {
+  CPDG_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool v) {
+  CPDG_CHECK(defined());
+  impl_->requires_grad = v;
+}
+
+float* Tensor::grad() const {
+  CPDG_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+bool Tensor::has_grad() const {
+  CPDG_CHECK(defined());
+  return !impl_->grad.empty();
+}
+
+void Tensor::ZeroGrad() {
+  CPDG_CHECK(defined());
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+void Tensor::Backward() {
+  CPDG_CHECK(defined());
+  CPDG_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+
+  // Build reverse topological order with an explicit stack (graphs can be
+  // thousands of nodes deep within a training batch).
+  std::vector<Tensor> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    Tensor node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({*this, 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    auto& parents = top.node.impl()->parents;
+    if (top.next_parent < parents.size()) {
+      Tensor parent = parents[top.next_parent++];
+      if (parent.requires_grad() &&
+          visited.insert(parent.impl()).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed with ones and run backward functions in reverse topo order
+  // (topo is post-order, so iterate from the back).
+  impl_->EnsureGrad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 1.0f);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = it->impl();
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*it);
+    }
+  }
+}
+
+Tensor Tensor::Detach() const {
+  CPDG_CHECK(defined());
+  auto impl = NewImpl(impl_->rows, impl_->cols);
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  CPDG_CHECK(defined());
+  CPDG_CHECK(src.defined());
+  CPDG_CHECK_EQ(rows(), src.rows());
+  CPDG_CHECK_EQ(cols(), src.cols());
+  impl_->data = src.impl_->data;
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor[null]";
+  std::ostringstream os;
+  os << "Tensor[" << impl_->rows << "x" << impl_->cols << ", op="
+     << impl_->op_name;
+  if (impl_->requires_grad) os << ", requires_grad";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cpdg::tensor

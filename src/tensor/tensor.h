@@ -1,0 +1,148 @@
+#ifndef CPDG_TENSOR_TENSOR_H_
+#define CPDG_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cpdg::tensor {
+
+/// \brief All tensors in the engine are dense row-major 2-D float matrices
+/// of shape [rows, cols]. Vectors are represented as [1, d] matrices.
+///
+/// This is deliberately minimal: the DGNN models in this repository only
+/// need 2-D algebra plus a handful of fused kernels (grouped attention,
+/// gather/scatter) that would otherwise require 3-D tensors.
+struct TensorImpl;
+
+/// \brief Value-semantics handle to a reference-counted tensor node.
+///
+/// A Tensor is a node in a dynamically built computation graph. Operations
+/// (see ops.h) produce new nodes that remember their parents and a backward
+/// function; calling Backward() on a scalar result propagates gradients to
+/// every reachable node with requires_grad set.
+class Tensor {
+ public:
+  /// Null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// \name Factory functions
+  /// @{
+  static Tensor Zeros(int64_t rows, int64_t cols, bool requires_grad = false);
+  static Tensor Ones(int64_t rows, int64_t cols, bool requires_grad = false);
+  static Tensor Full(int64_t rows, int64_t cols, float value,
+                     bool requires_grad = false);
+  /// Takes ownership of `values` (row-major); size must equal rows*cols.
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           std::vector<float> values,
+                           bool requires_grad = false);
+  /// Uniform in [-limit, limit].
+  static Tensor RandomUniform(int64_t rows, int64_t cols, float limit,
+                              Rng* rng, bool requires_grad = false);
+  /// Xavier/Glorot uniform initialization for a [fan_in, fan_out] matrix.
+  static Tensor XavierUniform(int64_t rows, int64_t cols, Rng* rng,
+                              bool requires_grad = false);
+  /// Gaussian with the given standard deviation.
+  static Tensor RandomNormal(int64_t rows, int64_t cols, float stddev,
+                             Rng* rng, bool requires_grad = false);
+  /// @}
+
+  bool defined() const { return impl_ != nullptr; }
+
+  int64_t rows() const;
+  int64_t cols() const;
+  /// Total number of elements.
+  int64_t size() const { return rows() * cols(); }
+
+  /// Mutable/const access to the row-major data buffer.
+  float* data();
+  const float* data() const;
+
+  /// Element accessors with bounds checks.
+  float at(int64_t r, int64_t c) const;
+  void set(int64_t r, int64_t c, float v);
+
+  /// Scalar value of a [1,1] tensor.
+  float item() const;
+
+  bool requires_grad() const;
+  void set_requires_grad(bool v);
+
+  /// Gradient buffer (allocated lazily, zero-initialized). Tensor is a
+  /// shared handle, so constness is shallow: backward lambdas capture
+  /// tensors as const copies and still accumulate gradients through them.
+  float* grad() const;
+  bool has_grad() const;
+  /// Zeroes the gradient buffer if allocated.
+  void ZeroGrad();
+
+  /// \brief Reverse-mode differentiation.
+  ///
+  /// Seeds this tensor's gradient with ones (typically it is the [1,1]
+  /// loss) and propagates through the recorded graph in reverse topological
+  /// order. Leaf tensors with requires_grad accumulate into their grad
+  /// buffers.
+  void Backward();
+
+  /// \brief A new leaf tensor sharing *copied* data, cut off from the graph.
+  Tensor Detach() const;
+
+  /// \brief Deep copy of data (leaf; keeps requires_grad flag off).
+  Tensor Clone() const;
+
+  /// \brief Copies the data of `src` into this tensor (shapes must match);
+  /// does not touch the graph, useful for parameter transfer.
+  void CopyDataFrom(const Tensor& src);
+
+  /// Identity comparison (same underlying node).
+  bool SameAs(const Tensor& other) const { return impl_ == other.impl_; }
+
+  /// Debug string, e.g. "Tensor[3x4, requires_grad]".
+  std::string ToString() const;
+
+  /// \brief Internal: wraps an op result. `parents` keeps the inputs alive;
+  /// `backward_fn` adds this node's grad contribution into the parents.
+  static Tensor MakeOpResult(int64_t rows, int64_t cols,
+                             std::vector<Tensor> parents,
+                             std::function<void(Tensor&)> backward_fn,
+                             const char* op_name);
+
+  TensorImpl* impl() const { return impl_.get(); }
+
+ private:
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// \brief Internal node storage; exposed so ops.cc can access parents and
+/// backward functions directly.
+struct TensorImpl {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated to data.size()
+  bool requires_grad = false;
+  std::vector<Tensor> parents;
+  /// Called with the owning Tensor during Backward(); reads this node's
+  /// grad and accumulates into parents' grads.
+  std::function<void(Tensor&)> backward_fn;
+  const char* op_name = "leaf";
+
+  void EnsureGrad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// \brief Global count of live tensor nodes, used by tests to detect graph
+/// leaks (reference cycles would show up here).
+int64_t LiveTensorCount();
+
+}  // namespace cpdg::tensor
+
+#endif  // CPDG_TENSOR_TENSOR_H_

@@ -1,0 +1,61 @@
+#ifndef CPDG_UTIL_CHECK_H_
+#define CPDG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cpdg::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CPDG_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+/// Builds the optional streamed message for a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cpdg::internal
+
+/// \brief Aborts with a message if the condition is false.
+///
+/// Used for programming-error invariants (index bounds, shape mismatches in
+/// internal code paths). User-facing fallible operations return Status
+/// instead.
+#define CPDG_CHECK(cond)                                                 \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::cpdg::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define CPDG_CHECK_EQ(a, b) CPDG_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPDG_CHECK_NE(a, b) CPDG_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPDG_CHECK_LT(a, b) CPDG_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPDG_CHECK_LE(a, b) CPDG_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPDG_CHECK_GT(a, b) CPDG_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CPDG_CHECK_GE(a, b) CPDG_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // CPDG_UTIL_CHECK_H_

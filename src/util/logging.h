@@ -1,0 +1,44 @@
+#ifndef CPDG_UTIL_LOGGING_H_
+#define CPDG_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cpdg {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CPDG_LOG(level)                                              \
+  ::cpdg::internal::LogMessage(::cpdg::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+}  // namespace cpdg
+
+#endif  // CPDG_UTIL_LOGGING_H_

@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace cpdg {
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform on two uniforms, avoiding log(0).
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextExponential(double rate) {
+  CPDG_CHECK_GT(rate, 0.0);
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+int Rng::NextPoisson(double mean) {
+  CPDG_CHECK_GE(mean, 0.0);
+  if (mean <= 0.0) return 0;
+  // Knuth's inversion; fine for the small means used by the generators.
+  double l = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l && k < 10000);
+  return k - 1;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  CPDG_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CPDG_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CPDG_CHECK_GT(total, 0.0);
+  double x = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double exponent) {
+  CPDG_CHECK_GT(n, 0u);
+  // Rejection-free inversion over the (approximate) normalized CDF would
+  // need a precomputed table; n is small in our generators, so build the
+  // weights directly. Callers that need many samples should cache a
+  // std::vector<double> and call NextWeighted instead.
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return NextWeighted(weights);
+}
+
+}  // namespace cpdg

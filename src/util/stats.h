@@ -1,0 +1,56 @@
+#ifndef CPDG_UTIL_STATS_H_
+#define CPDG_UTIL_STATS_H_
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cpdg {
+
+/// \brief Accumulates samples and reports mean / (sample) standard
+/// deviation. Used to aggregate metric values over random seeds.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Sample standard deviation; 0 for fewer than two samples.
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// \brief Mean of a vector; requires non-empty input.
+inline double Mean(const std::vector<double>& v) {
+  CPDG_CHECK(!v.empty());
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// \brief Sample standard deviation of a vector (0 if size < 2).
+inline double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace cpdg
+
+#endif  // CPDG_UTIL_STATS_H_

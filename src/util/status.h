@@ -1,0 +1,145 @@
+#ifndef CPDG_UTIL_STATUS_H_
+#define CPDG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cpdg {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// fallible operations return a Status (or Result<T>), following the
+/// Arrow/RocksDB idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+  kIoError,
+};
+
+/// \brief Name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Lightweight success/error value.
+///
+/// A default-constructed Status is OK and carries no message. Error
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-error holder, analogous to arrow::Result<T>.
+///
+/// Access the value only after checking ok(); ValueOrDie() aborts on error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& value() { return std::get<T>(value_); }
+  const T& value() const { return std::get<T>(value_); }
+
+  /// \brief Returns the value; aborts with the error message if not ok.
+  T& ValueOrDie();
+
+  /// \brief Moves the value out of the result.
+  T TakeValue() { return std::move(std::get<T>(value_)); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T& Result<T>::ValueOrDie() {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(value_);
+}
+
+/// \brief Propagates a non-OK Status from the evaluated expression.
+#define CPDG_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::cpdg::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// \brief Assigns the value of a Result expression or propagates its error.
+#define CPDG_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CPDG_ASSIGN_OR_RETURN_IMPL_(CPDG_CONCAT_(_cpdg_res_, __LINE__), lhs, rexpr)
+#define CPDG_CONCAT_INNER_(a, b) a##b
+#define CPDG_CONCAT_(a, b) CPDG_CONCAT_INNER_(a, b)
+#define CPDG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.TakeValue()
+
+}  // namespace cpdg
+
+#endif  // CPDG_UTIL_STATUS_H_

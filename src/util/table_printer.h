@@ -1,0 +1,44 @@
+#ifndef CPDG_UTIL_TABLE_PRINTER_H_
+#define CPDG_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpdg {
+
+/// \brief Renders aligned ASCII tables, used by the benchmark harness to
+/// print paper-style result tables.
+///
+/// Usage:
+///   TablePrinter t({"Method", "AUC", "AP"});
+///   t.AddRow({"TGN", "0.8589±0.0025", "0.8533±0.0016"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator row.
+  void AddSeparator();
+
+  /// Writes the table with column alignment and separators.
+  void Print(std::ostream& os) const;
+
+  /// \brief Formats "mean±std" with 4 decimal places, matching the paper's
+  /// result style.
+  static std::string FormatMeanStd(double mean, double stddev);
+
+  /// \brief Formats a floating point value with the given precision.
+  static std::string FormatFloat(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace cpdg
+
+#endif  // CPDG_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+#include "ssl/ssl_baselines.h"
+#include "static_gnn/static_gnn.h"
+#include "tensor/ops.h"
+
+namespace cpdg {
+namespace {
+
+using graph::Event;
+using graph::NodeId;
+using graph::TemporalGraph;
+
+TemporalGraph MakeBipartiteGraph(uint64_t seed, int64_t events_count = 400) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < events_count; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(12));
+    // Two user communities preferring disjoint item halves.
+    NodeId b = (a < 6) ? 12 + static_cast<NodeId>(rng.NextBounded(6))
+                       : 18 + static_cast<NodeId>(rng.NextBounded(6));
+    events.push_back({a, b, static_cast<double>(i) * 0.002});
+  }
+  return TemporalGraph::Create(24, events).ValueOrDie();
+}
+
+class StaticEncoderTest
+    : public ::testing::TestWithParam<static_gnn::StaticGnnType> {};
+
+TEST_P(StaticEncoderTest, EmbeddingShapes) {
+  TemporalGraph g = MakeBipartiteGraph(1);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(2);
+  static_gnn::StaticGnnEncoder::Config config;
+  config.type = GetParam();
+  config.num_nodes = g.num_nodes();
+  config.feature_dim = 8;
+  config.hidden_dim = 8;
+  config.embed_dim = 8;
+  config.num_neighbors = 3;
+  static_gnn::StaticGnnEncoder encoder(config, &rng);
+  encoder.AttachSnapshot(&snap);
+  tensor::Tensor z = encoder.ComputeEmbeddings({0, 5, 13}, &rng);
+  EXPECT_EQ(z.rows(), 3);
+  EXPECT_EQ(z.cols(), 8);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST_P(StaticEncoderTest, LinkPredictionTrainingReducesLoss) {
+  TemporalGraph g = MakeBipartiteGraph(3);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(4);
+  static_gnn::StaticGnnEncoder::Config config;
+  config.type = GetParam();
+  config.num_nodes = g.num_nodes();
+  config.feature_dim = 8;
+  config.hidden_dim = 8;
+  config.embed_dim = 8;
+  config.num_neighbors = 3;
+  static_gnn::StaticGnnEncoder encoder(config, &rng);
+  encoder.AttachSnapshot(&snap);
+  tensor::Mlp decoder({16, 8, 1}, &rng);
+  static_gnn::StaticTrainOptions opts;
+  opts.steps = 120;
+  opts.batch_size = 64;
+  double final_loss = static_gnn::TrainLinkPredictionStatic(
+      &encoder, &decoder, g.events(), opts, &rng);
+  EXPECT_LT(final_loss, 0.68);  // below ln(2): better than chance
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStaticTypes, StaticEncoderTest,
+    ::testing::Values(static_gnn::StaticGnnType::kGraphSage,
+                      static_gnn::StaticGnnType::kGat,
+                      static_gnn::StaticGnnType::kGin),
+    [](const auto& info) {
+      return static_gnn::StaticGnnTypeName(info.param);
+    });
+
+TEST(DgiTest, TrainingRunsAndReducesLoss) {
+  TemporalGraph g = MakeBipartiteGraph(5);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(6);
+  static_gnn::StaticGnnEncoder::Config config;
+  config.num_nodes = g.num_nodes();
+  config.feature_dim = 8;
+  config.hidden_dim = 8;
+  config.embed_dim = 8;
+  config.num_neighbors = 3;
+  static_gnn::StaticGnnEncoder encoder(config, &rng);
+  encoder.AttachSnapshot(&snap);
+  auto nodes = g.NodesBefore(std::numeric_limits<double>::infinity());
+  static_gnn::StaticTrainOptions opts;
+  opts.steps = 80;
+  double final_loss = static_gnn::TrainDgi(&encoder, nodes, opts, &rng);
+  EXPECT_GT(final_loss, 0.0);
+  EXPECT_LT(final_loss, 1.0);
+}
+
+TEST(GptGnnTest, TrainingRuns) {
+  TemporalGraph g = MakeBipartiteGraph(7);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(8);
+  static_gnn::StaticGnnEncoder::Config config;
+  config.num_nodes = g.num_nodes();
+  config.feature_dim = 8;
+  config.hidden_dim = 8;
+  config.embed_dim = 8;
+  config.num_neighbors = 3;
+  static_gnn::StaticGnnEncoder encoder(config, &rng);
+  encoder.AttachSnapshot(&snap);
+  static_gnn::StaticTrainOptions opts;
+  opts.steps = 60;
+  double final_loss =
+      static_gnn::TrainGptGnn(&encoder, g.events(), opts, &rng);
+  EXPECT_GT(final_loss, 0.0);
+}
+
+dgnn::EncoderConfig SmallDgnnConfig(int64_t num_nodes) {
+  dgnn::EncoderConfig c =
+      dgnn::EncoderConfig::Preset(dgnn::EncoderType::kTgn, num_nodes);
+  c.memory_dim = 8;
+  c.embed_dim = 8;
+  c.time_dim = 4;
+  c.num_neighbors = 3;
+  return c;
+}
+
+TEST(DdgclTest, PretrainingRunsAndUpdatesMemory) {
+  TemporalGraph g = MakeBipartiteGraph(9, 600);
+  Rng rng(10);
+  dgnn::DgnnEncoder encoder(SmallDgnnConfig(g.num_nodes()), &g, &rng);
+  ssl::SslTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 60;
+  opts.view_window = 0.2;
+  dgnn::TrainLog log = ssl::PretrainDdgcl(&encoder, g, opts, &rng);
+  EXPECT_EQ(log.epoch_losses.size(), 2u);
+  EXPECT_GT(encoder.memory().StateNorm(), 0.0);
+}
+
+TEST(SelfRgnnTest, PretrainingRunsAndUpdatesMemory) {
+  TemporalGraph g = MakeBipartiteGraph(11, 600);
+  Rng rng(12);
+  dgnn::DgnnEncoder encoder(SmallDgnnConfig(g.num_nodes()), &g, &rng);
+  ssl::SslTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 60;
+  dgnn::TrainLog log = ssl::PretrainSelfRgnn(&encoder, g, opts, &rng);
+  EXPECT_EQ(log.epoch_losses.size(), 2u);
+  EXPECT_GT(encoder.memory().StateNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpdg

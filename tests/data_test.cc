@@ -1,0 +1,256 @@
+#include "data/generators.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/transfer.h"
+
+namespace cpdg::data {
+namespace {
+
+UniverseSpec TinySpec(bool labeled = false) {
+  UniverseSpec spec;
+  spec.num_users = 50;
+  FieldSpec a;
+  a.name = "A";
+  a.num_items = 40;
+  a.num_communities = 4;
+  a.num_events_early = 600;
+  a.num_events_late = 400;
+  a.labeled = labeled;
+  FieldSpec b = a;
+  b.name = "B";
+  FieldSpec pre = a;
+  pre.name = "Pre";
+  spec.fields = {a, b, pre};
+  return spec;
+}
+
+TEST(GeneratorTest, NodeLayoutIsDisjoint) {
+  DynamicGraphUniverse u(TinySpec(), 1);
+  EXPECT_EQ(u.num_nodes(), 50 + 3 * 40);
+  EXPECT_EQ(u.ItemBase(0), 50);
+  EXPECT_EQ(u.ItemBase(1), 90);
+  EXPECT_EQ(u.ItemBase(2), 130);
+  auto pool0 = u.ItemPool(0);
+  auto pool1 = u.ItemPool(1);
+  std::set<graph::NodeId> s0(pool0.begin(), pool0.end());
+  for (auto v : pool1) EXPECT_EQ(s0.count(v), 0u);
+}
+
+TEST(GeneratorTest, EventsRespectFieldAndWindow) {
+  DynamicGraphUniverse u(TinySpec(), 2);
+  auto events = u.GenerateEvents(1, 0.2, 0.5, 300);
+  EXPECT_EQ(events.size(), 300u);
+  for (const auto& e : events) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, 50);        // sources are users
+    EXPECT_GE(e.dst, 90);        // field 1 items
+    EXPECT_LT(e.dst, 130);
+    EXPECT_GE(e.time, 0.2);
+    EXPECT_LT(e.time, 0.5);
+  }
+}
+
+TEST(GeneratorTest, EventsAreChronological) {
+  DynamicGraphUniverse u(TinySpec(), 3);
+  auto events = u.EarlyEvents(0);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  DynamicGraphUniverse u1(TinySpec(), 7);
+  DynamicGraphUniverse u2(TinySpec(), 7);
+  auto e1 = u1.EarlyEvents(0);
+  auto e2 = u2.EarlyEvents(0);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].src, e2[i].src);
+    EXPECT_EQ(e1[i].dst, e2[i].dst);
+    EXPECT_EQ(e1[i].time, e2[i].time);
+  }
+}
+
+TEST(GeneratorTest, SeedsChangeTheGraph) {
+  DynamicGraphUniverse u1(TinySpec(), 7);
+  DynamicGraphUniverse u2(TinySpec(), 8);
+  auto e1 = u1.EarlyEvents(0);
+  auto e2 = u2.EarlyEvents(0);
+  int diffs = 0;
+  for (size_t i = 0; i < std::min(e1.size(), e2.size()); ++i) {
+    if (e1[i].dst != e2[i].dst) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(GeneratorTest, CommunityStructureIsVisible) {
+  // With strong community preference, a user's items should concentrate in
+  // its long-term community far above the uniform baseline.
+  UniverseSpec spec = TinySpec();
+  spec.fields[0].community_strength = 0.95;
+  spec.fields[0].short_term_prob = 0.0;
+  spec.fields[0].repeat_prob = 0.0;
+  spec.fields[0].num_events_early = 4000;
+  DynamicGraphUniverse u(spec, 9);
+  auto events = u.EarlyEvents(0);
+  int64_t in_community = 0, total = 0;
+  for (const auto& e : events) {
+    // Re-derive the item's community membership via the pools.
+    int64_t uc = u.UserCommunity(e.src, 0);
+    (void)uc;
+    ++total;
+  }
+  // Indirect check: the number of *distinct* items per user should be far
+  // below the field size (preference concentration).
+  std::map<graph::NodeId, std::set<graph::NodeId>> items_per_user;
+  for (const auto& e : events) items_per_user[e.src].insert(e.dst);
+  double mean_distinct = 0.0;
+  for (auto& [user, items] : items_per_user) {
+    mean_distinct += static_cast<double>(items.size());
+  }
+  mean_distinct /= static_cast<double>(items_per_user.size());
+  EXPECT_LT(mean_distinct, 25.0);
+  (void)in_community;
+  EXPECT_GT(total, 0);
+}
+
+TEST(GeneratorTest, ShortTermInterestReRolls) {
+  DynamicGraphUniverse u(TinySpec(), 11);
+  // Across two distant windows the transient interest should differ for
+  // most users.
+  int changed = 0;
+  for (graph::NodeId user = 0; user < 50; ++user) {
+    if (u.UserShortTermCommunity(user, 0, 0.01) !=
+        u.UserShortTermCommunity(user, 0, 0.91)) {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 25);
+  // Within one window it must be stable.
+  EXPECT_EQ(u.UserShortTermCommunity(3, 0, 0.011),
+            u.UserShortTermCommunity(3, 0, 0.012));
+}
+
+TEST(GeneratorTest, LabeledFieldEmitsLabels) {
+  UniverseSpec spec = MakeWikipediaLike();
+  spec.fields[0].num_events_early = 1500;
+  spec.fields[0].num_events_late = 800;
+  DynamicGraphUniverse u(spec, 13);
+  auto events = u.EarlyEvents(0);
+  int64_t pos = 0, neg = 0;
+  for (const auto& e : events) {
+    ASSERT_GE(e.label, 0);
+    if (e.label == 1) {
+      ++pos;
+    } else {
+      ++neg;
+    }
+  }
+  EXPECT_GT(pos, 10);       // some flipped windows
+  EXPECT_GT(neg, pos);      // but flips are the minority
+}
+
+TEST(GeneratorTest, UnlabeledFieldEmitsMinusOne) {
+  DynamicGraphUniverse u(TinySpec(false), 15);
+  for (const auto& e : u.EarlyEvents(0)) EXPECT_EQ(e.label, -1);
+}
+
+TEST(GeneratorTest, FlipTimesMatchLabels) {
+  UniverseSpec spec = MakeRedditLike();
+  spec.fields[0].num_events_early = 2000;
+  DynamicGraphUniverse u(spec, 17);
+  auto events = u.EarlyEvents(0);
+  for (const auto& e : events) {
+    double flip = u.UserFlipTime(e.src, 0);
+    bool in_window = e.time >= flip &&
+                     e.time < flip + spec.fields[0].label_window;
+    EXPECT_EQ(e.label == 1, in_window);
+  }
+}
+
+TEST(ProfileTest, AllProfilesConstruct) {
+  for (auto spec : {MakeAmazonLike(), MakeGowallaLike(), MakeMeituanLike(),
+                    MakeWikipediaLike(), MakeMoocLike(), MakeRedditLike()}) {
+    DynamicGraphUniverse u(spec, 1);
+    EXPECT_GT(u.num_nodes(), 0);
+  }
+}
+
+TEST(TransferTest, TimeTransferUsesSameFieldEarlyEvents) {
+  TransferBenchmarkBuilder builder(TinySpec(), 21);
+  TransferDataset ds = builder.Build(TransferSetting::kTime, 0);
+  EXPECT_EQ(ds.name, "A/time");
+  // All pre-training events come from field 0's item block and precede the
+  // split time.
+  for (const auto& e : ds.pretrain_graph.events()) {
+    EXPECT_GE(e.dst, 50);
+    EXPECT_LT(e.dst, 90);
+    EXPECT_LT(e.time, 0.6);
+  }
+  for (const auto& e : ds.downstream_train_graph.events()) {
+    EXPECT_GE(e.time, 0.6);
+  }
+}
+
+TEST(TransferTest, FieldTransferUsesPretrainFieldLateEvents) {
+  TransferBenchmarkBuilder builder(TinySpec(), 21);
+  TransferDataset ds = builder.Build(TransferSetting::kField, 1);
+  for (const auto& e : ds.pretrain_graph.events()) {
+    EXPECT_GE(e.dst, 130);  // pre-training field items
+    EXPECT_GE(e.time, 0.6);
+  }
+}
+
+TEST(TransferTest, TimeFieldTransferUsesPretrainFieldEarlyEvents) {
+  TransferBenchmarkBuilder builder(TinySpec(), 21);
+  TransferDataset ds = builder.Build(TransferSetting::kTimeField, 1);
+  for (const auto& e : ds.pretrain_graph.events()) {
+    EXPECT_GE(e.dst, 130);
+    EXPECT_LT(e.time, 0.6);
+  }
+}
+
+TEST(TransferTest, DownstreamSplitIsChronological) {
+  TransferBenchmarkBuilder builder(TinySpec(), 23);
+  TransferDataset ds = builder.Build(TransferSetting::kTime, 0);
+  ASSERT_FALSE(ds.downstream_val_events.empty());
+  ASSERT_FALSE(ds.downstream_test_events.empty());
+  double train_last = ds.downstream_train_graph.events().back().time;
+  EXPECT_LE(train_last, ds.downstream_val_events.front().time);
+  EXPECT_LE(ds.downstream_val_events.back().time,
+            ds.downstream_test_events.front().time);
+  // 70/15/15 proportions (within rounding).
+  int64_t total = ds.downstream_train_graph.num_events() +
+                  static_cast<int64_t>(ds.downstream_val_events.size()) +
+                  static_cast<int64_t>(ds.downstream_test_events.size());
+  EXPECT_EQ(total, 400);
+  EXPECT_NEAR(
+      static_cast<double>(ds.downstream_train_graph.num_events()) / total,
+      0.7, 0.02);
+}
+
+TEST(TransferTest, SingleFieldSplit) {
+  UniverseSpec spec = MakeMeituanLike();
+  spec.fields[0].num_events_early = 800;
+  spec.fields[0].num_events_late = 600;
+  TransferBenchmarkBuilder builder(spec, 25);
+  TransferDataset ds = builder.BuildSingleField();
+  EXPECT_EQ(ds.pretrain_graph.num_events(), 800);
+  EXPECT_EQ(ds.downstream_train_graph.num_events(), 300);
+  EXPECT_EQ(ds.downstream_val_events.size(), 150u);
+  EXPECT_EQ(ds.downstream_test_events.size(), 150u);
+}
+
+TEST(TransferTest, NegativePoolsMatchFields) {
+  TransferBenchmarkBuilder builder(TinySpec(), 27);
+  TransferDataset ds = builder.Build(TransferSetting::kField, 0);
+  // Downstream pool: field 0 items; pre-train pool: field 2 items.
+  EXPECT_EQ(ds.downstream_negative_pool.front(), 50);
+  EXPECT_EQ(ds.pretrain_negative_pool.front(), 130);
+}
+
+}  // namespace
+}  // namespace cpdg::data

@@ -1,0 +1,64 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluators.h"
+
+namespace cpdg::eval {
+namespace {
+
+TEST(RocAucTest, PerfectSeparation) {
+  std::vector<ScoredLabel> s = {{0.9, 1}, {0.8, 1}, {0.2, 0}, {0.1, 0}};
+  EXPECT_DOUBLE_EQ(RocAuc(s), 1.0);
+}
+
+TEST(RocAucTest, PerfectInversion) {
+  std::vector<ScoredLabel> s = {{0.1, 1}, {0.2, 1}, {0.8, 0}, {0.9, 0}};
+  EXPECT_DOUBLE_EQ(RocAuc(s), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresGiveHalf) {
+  std::vector<ScoredLabel> s = {{0.5, 1}, {0.5, 0}, {0.5, 1}, {0.5, 0}};
+  EXPECT_DOUBLE_EQ(RocAuc(s), 0.5);  // all tied: half credit
+}
+
+TEST(RocAucTest, KnownPartialValue) {
+  // Positives at ranks {4, 2} among 4 samples: AUC = 3/4.
+  std::vector<ScoredLabel> s = {{0.9, 1}, {0.7, 0}, {0.5, 1}, {0.3, 0}};
+  EXPECT_DOUBLE_EQ(RocAuc(s), 0.75);
+}
+
+TEST(RocAucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(RocAuc({{0.5, 1}, {0.9, 1}}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({}), 0.5);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  std::vector<ScoredLabel> s = {{0.9, 1}, {0.8, 1}, {0.2, 0}};
+  EXPECT_DOUBLE_EQ(AveragePrecision(s), 1.0);
+}
+
+TEST(AveragePrecisionTest, KnownValue) {
+  // Ranking: pos, neg, pos => AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<ScoredLabel> s = {{0.9, 1}, {0.8, 0}, {0.7, 1}};
+  EXPECT_NEAR(AveragePrecision(s), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositives) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({{0.3, 0}}), 0.0);
+}
+
+TEST(AccuracyTest, ThresholdAtHalf) {
+  std::vector<ScoredLabel> s = {{0.9, 1}, {0.4, 0}, {0.6, 0}, {0.2, 1}};
+  EXPECT_DOUBLE_EQ(AccuracyAtHalf(s), 0.5);
+}
+
+TEST(CollectNodesTest, GathersBothEndpoints) {
+  std::vector<graph::Event> events = {{1, 5, 0.1}, {2, 5, 0.2}};
+  auto nodes = CollectNodes(events);
+  EXPECT_EQ(nodes.size(), 3u);
+  EXPECT_TRUE(nodes.count(1) && nodes.count(2) && nodes.count(5));
+}
+
+}  // namespace
+}  // namespace cpdg::eval

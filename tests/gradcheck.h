@@ -1,0 +1,53 @@
+#ifndef CPDG_TESTS_GRADCHECK_H_
+#define CPDG_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace cpdg::testing {
+
+/// Builds a scalar loss from the given leaf inputs.
+using LossFn = std::function<tensor::Tensor(std::vector<tensor::Tensor>&)>;
+
+/// \brief Central-difference gradient check: compares the autograd
+/// gradient of `loss_fn` w.r.t. every element of every input against a
+/// numerical estimate. Inputs must be leaf tensors with requires_grad.
+inline void ExpectGradientsMatch(std::vector<tensor::Tensor> inputs,
+                                 const LossFn& loss_fn, float eps = 1e-3f,
+                                 float tol = 2e-2f) {
+  // Analytic gradients.
+  for (auto& t : inputs) t.ZeroGrad();
+  tensor::Tensor loss = loss_fn(inputs);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  loss.Backward();
+
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    tensor::Tensor& input = inputs[which];
+    const float* analytic = input.grad();
+    for (int64_t i = 0; i < input.size(); ++i) {
+      float original = input.data()[i];
+      input.data()[i] = original + eps;
+      float plus = loss_fn(inputs).item();
+      input.data()[i] = original - eps;
+      float minus = loss_fn(inputs).item();
+      input.data()[i] = original;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float a = analytic[i];
+      float denom = std::max({1.0f, std::fabs(a), std::fabs(numeric)});
+      EXPECT_NEAR(a / denom, numeric / denom, tol)
+          << "input " << which << " element " << i << " analytic=" << a
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+}  // namespace cpdg::testing
+
+#endif  // CPDG_TESTS_GRADCHECK_H_

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "bench_common/experiment.h"
+#include "data/transfer.h"
+
+namespace cpdg::bench {
+namespace {
+
+/// Tiny universe for end-to-end integration: small enough for CI, big
+/// enough that learning beats chance.
+data::UniverseSpec TinyUniverse(bool labeled = false) {
+  data::UniverseSpec spec;
+  spec.num_users = 60;
+  data::FieldSpec a;
+  a.name = "A";
+  a.num_items = 40;
+  a.num_communities = 4;
+  a.community_strength = 0.9;
+  a.short_term_prob = 0.3;
+  a.num_events_early = 900;
+  a.num_events_late = 600;
+  a.labeled = labeled;
+  data::FieldSpec pre = a;
+  pre.name = "Pre";
+  if (labeled) {
+    spec.fields = {a};
+  } else {
+    spec.fields = {a, pre};
+  }
+  return spec;
+}
+
+ExperimentScale TinyScale() {
+  ExperimentScale scale;
+  scale.num_seeds = 1;
+  scale.pretrain_epochs = 2;
+  scale.finetune_epochs = 2;
+  scale.batch_size = 100;
+  scale.memory_dim = 8;
+  scale.embed_dim = 8;
+  scale.time_dim = 4;
+  scale.num_neighbors = 3;
+  return scale;
+}
+
+TEST(IntegrationTest, CpdgEndToEndBeatsChance) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 101);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  LinkPredResult r = RunLinkPrediction(MethodSpec::Cpdg(), ds, TinyScale(),
+                                       /*seed=*/1);
+  EXPECT_GT(r.auc, 0.55);
+  EXPECT_GT(r.ap, 0.55);
+  EXPECT_LE(r.auc, 1.0);
+}
+
+TEST(IntegrationTest, TgnBaselineEndToEnd) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 103);
+  data::TransferDataset ds =
+      builder.Build(data::TransferSetting::kTimeField, 0);
+  LinkPredResult r = RunLinkPrediction(
+      MethodSpec::Baseline(MethodId::kTgn), ds, TinyScale(), 1);
+  EXPECT_GT(r.auc, 0.5);
+}
+
+TEST(IntegrationTest, StaticBaselineEndToEnd) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 105);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kField, 0);
+  LinkPredResult r = RunLinkPrediction(
+      MethodSpec::Baseline(MethodId::kGraphSage), ds, TinyScale(), 1);
+  EXPECT_GT(r.auc, 0.4);  // smoke-level: static models are weaker
+}
+
+TEST(IntegrationTest, SslBaselinesEndToEnd) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 107);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  for (MethodId id : {MethodId::kDdgcl, MethodId::kSelfRgnn}) {
+    LinkPredResult r = RunLinkPrediction(MethodSpec::Baseline(id), ds,
+                                         TinyScale(), 1);
+    EXPECT_GE(r.auc, 0.3) << MethodName(id);
+    EXPECT_LE(r.auc, 1.0) << MethodName(id);
+  }
+}
+
+TEST(IntegrationTest, InductiveEvaluationRuns) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 109);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  MethodSpec spec = MethodSpec::Cpdg(dgnn::EncoderType::kJodie);
+  LinkPredResult r =
+      RunLinkPrediction(spec, ds, TinyScale(), 1, /*inductive=*/true);
+  EXPECT_GE(r.auc, 0.0);
+  EXPECT_LE(r.auc, 1.0);
+}
+
+TEST(IntegrationTest, NodeClassificationEndToEnd) {
+  data::UniverseSpec spec = TinyUniverse(/*labeled=*/true);
+  spec.fields[0].bad_user_fraction = 0.3;
+  spec.fields[0].label_window = 0.3;
+  data::TransferBenchmarkBuilder builder(spec, 111);
+  data::TransferDataset ds = builder.BuildSingleField();
+  double auc = RunNodeClassification(MethodSpec::Baseline(MethodId::kTgn),
+                                     ds, TinyScale(), 1);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(IntegrationTest, SeedsAggregationProducesStats) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 113);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  ExperimentScale scale = TinyScale();
+  scale.num_seeds = 2;
+  AggregatedResult agg = RunLinkPredictionSeeds(
+      MethodSpec::Baseline(MethodId::kJodie), ds, scale);
+  EXPECT_EQ(agg.auc.count(), 2);
+  EXPECT_GT(agg.auc.mean(), 0.4);
+}
+
+TEST(IntegrationTest, NoPretrainControl) {
+  data::TransferBenchmarkBuilder builder(TinyUniverse(), 115);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  MethodSpec spec = MethodSpec::Cpdg();
+  spec.pretrain = false;
+  LinkPredResult r = RunLinkPrediction(spec, ds, TinyScale(), 1);
+  EXPECT_GT(r.auc, 0.4);
+}
+
+TEST(ScaleTest, EnvOverridesParse) {
+  // FromEnv without variables returns defaults.
+  ExperimentScale s = ExperimentScale::FromEnv();
+  EXPECT_GE(s.num_seeds, 1);
+  EXPECT_GT(s.event_scale, 0.0);
+}
+
+TEST(ScaleTest, ScaleSpecMultipliesEvents) {
+  data::UniverseSpec spec = TinyUniverse();
+  data::UniverseSpec scaled = ScaleSpec(spec, 2.0);
+  EXPECT_EQ(scaled.fields[0].num_events_early,
+            spec.fields[0].num_events_early * 2);
+  // Floor keeps tiny scales usable.
+  data::UniverseSpec floored = ScaleSpec(spec, 0.01);
+  EXPECT_GE(floored.fields[0].num_events_early, 500);
+}
+
+}  // namespace
+}  // namespace cpdg::bench

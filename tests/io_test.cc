@@ -1,0 +1,192 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn.h"
+#include "tensor/serialization.h"
+#include "util/rng.h"
+
+namespace cpdg {
+namespace {
+
+using graph::Event;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+TEST(EventsCsvTest, RoundTrip) {
+  std::vector<Event> events = {
+      {0, 5, 1.25, 0, -1},
+      {3, 4, 2.5, 1, 0},
+      {2, 1, 3.75, 0, 1},
+  };
+  std::string path = TempPath("events_roundtrip.csv");
+  ASSERT_TRUE(graph::WriteEventsCsv(path, events).ok());
+  auto loaded = graph::ReadEventsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].src, events[i].src);
+    EXPECT_EQ(loaded.value()[i].dst, events[i].dst);
+    EXPECT_DOUBLE_EQ(loaded.value()[i].time, events[i].time);
+    EXPECT_EQ(loaded.value()[i].edge_type, events[i].edge_type);
+    EXPECT_EQ(loaded.value()[i].label, events[i].label);
+  }
+}
+
+TEST(EventsCsvTest, MissingFileIsIoError) {
+  auto r = graph::ReadEventsCsv("/nonexistent/path/events.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(EventsCsvTest, BadHeaderRejected) {
+  std::string path = TempPath("bad_header.csv");
+  WriteFile(path, "user,item\n1,2\n");
+  auto r = graph::ReadEventsCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventsCsvTest, MalformedRowRejectedWithLineNumber) {
+  std::string path = TempPath("bad_row.csv");
+  WriteFile(path, "src,dst,time,edge_type,label\n1,2,notanumber,0,0\n");
+  auto r = graph::ReadEventsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JodieCsvTest, ParsesAndRebasesItems) {
+  std::string path = TempPath("jodie.csv");
+  WriteFile(path,
+            "user_id,item_id,timestamp,state_label,"
+            "comma_separated_list_of_features\n"
+            "0,0,0.0,0,0.1,0.2\n"
+            "1,2,10.0,0,0.1,0.2\n"
+            "0,1,20.5,1,0.3,0.4\n");
+  auto ds = graph::ReadJodieCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().num_users, 2);
+  EXPECT_EQ(ds.value().num_items, 3);
+  EXPECT_EQ(ds.value().num_nodes(), 5);
+  ASSERT_EQ(ds.value().events.size(), 3u);
+  // Item ids are re-based after users.
+  EXPECT_EQ(ds.value().events[0].dst, 2);
+  EXPECT_EQ(ds.value().events[1].dst, 4);
+  EXPECT_EQ(ds.value().events[2].label, 1);
+}
+
+TEST(JodieCsvTest, LoadsDirectlyIntoGraph) {
+  std::string path = TempPath("jodie_graph.csv");
+  WriteFile(path,
+            "user_id,item_id,timestamp,state_label\n"
+            "0,0,5.0,0\n"
+            "1,0,1.0,0\n");
+  auto g = graph::LoadJodieGraph(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 3);
+  EXPECT_EQ(g.value().num_events(), 2);
+  // Events re-sorted chronologically.
+  EXPECT_EQ(g.value().event(0).src, 1);
+}
+
+TEST(JodieCsvTest, RejectsNegativeIds) {
+  std::string path = TempPath("jodie_neg.csv");
+  WriteFile(path, "h\n-1,0,1.0,0\n");
+  EXPECT_FALSE(graph::ReadJodieCsv(path).ok());
+}
+
+TEST(JodieCsvTest, RejectsEmptyData) {
+  std::string path = TempPath("jodie_empty.csv");
+  WriteFile(path, "header only\n");
+  EXPECT_FALSE(graph::ReadJodieCsv(path).ok());
+}
+
+TEST(SerializationTest, TensorRoundTrip) {
+  Rng rng(1);
+  std::vector<tensor::Tensor> tensors = {
+      tensor::Tensor::RandomUniform(3, 4, 1.0f, &rng),
+      tensor::Tensor::RandomUniform(1, 7, 2.0f, &rng),
+  };
+  std::string path = TempPath("tensors.ckpt");
+  ASSERT_TRUE(tensor::SaveTensors(tensors, path).ok());
+  auto loaded = tensor::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    ASSERT_EQ(loaded.value()[i].rows(), tensors[i].rows());
+    ASSERT_EQ(loaded.value()[i].cols(), tensors[i].cols());
+    for (int64_t j = 0; j < tensors[i].size(); ++j) {
+      EXPECT_EQ(loaded.value()[i].data()[j], tensors[i].data()[j]);
+    }
+  }
+}
+
+TEST(SerializationTest, ModuleRoundTrip) {
+  Rng rng1(2), rng2(3);
+  tensor::Mlp source({4, 8, 2}, &rng1);
+  tensor::Mlp target({4, 8, 2}, &rng2);
+  std::string path = TempPath("module.ckpt");
+  ASSERT_TRUE(tensor::SaveParameters(source, path).ok());
+  ASSERT_TRUE(tensor::LoadParameters(&target, path).ok());
+  auto ps = source.Parameters();
+  auto pt = target.Parameters();
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (int64_t j = 0; j < ps[i].size(); ++j) {
+      EXPECT_EQ(ps[i].data()[j], pt[i].data()[j]);
+    }
+  }
+}
+
+TEST(SerializationTest, ShapeMismatchRefusedAtomically) {
+  Rng rng(4);
+  tensor::Mlp source({4, 8, 2}, &rng);
+  tensor::Mlp other({4, 6, 2}, &rng);  // different hidden width
+  std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(tensor::SaveParameters(source, path).ok());
+  auto before = other.Parameters()[0].Clone();
+  Status s = tensor::LoadParameters(&other, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Target untouched on failure.
+  auto after = other.Parameters()[0];
+  for (int64_t j = 0; j < before.size(); ++j) {
+    EXPECT_EQ(before.data()[j], after.data()[j]);
+  }
+}
+
+TEST(SerializationTest, CorruptFileRejected) {
+  std::string path = TempPath("corrupt.ckpt");
+  WriteFile(path, "this is not a checkpoint");
+  EXPECT_FALSE(tensor::LoadTensors(path).ok());
+}
+
+TEST(SerializationTest, TruncatedPayloadRejected) {
+  Rng rng(5);
+  std::vector<tensor::Tensor> tensors = {
+      tensor::Tensor::RandomUniform(10, 10, 1.0f, &rng)};
+  std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(tensor::SaveTensors(tensors, path).ok());
+  // Truncate the file in the middle of the payload.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  EXPECT_FALSE(tensor::LoadTensors(path).ok());
+}
+
+}  // namespace
+}  // namespace cpdg

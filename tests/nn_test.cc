@@ -1,0 +1,238 @@
+#include "tensor/nn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/losses.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cpdg::tensor {
+namespace {
+
+TEST(LinearTest, ShapeAndParameterCount) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+  Tensor x = Tensor::Ones(2, 4);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(2);
+  Linear layer(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.ParameterCount(), 12);
+}
+
+TEST(MlpTest, HiddenActivationApplied) {
+  Rng rng(3);
+  Mlp mlp({2, 8, 1}, &rng, Activation::kRelu);
+  Tensor x = Tensor::Ones(5, 2);
+  Tensor y = mlp.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 1);
+  EXPECT_EQ(mlp.layers().size(), 2u);
+}
+
+TEST(MlpTest, LearnsXor) {
+  // XOR is the classic non-linear sanity check for the whole stack:
+  // forward, backward, optimizer.
+  Rng rng(4);
+  Mlp mlp({2, 8, 1}, &rng, Activation::kTanh);
+  Adam opt(mlp.Parameters(), 0.05f);
+  Tensor x = Tensor::FromVector(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y = Tensor::FromVector(4, 1, {0, 1, 1, 0});
+  float final_loss = 1.0f;
+  for (int step = 0; step < 400; ++step) {
+    Tensor loss = BceWithLogitsLoss(mlp.Forward(x), y);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 0.1f);
+  Tensor pred = Sigmoid(mlp.Forward(x));
+  EXPECT_LT(pred.at(0, 0), 0.5f);
+  EXPECT_GT(pred.at(1, 0), 0.5f);
+  EXPECT_GT(pred.at(2, 0), 0.5f);
+  EXPECT_LT(pred.at(3, 0), 0.5f);
+}
+
+TEST(GruCellTest, ShapeAndGradients) {
+  Rng rng(5);
+  GruCell gru(3, 4, &rng);
+  Tensor x = Tensor::RandomUniform(2, 3, 1.0f, &rng, true);
+  Tensor h = Tensor::RandomUniform(2, 4, 1.0f, &rng, true);
+  Tensor h2 = gru.Forward(x, h);
+  EXPECT_EQ(h2.rows(), 2);
+  EXPECT_EQ(h2.cols(), 4);
+
+  cpdg::testing::ExpectGradientsMatch(
+      {x, h}, [&gru](std::vector<Tensor>& in) {
+        return Mean(Square(gru.Forward(in[0], in[1])));
+      });
+}
+
+TEST(GruCellTest, GateBehaviorBounded) {
+  // GRU output is a convex combination of h and tanh candidate, so it must
+  // stay in (-1, 1) when h does.
+  Rng rng(6);
+  GruCell gru(2, 3, &rng);
+  Tensor x = Tensor::RandomUniform(4, 2, 5.0f, &rng);
+  Tensor h = Tensor::RandomUniform(4, 3, 0.9f, &rng);
+  Tensor h2 = gru.Forward(x, h);
+  for (int64_t i = 0; i < h2.size(); ++i) {
+    EXPECT_LT(std::fabs(h2.data()[i]), 1.0f);
+  }
+}
+
+TEST(RnnCellTest, ShapeAndRange) {
+  Rng rng(7);
+  RnnCell rnn(3, 4, &rng);
+  Tensor x = Tensor::RandomUniform(2, 3, 2.0f, &rng);
+  Tensor h = Tensor::Zeros(2, 4);
+  Tensor h2 = rnn.Forward(x, h);
+  EXPECT_EQ(h2.cols(), 4);
+  for (int64_t i = 0; i < h2.size(); ++i) {
+    EXPECT_LE(std::fabs(h2.data()[i]), 1.0f);
+  }
+}
+
+TEST(TimeEncoderTest, OutputInCosineRange) {
+  Rng rng(8);
+  TimeEncoder enc(6, &rng);
+  Tensor phi = enc.Forward({0.0, 0.5, 100.0, 12345.0});
+  EXPECT_EQ(phi.rows(), 4);
+  EXPECT_EQ(phi.cols(), 6);
+  for (int64_t i = 0; i < phi.size(); ++i) {
+    EXPECT_LE(std::fabs(phi.data()[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST(TimeEncoderTest, ZeroDeltaGivesCosPhase) {
+  Rng rng(9);
+  TimeEncoder enc(4, &rng);
+  Tensor phi = enc.Forward({0.0});
+  // cos(0 * w + 0) = 1 for the initial zero phases.
+  for (int64_t c = 0; c < 4; ++c) EXPECT_NEAR(phi.at(0, c), 1.0f, 1e-5f);
+}
+
+TEST(TimeEncoderTest, DistinguishesTimescales) {
+  Rng rng(10);
+  TimeEncoder enc(8, &rng);
+  Tensor a = enc.Forward({1.0});
+  Tensor b = enc.Forward({1000.0});
+  double diff = 0.0;
+  for (int64_t c = 0; c < 8; ++c) {
+    diff += std::fabs(a.at(0, c) - b.at(0, c));
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(GroupedAttentionLayerTest, ShapesAndGrads) {
+  Rng rng(11);
+  GroupedAttentionLayer layer(3, 5, 4, 6, &rng);
+  Tensor q = Tensor::RandomUniform(2, 3, 1.0f, &rng, true);
+  Tensor c = Tensor::RandomUniform(4, 5, 1.0f, &rng, true);
+  std::vector<uint8_t> valid = {1, 1, 1, 0};
+  Tensor out = layer.Forward(q, c, 2, valid);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_EQ(out.cols(), 6);
+
+  cpdg::testing::ExpectGradientsMatch(
+      {q, c}, [&layer, &valid](std::vector<Tensor>& in) {
+        return Mean(Square(layer.Forward(in[0], in[1], 2, valid)));
+      });
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng1(12), rng2(13);
+  Mlp a({3, 4, 2}, &rng1);
+  Mlp b({3, 4, 2}, &rng2);
+  b.CopyParametersFrom(a);
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].size(); ++j) {
+      EXPECT_EQ(pa[i].data()[j], pb[i].data()[j]);
+    }
+  }
+}
+
+TEST(OptimTest, SgdDescendsQuadratic) {
+  Tensor x = Tensor::Full(1, 1, 10.0f, true);
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    Tensor loss = Square(x);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), 0.0f, 1e-3f);
+}
+
+TEST(OptimTest, SgdMomentumDescends) {
+  Tensor x = Tensor::Full(1, 1, 10.0f, true);
+  Sgd opt({x}, 0.02f, 0.9f);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = Square(x);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), 0.0f, 1e-2f);
+}
+
+TEST(OptimTest, AdamDescendsIllConditioned) {
+  // f(x, y) = x^2 + 100 y^2: Adam should handle the conditioning.
+  Tensor x = Tensor::Full(1, 1, 3.0f, true);
+  Tensor y = Tensor::Full(1, 1, 3.0f, true);
+  Adam opt({x, y}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    Tensor loss = Add(Square(x), MulScalar(Square(y), 100.0f));
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), 0.0f, 1e-2f);
+  EXPECT_NEAR(y.item(), 0.0f, 1e-2f);
+}
+
+TEST(OptimTest, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::Full(1, 1, 1.0f, true);
+  // Zero-gradient loss; decay alone should shrink x.
+  Sgd opt({x}, 0.1f, 0.0f, 0.5f);
+  for (int i = 0; i < 10; ++i) {
+    Tensor loss = MulScalar(x, 0.0f);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(x.item(), 0.7f);
+}
+
+TEST(OptimTest, ClipGradNormScales) {
+  Tensor x = Tensor::Full(1, 4, 0.0f, true);
+  float* g = x.grad();
+  for (int i = 0; i < 4; ++i) g[i] = 3.0f;  // norm = 6
+  float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 6.0f, 1e-5f);
+  double clipped = 0.0;
+  for (int i = 0; i < 4; ++i) clipped += x.grad()[i] * x.grad()[i];
+  EXPECT_NEAR(std::sqrt(clipped), 1.0f, 1e-4f);
+}
+
+TEST(OptimTest, ClipGradNormNoopBelowMax) {
+  Tensor x = Tensor::Full(1, 1, 0.0f, true);
+  x.grad()[0] = 0.5f;
+  ClipGradNorm({x}, 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.5f);
+}
+
+}  // namespace
+}  // namespace cpdg::tensor

@@ -1,0 +1,130 @@
+// Tests pinning down the CPDG objective's arithmetic (Eq. 17 weighting,
+// Eq. 6-8 probability identities, triplet-loss boundary cases) and the
+// edge cases of the loss functions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pretrainer.h"
+#include "sampler/samplers.h"
+#include "tensor/losses.h"
+#include "tensor/ops.h"
+
+namespace cpdg {
+namespace {
+
+using tensor::Tensor;
+
+TEST(TripletLossTest, ZeroWhenNegativeFarBeyondMargin) {
+  Tensor anchor = Tensor::Zeros(2, 3);
+  Tensor positive = Tensor::Zeros(2, 3);
+  Tensor negative = Tensor::Full(2, 3, 100.0f);
+  Tensor loss = tensor::TripletMarginLoss(anchor, positive, negative, 1.0f);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+}
+
+TEST(TripletLossTest, EqualsMarginWhenAllCoincide) {
+  Tensor x = Tensor::Full(2, 3, 1.0f);
+  Tensor loss = tensor::TripletMarginLoss(x, x, x, 0.7f);
+  EXPECT_NEAR(loss.item(), 0.7f, 1e-5f);
+}
+
+TEST(TripletLossTest, KnownValue) {
+  // d(a,p) = 2, d(a,n) = 1, margin 0.5 -> loss = 1.5.
+  Tensor a = Tensor::FromVector(1, 1, {0.0f});
+  Tensor p = Tensor::FromVector(1, 1, {2.0f});
+  Tensor n = Tensor::FromVector(1, 1, {1.0f});
+  Tensor loss = tensor::TripletMarginLoss(a, p, n, 0.5f);
+  EXPECT_NEAR(loss.item(), 1.5f, 1e-5f);
+}
+
+TEST(BceTest, MatchesClosedForm) {
+  // logit 0 -> p 0.5 -> BCE ln 2 regardless of label.
+  Tensor logits = Tensor::Zeros(4, 1);
+  Tensor targets = Tensor::FromVector(4, 1, {1, 0, 1, 0});
+  Tensor loss = tensor::BceWithLogitsLoss(logits, targets);
+  EXPECT_NEAR(loss.item(), std::log(2.0f), 1e-5f);
+}
+
+TEST(BceTest, ConfidentCorrectIsNearZero) {
+  Tensor logits = Tensor::FromVector(2, 1, {12.0f, -12.0f});
+  Tensor targets = Tensor::FromVector(2, 1, {1.0f, 0.0f});
+  EXPECT_LT(tensor::BceWithLogitsLoss(logits, targets).item(), 1e-3f);
+}
+
+TEST(BceTest, ExtremeLogitsStayFinite) {
+  Tensor logits = Tensor::FromVector(2, 1, {1000.0f, -1000.0f});
+  Tensor targets = Tensor::FromVector(2, 1, {0.0f, 1.0f});
+  Tensor loss = tensor::BceWithLogitsLoss(logits, targets);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(Eq6Through8Test, ChronologicalAndReverseAreMirrors) {
+  // For event times whose normalized positions (Eq. 6) are symmetric
+  // around 1/2, the reverse-chronological distribution is the exact mirror
+  // of the chronological one. times below normalize to {0, .25, .5, .75,
+  // 1} for t = 1.0.
+  std::vector<double> times = {0.1, 0.325, 0.55, 0.775, 1.0 - 1e-12};
+  auto p_chrono = sampler::TemporalProbabilities(
+      times, 1.0, sampler::TemporalBias::kChronological, 0.3);
+  auto p_reverse = sampler::TemporalProbabilities(
+      times, 1.0, sampler::TemporalBias::kReverseChronological, 0.3);
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(p_chrono[i], p_reverse[times.size() - 1 - i], 1e-9)
+        << "mirror mismatch at " << i;
+  }
+}
+
+TEST(Eq6Through8Test, NormalizedTimeIsScaleInvariant) {
+  // Eq. (6) normalizes by (t - min T), so shifting and scaling all times
+  // must not change the probabilities.
+  std::vector<double> times = {1.0, 2.0, 4.0};
+  std::vector<double> scaled = {100.0, 200.0, 400.0};
+  // scaled = 100 * times: same normalized positions when t scales too.
+  auto p1 = sampler::TemporalProbabilities(
+      times, 5.0, sampler::TemporalBias::kChronological, 0.2);
+  auto p2 = sampler::TemporalProbabilities(
+      scaled, 500.0, sampler::TemporalBias::kChronological, 0.2);
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-9);
+  }
+}
+
+TEST(Eq17Test, BetaZeroDropsStructuralTerm) {
+  // With beta = 0, disabling SC must not change the objective structure:
+  // the pretrainer must accept both configurations.
+  Rng rng(1);
+  core::CpdgConfig config;
+  config.beta = 0.0f;
+  core::CpdgPretrainer p1(config, &rng);
+  config.beta = 1.0f;
+  core::CpdgPretrainer p2(config, &rng);
+  EXPECT_EQ(p1.config().beta, 0.0f);
+  EXPECT_EQ(p2.config().beta, 1.0f);
+}
+
+TEST(Eq17Test, InvalidBetaRejected) {
+  Rng rng(2);
+  core::CpdgConfig config;
+  config.beta = 1.5f;
+  EXPECT_DEATH(core::CpdgPretrainer(config, &rng), "beta");
+}
+
+TEST(MseTest, KnownValue) {
+  Tensor a = Tensor::FromVector(1, 2, {1.0f, 3.0f});
+  Tensor b = Tensor::FromVector(1, 2, {2.0f, 1.0f});
+  // ((1)^2 + (2)^2) / 2 = 2.5
+  EXPECT_NEAR(tensor::MseLoss(a, b).item(), 2.5f, 1e-6f);
+}
+
+TEST(RowDistanceTest, KnownValues) {
+  Tensor a = Tensor::FromVector(2, 2, {0, 0, 1, 1});
+  Tensor b = Tensor::FromVector(2, 2, {3, 4, 1, 1});
+  Tensor d = tensor::RowEuclideanDistance(a, b);
+  EXPECT_NEAR(d.at(0, 0), 5.0f, 1e-5f);
+  EXPECT_NEAR(d.at(1, 0), 0.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace cpdg

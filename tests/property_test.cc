@@ -1,0 +1,289 @@
+// Property-based tests: parameterized sweeps over the invariants that the
+// samplers, metrics, memory protocol, and autograd engine must uphold for
+// any configuration.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "dgnn/encoder.h"
+#include "eval/metrics.h"
+#include "graph/temporal_graph.h"
+#include "sampler/samplers.h"
+#include "gradcheck.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace cpdg {
+namespace {
+
+using graph::Event;
+using graph::NodeId;
+using graph::TemporalGraph;
+
+TemporalGraph RandomGraph(uint64_t seed, int64_t nodes, int64_t events) {
+  Rng rng(seed);
+  std::vector<Event> ev;
+  for (int64_t i = 0; i < events; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(nodes));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(nodes));
+    if (a == b) b = (b + 1) % nodes;
+    ev.push_back({a, b, rng.NextDouble()});
+  }
+  return TemporalGraph::Create(nodes, ev).ValueOrDie();
+}
+
+// ---------- Sampler invariants over (width, depth, bias) ----------
+
+using SamplerParams = std::tuple<int, int, sampler::TemporalBias>;
+
+class SamplerPropertyTest
+    : public ::testing::TestWithParam<SamplerParams> {};
+
+TEST_P(SamplerPropertyTest, EtaBfsInvariants) {
+  auto [width, depth, bias] = GetParam();
+  TemporalGraph g = RandomGraph(100 + width * 10 + depth, 40, 500);
+  sampler::StructuralTemporalSampler s(&g);
+  sampler::StructuralTemporalSampler::Options opts;
+  opts.width = width;
+  opts.depth = depth;
+  Rng rng(7);
+
+  // Geometric bound on subgraph size: sum_{h=1..depth} width^h.
+  int64_t bound = 0, w = 1;
+  for (int h = 0; h < depth; ++h) {
+    w *= width;
+    bound += w;
+  }
+
+  for (NodeId root = 0; root < 20; ++root) {
+    double t = 0.5 + 0.02 * static_cast<double>(root);
+    auto sample = s.SampleEtaBfs(root, t, bias, opts, &rng);
+    EXPECT_LE(sample.size(), bound);
+    // Nodes are unique and exclude the root.
+    std::set<NodeId> uniq(sample.nodes.begin(), sample.nodes.end());
+    EXPECT_EQ(static_cast<int64_t>(uniq.size()), sample.size());
+    EXPECT_EQ(uniq.count(root), 0u);
+    // Every sampled node was reached through a pre-t interaction.
+    for (size_t i = 0; i < sample.nodes.size(); ++i) {
+      EXPECT_LT(sample.times[i], t);
+    }
+  }
+}
+
+TEST_P(SamplerPropertyTest, EpsilonDfsInvariants) {
+  auto [width, depth, bias] = GetParam();
+  (void)bias;  // DFS is deterministic and bias-free
+  TemporalGraph g = RandomGraph(200 + width + depth, 40, 500);
+  sampler::StructuralTemporalSampler s(&g);
+  sampler::StructuralTemporalSampler::Options opts;
+  opts.width = width;
+  opts.depth = depth;
+
+  int64_t bound = 0, w = 1;
+  for (int h = 0; h < depth; ++h) {
+    w *= width;
+    bound += w;
+  }
+  for (NodeId root = 0; root < 20; ++root) {
+    double t = 0.6;
+    auto a = s.SampleEpsilonDfs(root, t, opts);
+    auto b = s.SampleEpsilonDfs(root, t, opts);
+    EXPECT_EQ(a.nodes, b.nodes);  // deterministic
+    EXPECT_LE(a.size(), bound);
+    std::set<NodeId> uniq(a.nodes.begin(), a.nodes.end());
+    EXPECT_EQ(static_cast<int64_t>(uniq.size()), a.size());
+    for (double ts : a.times) EXPECT_LT(ts, t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthDepthBias, SamplerPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 4),
+        ::testing::Values(1, 2, 3),
+        ::testing::Values(sampler::TemporalBias::kChronological,
+                          sampler::TemporalBias::kReverseChronological,
+                          sampler::TemporalBias::kUniform)));
+
+// ---------- Probability function invariants ----------
+
+class TemporalProbPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemporalProbPropertyTest, SimplexAndMonotonicity) {
+  double tau = GetParam();
+  Rng rng(11);
+  std::vector<double> times;
+  for (int i = 0; i < 30; ++i) times.push_back(rng.NextDouble() * 0.9);
+  std::sort(times.begin(), times.end());
+
+  for (auto bias : {sampler::TemporalBias::kChronological,
+                    sampler::TemporalBias::kReverseChronological}) {
+    auto p = sampler::TemporalProbabilities(times, 1.0, bias, tau);
+    double sum = 0.0;
+    for (double x : p) {
+      EXPECT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Monotone in event time (non-strict: ties allowed).
+    for (size_t i = 1; i < p.size(); ++i) {
+      if (bias == sampler::TemporalBias::kChronological) {
+        EXPECT_GE(p[i], p[i - 1] - 1e-12);
+      } else {
+        EXPECT_LE(p[i], p[i - 1] + 1e-12);
+      }
+    }
+    // Chronological and reverse are mirror images of each other.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, TemporalProbPropertyTest,
+                         ::testing::Values(0.05, 0.2, 1.0, 5.0));
+
+// ---------- Metric invariances ----------
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, AucInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam());
+  std::vector<eval::ScoredLabel> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({rng.NextDouble(),
+                       rng.NextBernoulli(0.4) ? 1 : 0});
+  }
+  double base = eval::RocAuc(samples);
+  std::vector<eval::ScoredLabel> transformed = samples;
+  for (auto& s : transformed) s.score = std::exp(3.0 * s.score) + 5.0;
+  EXPECT_NEAR(eval::RocAuc(transformed), base, 1e-12);
+}
+
+TEST_P(MetricPropertyTest, AucComplementOnLabelFlip) {
+  Rng rng(GetParam() + 1);
+  std::vector<eval::ScoredLabel> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({rng.NextDouble(), rng.NextBernoulli(0.5) ? 1 : 0});
+  }
+  double base = eval::RocAuc(samples);
+  std::vector<eval::ScoredLabel> flipped = samples;
+  for (auto& s : flipped) s.label = 1 - s.label;
+  EXPECT_NEAR(eval::RocAuc(flipped), 1.0 - base, 1e-12);
+}
+
+TEST_P(MetricPropertyTest, ApAtLeastPositiveRate) {
+  // AP of any ranking is >= the positive base rate achieved by random
+  // ranking in expectation; check the weaker bound AP <= 1 and >= 0, plus
+  // perfect ranking gives 1.
+  Rng rng(GetParam() + 2);
+  std::vector<eval::ScoredLabel> samples;
+  for (int i = 0; i < 100; ++i) {
+    int label = rng.NextBernoulli(0.3) ? 1 : 0;
+    samples.push_back({static_cast<double>(label) + rng.NextDouble() * 0.1,
+                       label});
+  }
+  double ap = eval::AveragePrecision(samples);
+  EXPECT_GT(ap, 0.9);  // near-perfect separation by construction
+  EXPECT_LE(ap, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------- Autograd: random composite graphs vs numeric gradients ------
+
+class AutogradFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradFuzzTest, RandomCompositeProgram) {
+  using tensor::Tensor;
+  Rng rng(GetParam());
+  Tensor a = Tensor::RandomUniform(3, 4, 0.8f, &rng, true);
+  Tensor b = Tensor::RandomUniform(4, 3, 0.8f, &rng, true);
+  Tensor c = Tensor::RandomUniform(3, 3, 0.8f, &rng, true);
+
+  auto loss_fn = [seed = GetParam()](std::vector<Tensor>& in) {
+    using namespace tensor;
+    Tensor m = MatMul(in[0], in[1]);       // [3,3]
+    Tensor h = Tanh(Add(m, in[2]));        // [3,3]
+    switch (seed % 4) {
+      case 0:
+        h = Sigmoid(MatMul(h, Transpose(h)));
+        break;
+      case 1:
+        h = Softmax(Concat(h, in[2]));
+        break;
+      case 2:
+        h = Mul(h, h);
+        break;
+      default:
+        h = Relu(Sub(h, in[2]));
+        break;
+    }
+    return Mean(Square(h));
+  };
+
+  // Analytic vs numeric over every input element.
+  cpdg::testing::ExpectGradientsMatch({a, b, c}, loss_fn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u,
+                                           17u, 18u));
+
+// ---------- Memory / encoder protocol invariants ----------
+
+class EncoderProtocolTest
+    : public ::testing::TestWithParam<dgnn::EncoderType> {};
+
+TEST_P(EncoderProtocolTest, RandomEventStreamKeepsInvariants) {
+  TemporalGraph g = RandomGraph(500, 30, 400);
+  Rng rng(31);
+  dgnn::EncoderConfig config =
+      dgnn::EncoderConfig::Preset(GetParam(), g.num_nodes());
+  config.memory_dim = 8;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.num_neighbors = 3;
+  dgnn::DgnnEncoder encoder(config, &g, &rng);
+
+  const auto& events = g.events();
+  double last_norm = 0.0;
+  for (size_t start = 0; start < events.size(); start += 80) {
+    size_t end = std::min(events.size(), start + 80);
+    std::vector<Event> batch(events.begin() + start, events.begin() + end);
+    std::vector<NodeId> roots;
+    std::vector<double> times;
+    for (const Event& e : batch) {
+      roots.push_back(e.src);
+      times.push_back(e.time);
+    }
+    encoder.BeginBatch();
+    tensor::Tensor z = encoder.ComputeEmbeddings(roots, times);
+    // Embeddings are finite.
+    for (int64_t i = 0; i < z.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(z.data()[i]));
+    }
+    encoder.CommitBatch(batch);
+    // last_update is monotone along the stream for touched nodes.
+    for (const Event& e : batch) {
+      EXPECT_GE(encoder.memory().LastUpdate(e.src), e.time - 1e-12);
+    }
+    double norm = encoder.memory().StateNorm();
+    EXPECT_TRUE(std::isfinite(norm));
+    last_norm = norm;
+  }
+  EXPECT_GT(last_norm, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, EncoderProtocolTest,
+                         ::testing::Values(dgnn::EncoderType::kJodie,
+                                           dgnn::EncoderType::kDyRep,
+                                           dgnn::EncoderType::kTgn),
+                         [](const auto& info) {
+                           return dgnn::EncoderTypeName(info.param);
+                         });
+
+}  // namespace
+}  // namespace cpdg

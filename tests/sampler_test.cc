@@ -1,0 +1,244 @@
+#include "sampler/samplers.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cpdg::sampler {
+namespace {
+
+using graph::Event;
+using graph::TemporalGraph;
+
+TemporalGraph MakeStarGraph() {
+  // Node 0 interacts with 1..5 at times 1..5; nodes 1..5 each also talk to
+  // node 6+i at time i - 0.5 so 2-hop expansion has somewhere to go.
+  std::vector<Event> events;
+  for (int i = 1; i <= 5; ++i) {
+    events.push_back({0, i, static_cast<double>(i)});
+    events.push_back({i, 5 + i, static_cast<double>(i) - 0.5});
+  }
+  return TemporalGraph::Create(11, events).ValueOrDie();
+}
+
+TEST(TemporalProbabilitiesTest, ChronologicalFavorsRecent) {
+  std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  auto p = TemporalProbabilities(times, 5.0,
+                                 TemporalBias::kChronological, 0.2);
+  ASSERT_EQ(p.size(), 4u);
+  for (size_t i = 1; i < p.size(); ++i) EXPECT_GT(p[i], p[i - 1]);
+  double sum = 0.0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TemporalProbabilitiesTest, ReverseFavorsAgelong) {
+  std::vector<double> times = {1.0, 2.0, 3.0, 4.0};
+  auto p = TemporalProbabilities(times, 5.0,
+                                 TemporalBias::kReverseChronological, 0.2);
+  for (size_t i = 1; i < p.size(); ++i) EXPECT_LT(p[i], p[i - 1]);
+}
+
+TEST(TemporalProbabilitiesTest, UniformIsUniform) {
+  std::vector<double> times = {1.0, 2.0, 3.0};
+  auto p = TemporalProbabilities(times, 5.0, TemporalBias::kUniform, 0.2);
+  for (double x : p) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TemporalProbabilitiesTest, DegenerateTimesFallBackToUniform) {
+  std::vector<double> times = {2.0, 2.0, 2.0};
+  auto p = TemporalProbabilities(times, 2.0,
+                                 TemporalBias::kChronological, 0.2);
+  for (double x : p) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TemporalProbabilitiesTest, TemperatureSharpens) {
+  std::vector<double> times = {1.0, 4.0};
+  auto warm = TemporalProbabilities(times, 5.0,
+                                    TemporalBias::kChronological, 1.0);
+  auto cold = TemporalProbabilities(times, 5.0,
+                                    TemporalBias::kChronological, 0.05);
+  EXPECT_GT(cold[1], warm[1]);
+  EXPECT_GT(cold[1], 0.99);
+}
+
+TEST(EtaBfsTest, RespectsTimeCutoff) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 5;
+  opts.depth = 1;
+  Rng rng(1);
+  // At t=3.5 only neighbors 1, 2, 3 of node 0 exist.
+  auto sample = sampler.SampleEtaBfs(0, 3.5, TemporalBias::kUniform, opts,
+                                     &rng);
+  for (auto v : sample.nodes) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(sample.size(), 3);
+}
+
+TEST(EtaBfsTest, WidthLimitsPerHopSamples) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 2;
+  opts.depth = 1;
+  Rng rng(2);
+  auto sample = sampler.SampleEtaBfs(0, 10.0, TemporalBias::kUniform, opts,
+                                     &rng);
+  EXPECT_LE(sample.size(), 2);
+  EXPECT_GE(sample.size(), 1);
+}
+
+TEST(EtaBfsTest, ChronologicalBiasPrefersRecentNeighbors) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 1;
+  opts.depth = 1;
+  opts.temperature = 0.05;  // near-argmax
+  Rng rng(3);
+  int recent_hits = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = sampler.SampleEtaBfs(0, 10.0, TemporalBias::kChronological,
+                                  opts, &rng);
+    ASSERT_EQ(s.size(), 1);
+    if (s.nodes[0] == 5) ++recent_hits;  // node 5 is the latest neighbor
+  }
+  EXPECT_GT(recent_hits, 40);
+}
+
+TEST(EtaBfsTest, ReverseBiasPrefersAgelongNeighbors) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 1;
+  opts.depth = 1;
+  opts.temperature = 0.05;
+  Rng rng(4);
+  int old_hits = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = sampler.SampleEtaBfs(
+        0, 10.0, TemporalBias::kReverseChronological, opts, &rng);
+    ASSERT_EQ(s.size(), 1);
+    if (s.nodes[0] == 1) ++old_hits;  // node 1 is the oldest neighbor
+  }
+  EXPECT_GT(old_hits, 40);
+}
+
+TEST(EtaBfsTest, TwoHopReachesSecondRing) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 5;
+  opts.depth = 2;
+  Rng rng(5);
+  auto s = sampler.SampleEtaBfs(0, 10.0, TemporalBias::kUniform, opts, &rng);
+  bool has_second_ring = false;
+  for (auto v : s.nodes) {
+    if (v >= 6) has_second_ring = true;
+  }
+  EXPECT_TRUE(has_second_ring);
+}
+
+TEST(EtaBfsTest, IsolatedRootYieldsEmpty) {
+  auto g = graph::TemporalGraph::Create(3, {{0, 1, 1.0}}).ValueOrDie();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  Rng rng(6);
+  auto s = sampler.SampleEtaBfs(2, 5.0, TemporalBias::kUniform, opts, &rng);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(EpsilonDfsTest, PicksMostRecentNeighbors) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 2;
+  opts.depth = 1;
+  auto s = sampler.SampleEpsilonDfs(0, 10.0, opts);
+  // Most recent two neighbors of node 0 are 4 and 5.
+  std::set<graph::NodeId> got(s.nodes.begin(), s.nodes.end());
+  EXPECT_TRUE(got.count(4) == 1);
+  EXPECT_TRUE(got.count(5) == 1);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(EpsilonDfsTest, IsDeterministic) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 2;
+  opts.depth = 2;
+  auto a = sampler.SampleEpsilonDfs(0, 10.0, opts);
+  auto b = sampler.SampleEpsilonDfs(0, 10.0, opts);
+  EXPECT_EQ(a.nodes, b.nodes);
+}
+
+TEST(EpsilonDfsTest, DepthExpandsRecursively) {
+  TemporalGraph g = MakeStarGraph();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 2;
+  opts.depth = 2;
+  auto s = sampler.SampleEpsilonDfs(0, 10.0, opts);
+  bool has_second_ring = false;
+  for (auto v : s.nodes) {
+    if (v >= 6) has_second_ring = true;
+  }
+  EXPECT_TRUE(has_second_ring);
+}
+
+TEST(NeighborBatchTest, MostRecentTakesChronologicalTail) {
+  TemporalGraph g = MakeStarGraph();
+  auto batch = SampleNeighborBatch(g, {0}, {10.0}, 2,
+                                   NeighborStrategy::kMostRecent, nullptr);
+  ASSERT_EQ(batch.nodes.size(), 2u);
+  EXPECT_EQ(batch.nodes[0], 4);
+  EXPECT_EQ(batch.nodes[1], 5);
+  EXPECT_TRUE(batch.valid[0] && batch.valid[1]);
+}
+
+TEST(NeighborBatchTest, PadsWhenFewNeighbors) {
+  auto g = graph::TemporalGraph::Create(3, {{0, 1, 1.0}}).ValueOrDie();
+  auto batch = SampleNeighborBatch(g, {0, 2}, {5.0, 5.0}, 3,
+                                   NeighborStrategy::kMostRecent, nullptr);
+  EXPECT_EQ(batch.valid[0], 1);
+  EXPECT_EQ(batch.valid[1], 0);
+  EXPECT_EQ(batch.valid[2], 0);
+  // Node 2 is isolated: all padding.
+  EXPECT_EQ(batch.valid[3] + batch.valid[4] + batch.valid[5], 0);
+}
+
+TEST(NeighborBatchTest, UniformStaysBeforeQueryTime) {
+  TemporalGraph g = MakeStarGraph();
+  Rng rng(7);
+  auto batch = SampleNeighborBatch(g, {0}, {3.5}, 10,
+                                   NeighborStrategy::kUniform, &rng);
+  for (size_t i = 0; i < batch.nodes.size(); ++i) {
+    if (batch.valid[i]) {
+      EXPECT_LT(batch.times[i], 3.5);
+    }
+  }
+}
+
+TEST(RandomWalkTest, StaysInThePast) {
+  TemporalGraph g = MakeStarGraph();
+  Rng rng(8);
+  auto walk = TemporalRandomWalk(g, 0, 10.0, 4, &rng);
+  EXPECT_GE(walk.size(), 2u);
+  EXPECT_EQ(walk[0], 0);
+}
+
+TEST(RandomWalkTest, IsolatedNodeWalksNowhere) {
+  auto g = graph::TemporalGraph::Create(3, {{0, 1, 1.0}}).ValueOrDie();
+  Rng rng(9);
+  auto walk = TemporalRandomWalk(g, 2, 5.0, 4, &rng);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cpdg::sampler

@@ -1,0 +1,160 @@
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace cpdg {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.6);
+}
+
+TEST(RngTest, ZipfFavorsHead) {
+  Rng rng(17);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 2000; ++i) {
+    size_t pick = rng.NextZipf(100, 1.0);
+    if (pick < 10) {
+      ++head;
+    } else {
+      ++tail;
+    }
+  }
+  EXPECT_GT(head, tail);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+  Rng parent(23);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  EXPECT_NE(child1.NextUint64(), child2.NextUint64());
+}
+
+TEST(StatsTest, RunningStatsMeanAndStd) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(StatsTest, VectorHelpers) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(Mean(v), 2.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), 1.0, 1e-12);
+  EXPECT_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Method", "AUC"});
+  t.AddRow({"TGN", "0.85"});
+  t.AddSeparator();
+  t.AddRow({"CPDG", "0.87"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("CPDG"), std::string::npos);
+  EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatMeanStd) {
+  EXPECT_EQ(TablePrinter::FormatMeanStd(0.85, 0.01), "0.8500±0.0100");
+  EXPECT_EQ(TablePrinter::FormatFloat(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace cpdg
