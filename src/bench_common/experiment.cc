@@ -143,6 +143,19 @@ struct DynamicPipeline {
   core::EvolutionCheckpoints checkpoints;
 };
 
+/// Surfaces a training run's telemetry in bench output: final-epoch loss,
+/// gradient norms around clipping, batch count and total wall-clock.
+void LogTelemetry(const char* label, const train::TrainTelemetry& telemetry) {
+  if (telemetry.epochs.empty()) return;
+  const train::EpochTelemetry& last = telemetry.epochs.back();
+  CPDG_LOG(Info) << label << ": epochs=" << telemetry.epochs.size()
+                 << " final_loss=" << last.mean_loss
+                 << " grad_norm_pre_clip=" << last.mean_grad_norm_pre_clip
+                 << " grad_norm_post_clip=" << last.mean_grad_norm_post_clip
+                 << " batches_per_epoch=" << last.num_batches
+                 << " wall_s=" << telemetry.total_wall_clock_sec();
+}
+
 DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
                                    const data::TransferDataset& dataset,
                                    const ExperimentScale& scale, Rng* rng) {
@@ -205,6 +218,7 @@ DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
         core::CpdgPretrainer pretrainer(config_cpdg, rng);
         core::PretrainResult result = pretrainer.Pretrain(
             out.encoder.get(), &pre_decoder, dataset.pretrain_graph);
+        LogTelemetry("CPDG pretrain", result.log);
         out.checkpoints = std::move(result.checkpoints);
         eie = spec.cpdg_use_eie;
         break;
@@ -225,9 +239,12 @@ DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
   ft.eie_variant = spec.eie_variant;
   ft.eie_dim = scale.embed_dim;
   ft.decoder_hidden = scale.embed_dim;
+  train::TrainTelemetry finetune_telemetry;
   out.model = std::make_unique<core::FineTunedModel>(core::FineTuneLinkPrediction(
       out.encoder.get(), dataset.downstream_train_graph, ft,
-      out.checkpoints.empty() ? nullptr : &out.checkpoints, rng));
+      out.checkpoints.empty() ? nullptr : &out.checkpoints, rng,
+      &finetune_telemetry));
+  LogTelemetry("fine-tune", finetune_telemetry);
   return out;
 }
 

@@ -1,11 +1,9 @@
 #include "core/finetuner.h"
 
-#include "graph/batching.h"
-#include "tensor/losses.h"
 #include "tensor/ops.h"
-#include "tensor/optim.h"
+#include "train/link_batch.h"
+#include "train/train_loop.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace cpdg::core {
 
@@ -55,7 +53,8 @@ FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
                                       const graph::TemporalGraph& graph,
                                       const FineTuneConfig& config,
                                       const EvolutionCheckpoints* checkpoints,
-                                      Rng* rng) {
+                                      Rng* rng,
+                                      train::TrainTelemetry* telemetry) {
   CPDG_CHECK(encoder != nullptr);
   CPDG_CHECK(rng != nullptr);
 
@@ -79,48 +78,28 @@ FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
     std::vector<ts::Tensor> enc = encoder->Parameters();
     params.insert(params.end(), enc.begin(), enc.end());
   }
-  ts::Adam optimizer(params, config.train.learning_rate);
 
-  for (int64_t epoch = 0; epoch < config.train.epochs; ++epoch) {
-    encoder->memory().Reset();
-    graph::ChronologicalBatcher batcher(&graph, config.train.batch_size);
-    graph::EventBatch batch;
-    double epoch_loss = 0.0;
-    int64_t batches = 0;
-    while (batcher.Next(&batch)) {
-      std::vector<NodeId> srcs, dsts, negs;
-      std::vector<double> times;
-      for (const graph::Event& e : batch.events) {
-        srcs.push_back(e.src);
-        dsts.push_back(e.dst);
-        negs.push_back(dgnn::SampleNegative(config.train.negative_pool,
-                                            graph.num_nodes(), e.dst, rng));
-        times.push_back(e.time);
-      }
+  train::TrainLoopOptions loop_options;
+  loop_options.epochs = config.train.epochs;
+  loop_options.learning_rate = config.train.learning_rate;
+  loop_options.grad_clip = config.train.grad_clip;
+  loop_options.log_label = "fine-tune";
+  train::TrainLoop loop(std::move(params), loop_options);
 
-      encoder->BeginBatch();
-      ts::Tensor pos_logits = model.ScoreLogits(encoder, srcs, dsts, times);
-      ts::Tensor neg_logits = model.ScoreLogits(encoder, srcs, negs, times);
-      int64_t n = pos_logits.rows();
-      ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
-      std::vector<float> target_data(static_cast<size_t>(2 * n), 0.0f);
-      std::fill(target_data.begin(), target_data.begin() + n, 1.0f);
-      ts::Tensor targets =
-          ts::Tensor::FromVector(2 * n, 1, std::move(target_data));
-      ts::Tensor loss = ts::BceWithLogitsLoss(logits, targets);
-
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ts::ClipGradNorm(params, config.train.grad_clip);
-      optimizer.Step();
-      encoder->CommitBatch(batch.events);
-
-      epoch_loss += loss.item();
-      ++batches;
-    }
-    if (batches > 0) epoch_loss /= static_cast<double>(batches);
-    CPDG_LOG(Debug) << "fine-tune epoch " << epoch << " loss=" << epoch_loss;
-  }
+  train::TrainTelemetry result = loop.RunChronological(
+      encoder, graph, config.train.batch_size,
+      [&](const train::BatchContext&, const graph::EventBatch& batch)
+          -> std::optional<ts::Tensor> {
+        train::LinkBatch lb = train::AssembleLinkBatch(
+            batch.events, config.train.negative_pool, graph.num_nodes(),
+            rng);
+        ts::Tensor pos_logits =
+            model.ScoreLogits(encoder, lb.srcs, lb.dsts, lb.times);
+        ts::Tensor neg_logits =
+            model.ScoreLogits(encoder, lb.srcs, lb.negs, lb.times);
+        return train::LinkBceLoss(pos_logits, neg_logits);
+      });
+  if (telemetry != nullptr) *telemetry = std::move(result);
   return model;
 }
 

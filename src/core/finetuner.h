@@ -8,6 +8,7 @@
 #include "dgnn/encoder.h"
 #include "dgnn/trainer.h"
 #include "graph/temporal_graph.h"
+#include "train/telemetry.h"
 #include "util/rng.h"
 
 namespace cpdg::core {
@@ -68,12 +69,16 @@ class FineTunedModel {
 /// downstream model. `checkpoints` is required when config.use_eie.
 ///
 /// The encoder memory is reset and rebuilt from downstream events, exactly
-/// as a deployment would replay the downstream graph.
+/// as a deployment would replay the downstream graph. Pass `telemetry` to
+/// receive the per-epoch training diagnostics (losses, wall-clock,
+/// gradient norms) of the fine-tuning run.
 FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
                                       const graph::TemporalGraph& graph,
                                       const FineTuneConfig& config,
                                       const EvolutionCheckpoints* checkpoints,
-                                      Rng* rng);
+                                      Rng* rng,
+                                      train::TrainTelemetry* telemetry =
+                                          nullptr);
 
 }  // namespace cpdg::core
 

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 
-#include "graph/batching.h"
 #include "tensor/losses.h"
 #include "tensor/ops.h"
-#include "tensor/optim.h"
+#include "train/link_batch.h"
+#include "train/train_loop.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace cpdg::core {
 
@@ -24,9 +23,7 @@ CpdgPretrainer::CpdgPretrainer(const CpdgConfig& config, Rng* rng)
 
 tensor::Tensor CpdgPretrainer::PoolSubgraphs(
     dgnn::DgnnEncoder* encoder,
-    const std::vector<std::vector<NodeId>>& subgraphs,
-    std::vector<int64_t>* kept) {
-  (void)kept;
+    const std::vector<std::vector<NodeId>>& subgraphs) {
   std::vector<NodeId> all;
   std::vector<std::pair<int64_t, int64_t>> spans;  // (offset, length)
   for (const auto& sg : subgraphs) {
@@ -46,6 +43,86 @@ tensor::Tensor CpdgPretrainer::PoolSubgraphs(
   return ts::ConcatRows(pooled);
 }
 
+tensor::Tensor CpdgPretrainer::ContrastiveLoss(
+    dgnn::DgnnEncoder* encoder,
+    sampler::StructuralTemporalSampler* subgraph_sampler,
+    const sampler::StructuralTemporalSampler::Options& sample_opts,
+    const train::LinkBatch& lb, const tensor::Tensor& z_src,
+    tensor::Tensor loss) {
+  bool want_tc = config_.use_temporal_contrast;
+  bool want_sc = config_.use_structural_contrast;
+
+  // Pick up to max_contrast_anchors distinct source positions.
+  std::vector<int64_t> positions(lb.srcs.size());
+  for (size_t i = 0; i < lb.srcs.size(); ++i) {
+    positions[i] = static_cast<int64_t>(i);
+  }
+  rng_->Shuffle(&positions);
+
+  std::vector<int64_t> anchor_pos;
+  std::vector<std::vector<NodeId>> tp, tn, sp, sn;
+  for (int64_t pos : positions) {
+    if (static_cast<int64_t>(anchor_pos.size()) >=
+        config_.max_contrast_anchors) {
+      break;
+    }
+    NodeId root = lb.srcs[static_cast<size_t>(pos)];
+    double t = lb.times[static_cast<size_t>(pos)];
+
+    sampler::SubgraphSample s_tp, s_tn, s_sp, s_sn;
+    if (want_tc) {
+      s_tp = subgraph_sampler->SampleEtaBfs(
+          root, t, sampler::TemporalBias::kChronological, sample_opts, rng_);
+      s_tn = subgraph_sampler->SampleEtaBfs(
+          root, t, sampler::TemporalBias::kReverseChronological, sample_opts,
+          rng_);
+      if (s_tp.empty() || s_tn.empty()) continue;
+    }
+    if (want_sc) {
+      // Instance discrimination: the negative is the ε-DFS context
+      // of a different random node i' (another batch source).
+      NodeId other = root;
+      for (int attempt = 0; attempt < 8 && other == root; ++attempt) {
+        other = lb.srcs[rng_->NextBounded(lb.srcs.size())];
+      }
+      s_sp = subgraph_sampler->SampleEpsilonDfs(root, t, sample_opts);
+      s_sn = subgraph_sampler->SampleEpsilonDfs(other, t, sample_opts);
+      if (s_sp.empty() || s_sn.empty() || other == root) continue;
+    }
+    anchor_pos.push_back(pos);
+    if (want_tc) {
+      tp.push_back(s_tp.nodes);
+      tn.push_back(s_tn.nodes);
+    }
+    if (want_sc) {
+      sp.push_back(s_sp.nodes);
+      sn.push_back(s_sn.nodes);
+    }
+  }
+
+  if (!anchor_pos.empty()) {
+    std::vector<int64_t> anchor_idx(anchor_pos.begin(), anchor_pos.end());
+    ts::Tensor anchors = ts::Gather(z_src, anchor_idx);
+    if (want_tc) {
+      ts::Tensor h_tp = PoolSubgraphs(encoder, tp);
+      ts::Tensor h_tn = PoolSubgraphs(encoder, tn);
+      ts::Tensor l_eta =
+          ts::TripletMarginLoss(anchors, h_tp, h_tn, config_.margin);
+      loss = ts::Add(loss, ts::MulScalar(l_eta, config_.contrast_weight *
+                                                    (1.0f - config_.beta)));
+    }
+    if (want_sc) {
+      ts::Tensor h_sp = PoolSubgraphs(encoder, sp);
+      ts::Tensor h_sn = PoolSubgraphs(encoder, sn);
+      ts::Tensor l_eps =
+          ts::TripletMarginLoss(anchors, h_sp, h_sn, config_.margin);
+      loss = ts::Add(loss, ts::MulScalar(l_eps, config_.contrast_weight *
+                                                    config_.beta));
+    }
+  }
+  return loss;
+}
+
 PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
                                         dgnn::LinkPredictor* decoder,
                                         const graph::TemporalGraph& graph) {
@@ -60,7 +137,6 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
     std::vector<ts::Tensor> dec = decoder->Parameters();
     params.insert(params.end(), dec.begin(), dec.end());
   }
-  ts::Adam optimizer(params, config_.learning_rate);
 
   sampler::StructuralTemporalSampler subgraph_sampler(&graph);
   sampler::StructuralTemporalSampler::Options sample_opts;
@@ -73,144 +149,46 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
       EvolutionCheckpoints(encoder->memory().num_nodes(),
                            encoder->memory().dim());
 
-  graph::ChronologicalBatcher batcher(&graph, config_.batch_size);
-  int64_t num_batches = batcher.num_batches();
-  int64_t checkpoint_interval =
-      std::max<int64_t>(1, num_batches / config_.num_checkpoints);
+  train::TrainLoopOptions loop_options;
+  loop_options.epochs = config_.epochs;
+  loop_options.learning_rate = config_.learning_rate;
+  loop_options.grad_clip = config_.grad_clip;
+  loop_options.log_label = "CPDG pretrain";
+  train::TrainLoop loop(std::move(params), loop_options);
 
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    bool final_epoch = (epoch == config_.epochs - 1);
-    encoder->memory().Reset();
-    batcher.Reset();
-    graph::EventBatch batch;
-    double epoch_loss = 0.0;
-    int64_t batch_idx = 0;
-    while (batcher.Next(&batch)) {
-      std::vector<NodeId> srcs, dsts, negs;
-      std::vector<double> times;
-      for (const graph::Event& e : batch.events) {
-        srcs.push_back(e.src);
-        dsts.push_back(e.dst);
-        negs.push_back(dgnn::SampleNegative(config_.negative_pool,
-                                            graph.num_nodes(), e.dst, rng_));
-        times.push_back(e.time);
-      }
-
-      encoder->BeginBatch();
-      ts::Tensor z_src = encoder->ComputeEmbeddings(srcs, times);
-      ts::Tensor z_dst = encoder->ComputeEmbeddings(dsts, times);
-      ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, times);
-
-      // --- Pretext temporal link prediction (Eq. 15-16). ---
-      ts::Tensor pos_logits = decoder->ForwardLogits(z_src, z_dst);
-      ts::Tensor neg_logits = decoder->ForwardLogits(z_src, z_neg);
-      int64_t n = pos_logits.rows();
-      ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
-      std::vector<float> target_data(static_cast<size_t>(2 * n), 0.0f);
-      std::fill(target_data.begin(), target_data.begin() + n, 1.0f);
-      ts::Tensor targets =
-          ts::Tensor::FromVector(2 * n, 1, std::move(target_data));
-      ts::Tensor loss = ts::BceWithLogitsLoss(logits, targets);
-
-      // --- Contrastive terms on a subsample of anchors. ---
-      bool want_tc = config_.use_temporal_contrast;
-      bool want_sc = config_.use_structural_contrast;
-      if (want_tc || want_sc) {
-        // Pick up to max_contrast_anchors distinct source positions.
-        std::vector<int64_t> positions(srcs.size());
-        for (size_t i = 0; i < srcs.size(); ++i) {
-          positions[i] = static_cast<int64_t>(i);
-        }
-        rng_->Shuffle(&positions);
-
-        std::vector<int64_t> anchor_pos;
-        std::vector<std::vector<NodeId>> tp, tn, sp, sn;
-        for (int64_t pos : positions) {
-          if (static_cast<int64_t>(anchor_pos.size()) >=
-              config_.max_contrast_anchors) {
-            break;
-          }
-          NodeId root = srcs[static_cast<size_t>(pos)];
-          double t = times[static_cast<size_t>(pos)];
-
-          sampler::SubgraphSample s_tp, s_tn, s_sp, s_sn;
-          if (want_tc) {
-            s_tp = subgraph_sampler.SampleEtaBfs(
-                root, t, sampler::TemporalBias::kChronological, sample_opts,
-                rng_);
-            s_tn = subgraph_sampler.SampleEtaBfs(
-                root, t, sampler::TemporalBias::kReverseChronological,
-                sample_opts, rng_);
-            if (s_tp.empty() || s_tn.empty()) continue;
-          }
-          if (want_sc) {
-            // Instance discrimination: the negative is the ε-DFS context
-            // of a different random node i' (another batch source).
-            NodeId other = root;
-            for (int attempt = 0; attempt < 8 && other == root; ++attempt) {
-              other = srcs[rng_->NextBounded(srcs.size())];
-            }
-            s_sp = subgraph_sampler.SampleEpsilonDfs(root, t, sample_opts);
-            s_sn = subgraph_sampler.SampleEpsilonDfs(other, t, sample_opts);
-            if (s_sp.empty() || s_sn.empty() || other == root) continue;
-          }
-          anchor_pos.push_back(pos);
-          if (want_tc) {
-            tp.push_back(s_tp.nodes);
-            tn.push_back(s_tn.nodes);
-          }
-          if (want_sc) {
-            sp.push_back(s_sp.nodes);
-            sn.push_back(s_sn.nodes);
-          }
-        }
-
-        if (!anchor_pos.empty()) {
-          std::vector<int64_t> anchor_idx(anchor_pos.begin(),
-                                          anchor_pos.end());
-          ts::Tensor anchors = ts::Gather(z_src, anchor_idx);
-          if (want_tc) {
-            ts::Tensor h_tp = PoolSubgraphs(encoder, tp, nullptr);
-            ts::Tensor h_tn = PoolSubgraphs(encoder, tn, nullptr);
-            ts::Tensor l_eta =
-                ts::TripletMarginLoss(anchors, h_tp, h_tn, config_.margin);
-            loss = ts::Add(
-                loss, ts::MulScalar(l_eta, config_.contrast_weight *
-                                               (1.0f - config_.beta)));
-          }
-          if (want_sc) {
-            ts::Tensor h_sp = PoolSubgraphs(encoder, sp, nullptr);
-            ts::Tensor h_sn = PoolSubgraphs(encoder, sn, nullptr);
-            ts::Tensor l_eps =
-                ts::TripletMarginLoss(anchors, h_sp, h_sn, config_.margin);
-            loss = ts::Add(loss,
-                           ts::MulScalar(l_eps, config_.contrast_weight *
-                                                    config_.beta));
-          }
-        }
-      }
-
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ts::ClipGradNorm(params, config_.grad_clip);
-      optimizer.Step();
-      encoder->CommitBatch(batch.events);
-
-      epoch_loss += loss.item();
-      ++batch_idx;
-
-      // Uniform memory checkpoints over the final epoch (Sec. IV-C).
-      if (final_epoch && batch_idx % checkpoint_interval == 0 &&
-          result.checkpoints.num_checkpoints() <
-              config_.num_checkpoints - 1) {
-        result.checkpoints.Record(encoder->memory());
-      }
+  // Uniform memory checkpoints over the final epoch (Sec. IV-C), recorded
+  // after the batch has been committed to memory.
+  loop.set_batch_end_hook([&](const train::BatchContext& ctx) {
+    int64_t checkpoint_interval =
+        std::max<int64_t>(1, ctx.num_batches / config_.num_checkpoints);
+    if (ctx.final_epoch && (ctx.batch_index + 1) % checkpoint_interval == 0 &&
+        result.checkpoints.num_checkpoints() < config_.num_checkpoints - 1) {
+      result.checkpoints.Record(encoder->memory());
     }
-    if (batch_idx > 0) epoch_loss /= static_cast<double>(batch_idx);
-    result.log.epoch_losses.push_back(epoch_loss);
-    CPDG_LOG(Debug) << "CPDG pretrain epoch " << epoch
-                    << " loss=" << epoch_loss;
-  }
+  });
+
+  result.log = loop.RunChronological(
+      encoder, graph, config_.batch_size,
+      [&](const train::BatchContext&, const graph::EventBatch& batch)
+          -> std::optional<ts::Tensor> {
+        train::LinkBatch lb = train::AssembleLinkBatch(
+            batch.events, config_.negative_pool, graph.num_nodes(), rng_);
+        ts::Tensor z_src = encoder->ComputeEmbeddings(lb.srcs, lb.times);
+        ts::Tensor z_dst = encoder->ComputeEmbeddings(lb.dsts, lb.times);
+        ts::Tensor z_neg = encoder->ComputeEmbeddings(lb.negs, lb.times);
+
+        // --- Pretext temporal link prediction (Eq. 15-16). ---
+        ts::Tensor pos_logits = decoder->ForwardLogits(z_src, z_dst);
+        ts::Tensor neg_logits = decoder->ForwardLogits(z_src, z_neg);
+        ts::Tensor loss = train::LinkBceLoss(pos_logits, neg_logits);
+
+        // --- Contrastive terms on a subsample of anchors (Eq. 9-14). ---
+        if (config_.use_temporal_contrast || config_.use_structural_contrast) {
+          loss = ContrastiveLoss(encoder, &subgraph_sampler, sample_opts, lb,
+                                 z_src, loss);
+        }
+        return loss;
+      });
 
   // Always include the final memory state as the last checkpoint.
   result.checkpoints.Record(encoder->memory());

@@ -6,9 +6,10 @@
 
 #include "core/evolution.h"
 #include "dgnn/encoder.h"
-#include "dgnn/trainer.h"
 #include "graph/temporal_graph.h"
 #include "sampler/samplers.h"
+#include "train/link_batch.h"
+#include "train/telemetry.h"
 #include "util/rng.h"
 
 namespace cpdg::core {
@@ -46,10 +47,10 @@ struct CpdgConfig {
   std::vector<graph::NodeId> negative_pool;
 };
 
-/// \brief Output of pre-training: the loss trace plus the memory
-/// checkpoints consumed by EIE fine-tuning.
+/// \brief Output of pre-training: the loss/telemetry trace plus the
+/// memory checkpoints consumed by EIE fine-tuning.
 struct PretrainResult {
-  dgnn::TrainLog log;
+  train::TrainTelemetry log;
   EvolutionCheckpoints checkpoints;
 };
 
@@ -76,12 +77,21 @@ class CpdgPretrainer {
 
  private:
   /// Pools each anchor's sampled subgraph into a row (mean-pooling readout
-  /// of Eq. 9/10/12/13). Anchors whose subgraph is empty are dropped; the
-  /// kept anchor positions are returned through `kept`.
+  /// of Eq. 9/10/12/13). Every subgraph must be non-empty; callers filter
+  /// empty samples while selecting anchors.
   tensor::Tensor PoolSubgraphs(
       dgnn::DgnnEncoder* encoder,
-      const std::vector<std::vector<graph::NodeId>>& subgraphs,
-      std::vector<int64_t>* kept);
+      const std::vector<std::vector<graph::NodeId>>& subgraphs);
+
+  /// Adds the temporal (η-BFS) and structural (ε-DFS) contrastive terms of
+  /// Eq. (11)/(14) for a subsample of the batch's source anchors onto
+  /// `loss`, returning the combined objective of Eq. (17).
+  tensor::Tensor ContrastiveLoss(
+      dgnn::DgnnEncoder* encoder,
+      sampler::StructuralTemporalSampler* subgraph_sampler,
+      const sampler::StructuralTemporalSampler::Options& sample_opts,
+      const train::LinkBatch& lb, const tensor::Tensor& z_src,
+      tensor::Tensor loss);
 
   CpdgConfig config_;
   Rng* rng_;

@@ -1,10 +1,8 @@
 #include "dgnn/trainer.h"
 
-#include "graph/batching.h"
-#include "tensor/losses.h"
-#include "tensor/optim.h"
+#include "train/link_batch.h"
+#include "train/train_loop.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace cpdg::dgnn {
 
@@ -28,7 +26,8 @@ NodeId SampleNegative(const std::vector<NodeId>& pool, int64_t num_nodes,
 
 TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
                              const graph::TemporalGraph& graph,
-                             const TlpTrainOptions& options, Rng* rng) {
+                             const TlpTrainOptions& options, Rng* rng,
+                             train::TrainTelemetry* telemetry) {
   CPDG_CHECK(encoder != nullptr);
   CPDG_CHECK(decoder != nullptr);
   CPDG_CHECK(rng != nullptr);
@@ -38,56 +37,29 @@ TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
     std::vector<ts::Tensor> enc = encoder->Parameters();
     params.insert(params.end(), enc.begin(), enc.end());
   }
-  ts::Adam optimizer(params, options.learning_rate);
 
-  TrainLog log;
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    encoder->memory().Reset();
-    graph::ChronologicalBatcher batcher(&graph, options.batch_size);
-    graph::EventBatch batch;
-    double epoch_loss = 0.0;
-    int64_t batches = 0;
-    while (batcher.Next(&batch)) {
-      std::vector<NodeId> srcs, dsts, negs;
-      std::vector<double> times;
-      srcs.reserve(batch.events.size());
-      for (const graph::Event& e : batch.events) {
-        srcs.push_back(e.src);
-        dsts.push_back(e.dst);
-        negs.push_back(SampleNegative(options.negative_pool,
-                                      graph.num_nodes(), e.dst, rng));
-        times.push_back(e.time);
-      }
+  train::TrainLoopOptions loop_options;
+  loop_options.epochs = options.epochs;
+  loop_options.learning_rate = options.learning_rate;
+  loop_options.grad_clip = options.grad_clip;
+  loop_options.log_label = "TLP";
+  train::TrainLoop loop(std::move(params), loop_options);
 
-      encoder->BeginBatch();
-      ts::Tensor z_src = encoder->ComputeEmbeddings(srcs, times);
-      ts::Tensor z_dst = encoder->ComputeEmbeddings(dsts, times);
-      ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, times);
-
-      ts::Tensor pos_logits = decoder->ForwardLogits(z_src, z_dst);
-      ts::Tensor neg_logits = decoder->ForwardLogits(z_src, z_neg);
-      int64_t n = pos_logits.rows();
-      ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
-      std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
-      std::fill(targets.begin(), targets.begin() + n, 1.0f);
-      ts::Tensor target_tensor =
-          ts::Tensor::FromVector(2 * n, 1, std::move(targets));
-      ts::Tensor loss = ts::BceWithLogitsLoss(logits, target_tensor);
-
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ts::ClipGradNorm(params, options.grad_clip);
-      optimizer.Step();
-
-      encoder->CommitBatch(batch.events);
-      epoch_loss += loss.item();
-      ++batches;
-    }
-    if (batches > 0) epoch_loss /= static_cast<double>(batches);
-    log.epoch_losses.push_back(epoch_loss);
-    CPDG_LOG(Debug) << "TLP epoch " << epoch << " loss=" << epoch_loss;
-  }
-  return log;
+  train::TrainTelemetry result = loop.RunChronological(
+      encoder, graph, options.batch_size,
+      [&](const train::BatchContext&, const graph::EventBatch& batch)
+          -> std::optional<ts::Tensor> {
+        train::LinkBatch lb = train::AssembleLinkBatch(
+            batch.events, options.negative_pool, graph.num_nodes(), rng);
+        ts::Tensor z_src = encoder->ComputeEmbeddings(lb.srcs, lb.times);
+        ts::Tensor z_dst = encoder->ComputeEmbeddings(lb.dsts, lb.times);
+        ts::Tensor z_neg = encoder->ComputeEmbeddings(lb.negs, lb.times);
+        ts::Tensor pos_logits = decoder->ForwardLogits(z_src, z_dst);
+        ts::Tensor neg_logits = decoder->ForwardLogits(z_src, z_neg);
+        return train::LinkBceLoss(pos_logits, neg_logits);
+      });
+  if (telemetry != nullptr) *telemetry = result;
+  return result;
 }
 
 }  // namespace cpdg::dgnn

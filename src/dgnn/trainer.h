@@ -7,6 +7,10 @@
 #include "graph/temporal_graph.h"
 #include "util/rng.h"
 
+namespace cpdg::train {
+struct TrainTelemetry;
+}  // namespace cpdg::train
+
 namespace cpdg::dgnn {
 
 /// \brief Options for temporal-link-prediction training, used both as the
@@ -40,10 +44,14 @@ NodeId SampleNegative(const std::vector<NodeId>& pool, int64_t num_nodes,
 
 /// \brief Trains encoder + decoder on the temporal link prediction task
 /// (Eq. 15-16): chronological batches, one sampled negative per event.
-/// The encoder's memory is reset at the start of every epoch.
+/// The encoder's memory is reset at the start of every epoch. Runs on the
+/// shared train::TrainLoop runtime; pass `telemetry` to additionally
+/// receive the enriched per-epoch diagnostics (wall-clock, batch counts,
+/// gradient norms).
 TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
                              const graph::TemporalGraph& graph,
-                             const TlpTrainOptions& options, Rng* rng);
+                             const TlpTrainOptions& options, Rng* rng,
+                             train::TrainTelemetry* telemetry = nullptr);
 
 }  // namespace cpdg::dgnn
 

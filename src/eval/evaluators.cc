@@ -7,7 +7,7 @@
 #include "tensor/losses.h"
 #include "tensor/nn.h"
 #include "tensor/ops.h"
-#include "tensor/optim.h"
+#include "train/train_loop.h"
 #include "util/check.h"
 
 namespace cpdg::eval {
@@ -229,17 +229,20 @@ NodeClassificationMetrics EvaluateDynamicNodeClassification(
   build(test_idx, &x_test, &y_test);
 
   // Logistic head trained full-batch on frozen embeddings (the decoder of
-  // the dynamic node classification protocol).
+  // the dynamic node classification protocol). One full-batch step per
+  // epoch; no gradient clipping (grad_clip <= 0).
   Rng head_rng = rng->Split();
   ts::Mlp head({feat_dim, feat_dim / 2 > 0 ? feat_dim / 2 : 1, 1}, &head_rng);
-  ts::Adam optimizer(head.Parameters(), head_lr);
-  for (int64_t epoch = 0; epoch < head_epochs; ++epoch) {
-    ts::Tensor logits = head.Forward(x_train);
-    ts::Tensor loss = ts::BceWithLogitsLoss(logits, y_train);
-    optimizer.ZeroGrad();
-    loss.Backward();
-    optimizer.Step();
-  }
+  train::TrainLoopOptions head_options;
+  head_options.epochs = head_epochs;
+  head_options.learning_rate = head_lr;
+  head_options.log_label = "node-cls head";
+  train::TrainLoop head_loop(head.Parameters(), head_options);
+  metrics.head_log = head_loop.RunSteps(
+      1, [&](const train::BatchContext&) -> std::optional<ts::Tensor> {
+        ts::Tensor logits = head.Forward(x_train);
+        return ts::BceWithLogitsLoss(logits, y_train);
+      });
 
   ts::Tensor probs = ts::Sigmoid(head.Forward(x_test));
   std::vector<ScoredLabel> samples;

@@ -9,6 +9,7 @@
 #include "eval/metrics.h"
 #include "graph/temporal_graph.h"
 #include "tensor/tensor.h"
+#include "train/telemetry.h"
 #include "util/rng.h"
 
 namespace cpdg::eval {
@@ -51,6 +52,8 @@ struct NodeClassificationMetrics {
   double auc = 0.5;
   int64_t num_train_samples = 0;
   int64_t num_test_samples = 0;
+  /// Training trace of the logistic head (one full-batch step per epoch).
+  train::TrainTelemetry head_log;
 };
 
 /// \brief Dynamic node classification (Table VII): replays `events`

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 
-#include "graph/batching.h"
 #include "tensor/losses.h"
 #include "tensor/ops.h"
-#include "tensor/optim.h"
+#include "train/link_batch.h"
+#include "train/train_loop.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace cpdg::ssl {
 
@@ -28,11 +27,35 @@ std::vector<NodeId> NeighborsInWindow(const graph::TemporalGraph& graph,
   return out;
 }
 
+/// Flushes both endpoints of every batch event so memory keeps advancing
+/// when an objective finds no usable anchors in the batch.
+void AdvanceMemoryOnly(dgnn::DgnnEncoder* encoder,
+                       const std::vector<graph::Event>& events) {
+  std::vector<NodeId> touched;
+  for (const graph::Event& e : events) {
+    touched.push_back(e.src);
+    touched.push_back(e.dst);
+  }
+  ts::Tensor unused = encoder->ComputeUpdatedStates(touched);
+  (void)unused;
+}
+
+train::TrainLoopOptions MakeLoopOptions(const SslTrainOptions& options,
+                                        const char* label) {
+  train::TrainLoopOptions loop_options;
+  loop_options.epochs = options.epochs;
+  loop_options.learning_rate = options.learning_rate;
+  loop_options.grad_clip = options.grad_clip;
+  loop_options.log_label = label;
+  return loop_options;
+}
+
 }  // namespace
 
-dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
-                             const graph::TemporalGraph& graph,
-                             const SslTrainOptions& options, Rng* rng) {
+train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
+                                    const graph::TemporalGraph& graph,
+                                    const SslTrainOptions& options,
+                                    Rng* rng) {
   CPDG_CHECK(encoder != nullptr);
   CPDG_CHECK(rng != nullptr);
   int64_t d = encoder->config().embed_dim;
@@ -44,40 +67,38 @@ dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
 
   std::vector<ts::Tensor> params = encoder->Parameters();
   params.push_back(critic_w);
-  ts::Adam optimizer(params, options.learning_rate);
 
-  dgnn::TrainLog log;
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    encoder->memory().Reset();
-    graph::ChronologicalBatcher batcher(&graph, options.batch_size);
-    graph::EventBatch batch;
-    double epoch_loss = 0.0;
-    int64_t batches = 0;
-    while (batcher.Next(&batch)) {
-      encoder->BeginBatch();
-
-      // Collect anchors with non-empty nearby views.
-      std::vector<NodeId> anchors;
-      std::vector<double> anchor_times;
-      std::vector<std::vector<NodeId>> view_recent, view_earlier;
-      for (const graph::Event& e : batch.events) {
-        if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
-          break;
+  train::TrainLoop loop(std::move(params), MakeLoopOptions(options, "DDGCL"));
+  return loop.RunChronological(
+      encoder, graph, options.batch_size,
+      [&](const train::BatchContext&, const graph::EventBatch& batch)
+          -> std::optional<ts::Tensor> {
+        // Collect anchors with non-empty nearby views.
+        std::vector<NodeId> anchors;
+        std::vector<double> anchor_times;
+        std::vector<std::vector<NodeId>> view_recent, view_earlier;
+        for (const graph::Event& e : batch.events) {
+          if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
+            break;
+          }
+          double w = options.view_window;
+          std::vector<NodeId> recent =
+              NeighborsInWindow(graph, e.src, e.time - w, e.time);
+          std::vector<NodeId> earlier =
+              NeighborsInWindow(graph, e.src, e.time - 2 * w, e.time - w);
+          if (recent.empty() || earlier.empty()) continue;
+          anchors.push_back(e.src);
+          anchor_times.push_back(e.time);
+          view_recent.push_back(std::move(recent));
+          view_earlier.push_back(std::move(earlier));
         }
-        double w = options.view_window;
-        std::vector<NodeId> recent =
-            NeighborsInWindow(graph, e.src, e.time - w, e.time);
-        std::vector<NodeId> earlier =
-            NeighborsInWindow(graph, e.src, e.time - 2 * w, e.time - w);
-        if (recent.empty() || earlier.empty()) continue;
-        anchors.push_back(e.src);
-        anchor_times.push_back(e.time);
-        view_recent.push_back(std::move(recent));
-        view_earlier.push_back(std::move(earlier));
-      }
 
-      ts::Tensor loss;
-      if (!anchors.empty()) {
+        if (anchors.empty()) {
+          // Keep memory advancing even when no anchor qualifies.
+          AdvanceMemoryOnly(encoder, batch.events);
+          return std::nullopt;
+        }
+
         ts::Tensor z = encoder->ComputeEmbeddings(anchors, anchor_times);
         // Pool each view from memory states.
         auto pool = [&](const std::vector<std::vector<NodeId>>& views) {
@@ -112,39 +133,14 @@ dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
         ts::Tensor pos2 = score(h_earlier, h_recent);
         ts::Tensor neg = score(z, h_neg);
         ts::Tensor logits = ts::ConcatRows({pos1, pos2, neg});
-        std::vector<float> targets(static_cast<size_t>(3 * n), 0.0f);
-        std::fill(targets.begin(), targets.begin() + 2 * n, 1.0f);
-        loss = ts::BceWithLogitsLoss(
-            logits, ts::Tensor::FromVector(3 * n, 1, std::move(targets)));
-
-        optimizer.ZeroGrad();
-        loss.Backward();
-        ts::ClipGradNorm(params, options.grad_clip);
-        optimizer.Step();
-        epoch_loss += loss.item();
-      } else {
-        // Keep memory advancing even when no anchor qualifies.
-        std::vector<NodeId> touched;
-        for (const graph::Event& e : batch.events) {
-          touched.push_back(e.src);
-          touched.push_back(e.dst);
-        }
-        ts::Tensor unused = encoder->ComputeUpdatedStates(touched);
-        (void)unused;
-      }
-      encoder->CommitBatch(batch.events);
-      ++batches;
-    }
-    if (batches > 0) epoch_loss /= static_cast<double>(batches);
-    log.epoch_losses.push_back(epoch_loss);
-    CPDG_LOG(Debug) << "DDGCL epoch " << epoch << " loss=" << epoch_loss;
-  }
-  return log;
+        return train::StackedBceLoss(logits, 2 * n);
+      });
 }
 
-dgnn::TrainLog PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
-                                const graph::TemporalGraph& graph,
-                                const SslTrainOptions& options, Rng* rng) {
+train::TrainTelemetry PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
+                                       const graph::TemporalGraph& graph,
+                                       const SslTrainOptions& options,
+                                       Rng* rng) {
   CPDG_CHECK(encoder != nullptr);
   CPDG_CHECK(rng != nullptr);
   CPDG_CHECK_EQ(encoder->config().embed_dim, encoder->config().memory_dim);
@@ -156,30 +152,29 @@ dgnn::TrainLog PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
   std::vector<ts::Tensor> params = encoder->Parameters();
   params.push_back(kappa0);
   params.push_back(kappa1);
-  ts::Adam optimizer(params, options.learning_rate);
 
-  dgnn::TrainLog log;
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    encoder->memory().Reset();
-    graph::ChronologicalBatcher batcher(&graph, options.batch_size);
-    graph::EventBatch batch;
-    double epoch_loss = 0.0;
-    int64_t batches = 0;
-    while (batcher.Next(&batch)) {
-      encoder->BeginBatch();
-
-      std::vector<NodeId> anchors;
-      std::vector<double> anchor_times;
-      for (const graph::Event& e : batch.events) {
-        if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
-          break;
+  train::TrainLoop loop(std::move(params),
+                        MakeLoopOptions(options, "SelfRGNN"));
+  return loop.RunChronological(
+      encoder, graph, options.batch_size,
+      [&](const train::BatchContext&, const graph::EventBatch& batch)
+          -> std::optional<ts::Tensor> {
+        std::vector<NodeId> anchors;
+        std::vector<double> anchor_times;
+        for (const graph::Event& e : batch.events) {
+          if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
+            break;
+          }
+          if (graph.NeighborsBefore(e.src, e.time).empty()) continue;
+          anchors.push_back(e.src);
+          anchor_times.push_back(e.time);
         }
-        if (graph.NeighborsBefore(e.src, e.time).empty()) continue;
-        anchors.push_back(e.src);
-        anchor_times.push_back(e.time);
-      }
 
-      if (!anchors.empty()) {
+        if (anchors.empty()) {
+          AdvanceMemoryOnly(encoder, batch.events);
+          return std::nullopt;
+        }
+
         int64_t n = static_cast<int64_t>(anchors.size());
         ts::Tensor z = encoder->ComputeEmbeddings(anchors, anchor_times);
         // Positive: the node's own (past) memory state; negative: a
@@ -204,30 +199,8 @@ dgnn::TrainLog PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
             ts::Relu(ts::AddScalar(ts::Sub(d_pos, d_neg), 1.0f));
         // Scale the per-row hinge by the curvature weight (broadcast via
         // matmul with the [1,1] weight).
-        ts::Tensor loss = ts::Mean(ts::MatMul(margin_term, weight));
-
-        optimizer.ZeroGrad();
-        loss.Backward();
-        ts::ClipGradNorm(params, options.grad_clip);
-        optimizer.Step();
-        epoch_loss += loss.item();
-      } else {
-        std::vector<NodeId> touched;
-        for (const graph::Event& e : batch.events) {
-          touched.push_back(e.src);
-          touched.push_back(e.dst);
-        }
-        ts::Tensor unused = encoder->ComputeUpdatedStates(touched);
-        (void)unused;
-      }
-      encoder->CommitBatch(batch.events);
-      ++batches;
-    }
-    if (batches > 0) epoch_loss /= static_cast<double>(batches);
-    log.epoch_losses.push_back(epoch_loss);
-    CPDG_LOG(Debug) << "SelfRGNN epoch " << epoch << " loss=" << epoch_loss;
-  }
-  return log;
+        return ts::Mean(ts::MatMul(margin_term, weight));
+      });
 }
 
 }  // namespace cpdg::ssl

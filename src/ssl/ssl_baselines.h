@@ -2,8 +2,8 @@
 #define CPDG_SSL_SSL_BASELINES_H_
 
 #include "dgnn/encoder.h"
-#include "dgnn/trainer.h"
 #include "graph/temporal_graph.h"
+#include "train/telemetry.h"
 #include "util/rng.h"
 
 namespace cpdg::ssl {
@@ -30,9 +30,9 @@ struct SslTrainOptions {
 /// There is no link-prediction pretext task: as the paper observes, purely
 /// self-supervised dynamic objectives underperform task-supervised
 /// pre-training.
-dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
-                             const graph::TemporalGraph& graph,
-                             const SslTrainOptions& options, Rng* rng);
+train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
+                                    const graph::TemporalGraph& graph,
+                                    const SslTrainOptions& options, Rng* rng);
 
 /// \brief SelfRGNN (Sun et al., CIKM'22), simplified: Riemannian
 /// reweighting self-contrast with a time-varying learnable curvature.
@@ -44,9 +44,10 @@ dgnn::TrainLog PretrainDdgcl(dgnn::DgnnEncoder* encoder,
 /// scalar factor on distances. The paper's own evaluation shows this
 /// family is weak/unstable for pre-training, which the simplification
 /// reproduces.
-dgnn::TrainLog PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
-                                const graph::TemporalGraph& graph,
-                                const SslTrainOptions& options, Rng* rng);
+train::TrainTelemetry PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
+                                       const graph::TemporalGraph& graph,
+                                       const SslTrainOptions& options,
+                                       Rng* rng);
 
 }  // namespace cpdg::ssl
 

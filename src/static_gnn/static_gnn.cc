@@ -4,7 +4,8 @@
 
 #include "tensor/losses.h"
 #include "tensor/ops.h"
-#include "tensor/optim.h"
+#include "train/link_batch.h"
+#include "train/train_loop.h"
 #include "util/check.h"
 
 namespace cpdg::static_gnn {
@@ -178,6 +179,33 @@ void SampleEdgeBatch(const std::vector<graph::Event>& events,
   }
 }
 
+/// Shared RunSteps wrapper for the static loops: runs `options.steps`
+/// sampled-batch steps and returns the mean loss of the last 10 steps
+/// (the historical convergence proxy these loops report).
+double RunStaticSteps(std::vector<ts::Tensor> params,
+                      const StaticTrainOptions& options, const char* label,
+                      const std::function<ts::Tensor()>& loss_fn) {
+  train::TrainLoopOptions loop_options;
+  loop_options.learning_rate = options.learning_rate;
+  loop_options.grad_clip = options.grad_clip;
+  loop_options.log_label = label;
+
+  double recent = 0.0;
+  int64_t recent_count = 0;
+  train::TrainLoop loop(std::move(params), loop_options);
+  loop.RunSteps(options.steps,
+                [&](const train::BatchContext& ctx)
+                    -> std::optional<ts::Tensor> {
+                  ts::Tensor loss = loss_fn();
+                  if (ctx.batch_index >= options.steps - 10) {
+                    recent += static_cast<double>(loss.item());
+                    ++recent_count;
+                  }
+                  return loss;
+                });
+  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+}
+
 }  // namespace
 
 double TrainLinkPredictionStatic(StaticGnnEncoder* encoder,
@@ -193,35 +221,18 @@ double TrainLinkPredictionStatic(StaticGnnEncoder* encoder,
   std::vector<ts::Tensor> params = encoder->Parameters();
   std::vector<ts::Tensor> dec = decoder->Parameters();
   params.insert(params.end(), dec.begin(), dec.end());
-  ts::Adam optimizer(params, options.learning_rate);
 
-  double recent = 0.0;
-  int64_t recent_count = 0;
-  for (int64_t step = 0; step < options.steps; ++step) {
+  return RunStaticSteps(std::move(params), options, "static-LP", [&]() {
     std::vector<NodeId> srcs, dsts, negs;
     SampleEdgeBatch(positive_events, options,
                     encoder->config().num_nodes, rng, &srcs, &dsts, &negs);
     ts::Tensor z_src = encoder->ComputeEmbeddings(srcs, rng);
     ts::Tensor z_dst = encoder->ComputeEmbeddings(dsts, rng);
     ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, rng);
-    ts::Tensor logits = ts::ConcatRows(
-        {StaticEdgeLogits(*decoder, z_src, z_dst),
-         StaticEdgeLogits(*decoder, z_src, z_neg)});
-    int64_t n = logits.rows() / 2;
-    std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
-    std::fill(targets.begin(), targets.begin() + n, 1.0f);
-    ts::Tensor loss = ts::BceWithLogitsLoss(
-        logits, ts::Tensor::FromVector(2 * n, 1, std::move(targets)));
-    optimizer.ZeroGrad();
-    loss.Backward();
-    ts::ClipGradNorm(params, options.grad_clip);
-    optimizer.Step();
-    if (step >= options.steps - 10) {
-      recent += loss.item();
-      ++recent_count;
-    }
-  }
-  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+    ts::Tensor pos_logits = StaticEdgeLogits(*decoder, z_src, z_dst);
+    ts::Tensor neg_logits = StaticEdgeLogits(*decoder, z_src, z_neg);
+    return train::LinkBceLoss(pos_logits, neg_logits);
+  });
 }
 
 double TrainDgi(StaticGnnEncoder* encoder,
@@ -237,11 +248,8 @@ double TrainDgi(StaticGnnEncoder* encoder,
                                            &init_rng, true);
   std::vector<ts::Tensor> params = encoder->Parameters();
   params.push_back(w);
-  ts::Adam optimizer(params, options.learning_rate);
 
-  double recent = 0.0;
-  int64_t recent_count = 0;
-  for (int64_t step = 0; step < options.steps; ++step) {
+  return RunStaticSteps(std::move(params), options, "DGI", [&]() {
     int64_t b = std::min<int64_t>(options.batch_size,
                                   static_cast<int64_t>(train_nodes.size()));
     std::vector<NodeId> nodes;
@@ -258,21 +266,8 @@ double TrainDgi(StaticGnnEncoder* encoder,
     ts::Tensor ws = ts::MatMul(w, ts::Transpose(summary));  // [d, 1]
     ts::Tensor pos_logits = ts::MatMul(h, ws);               // [b, 1]
     ts::Tensor neg_logits = ts::MatMul(h_corrupt, ws);
-    ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
-    std::vector<float> targets(static_cast<size_t>(2 * b), 0.0f);
-    std::fill(targets.begin(), targets.begin() + b, 1.0f);
-    ts::Tensor loss = ts::BceWithLogitsLoss(
-        logits, ts::Tensor::FromVector(2 * b, 1, std::move(targets)));
-    optimizer.ZeroGrad();
-    loss.Backward();
-    ts::ClipGradNorm(params, options.grad_clip);
-    optimizer.Step();
-    if (step >= options.steps - 10) {
-      recent += loss.item();
-      ++recent_count;
-    }
-  }
-  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+    return train::LinkBceLoss(pos_logits, neg_logits);
+  });
 }
 
 double TrainGptGnn(StaticGnnEncoder* encoder,
@@ -294,11 +289,8 @@ double TrainGptGnn(StaticGnnEncoder* encoder,
     std::vector<ts::Tensor> p = head->Parameters();
     params.insert(params.end(), p.begin(), p.end());
   }
-  ts::Adam optimizer(params, options.learning_rate);
 
-  double recent = 0.0;
-  int64_t recent_count = 0;
-  for (int64_t step = 0; step < options.steps; ++step) {
+  return RunStaticSteps(std::move(params), options, "GPT-GNN", [&]() {
     std::vector<NodeId> srcs, dsts, negs;
     SampleEdgeBatch(events, options, encoder->config().num_nodes, rng, &srcs,
                     &dsts, &negs);
@@ -307,14 +299,9 @@ double TrainGptGnn(StaticGnnEncoder* encoder,
     ts::Tensor z_neg = encoder->ComputeEmbeddings(negs, rng);
 
     // Edge generation: discriminate held-out edges from negatives.
-    ts::Tensor logits =
-        ts::ConcatRows({StaticEdgeLogits(edge_head, z_src, z_dst),
-                        StaticEdgeLogits(edge_head, z_src, z_neg)});
-    int64_t n = logits.rows() / 2;
-    std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
-    std::fill(targets.begin(), targets.begin() + n, 1.0f);
-    ts::Tensor edge_loss = ts::BceWithLogitsLoss(
-        logits, ts::Tensor::FromVector(2 * n, 1, std::move(targets)));
+    ts::Tensor pos_logits = StaticEdgeLogits(edge_head, z_src, z_dst);
+    ts::Tensor neg_logits = StaticEdgeLogits(edge_head, z_src, z_neg);
+    ts::Tensor edge_loss = train::LinkBceLoss(pos_logits, neg_logits);
 
     // Attribute generation: reconstruct the (detached) input features of
     // the source nodes from their embeddings.
@@ -322,17 +309,8 @@ double TrainGptGnn(StaticGnnEncoder* encoder,
     ts::Tensor attr_loss =
         ts::MseLoss(attr_head.Forward(z_src), target_attr);
 
-    ts::Tensor loss = ts::Add(edge_loss, attr_loss);
-    optimizer.ZeroGrad();
-    loss.Backward();
-    ts::ClipGradNorm(params, options.grad_clip);
-    optimizer.Step();
-    if (step >= options.steps - 10) {
-      recent += loss.item();
-      ++recent_count;
-    }
-  }
-  return recent_count > 0 ? recent / static_cast<double>(recent_count) : 0.0;
+    return ts::Add(edge_loss, attr_loss);
+  });
 }
 
 }  // namespace cpdg::static_gnn

@@ -1,0 +1,50 @@
+#include "train/link_batch.h"
+
+#include <algorithm>
+
+#include "dgnn/trainer.h"
+#include "tensor/losses.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace cpdg::train {
+
+namespace ts = cpdg::tensor;
+
+LinkBatch AssembleLinkBatch(const std::vector<graph::Event>& events,
+                            const std::vector<graph::NodeId>& negative_pool,
+                            int64_t num_nodes, Rng* rng) {
+  CPDG_CHECK(rng != nullptr);
+  LinkBatch out;
+  out.srcs.reserve(events.size());
+  out.dsts.reserve(events.size());
+  out.negs.reserve(events.size());
+  out.times.reserve(events.size());
+  for (const graph::Event& e : events) {
+    out.srcs.push_back(e.src);
+    out.dsts.push_back(e.dst);
+    out.negs.push_back(
+        dgnn::SampleNegative(negative_pool, num_nodes, e.dst, rng));
+    out.times.push_back(e.time);
+  }
+  return out;
+}
+
+tensor::Tensor StackedBceLoss(const tensor::Tensor& logits,
+                              int64_t num_positive) {
+  int64_t n = logits.rows();
+  CPDG_CHECK_GE(num_positive, 0);
+  CPDG_CHECK_LE(num_positive, n);
+  std::vector<float> target_data(static_cast<size_t>(n), 0.0f);
+  std::fill(target_data.begin(), target_data.begin() + num_positive, 1.0f);
+  ts::Tensor targets = ts::Tensor::FromVector(n, 1, std::move(target_data));
+  return ts::BceWithLogitsLoss(logits, targets);
+}
+
+tensor::Tensor LinkBceLoss(const tensor::Tensor& pos_logits,
+                           const tensor::Tensor& neg_logits) {
+  ts::Tensor logits = ts::ConcatRows({pos_logits, neg_logits});
+  return StackedBceLoss(logits, pos_logits.rows());
+}
+
+}  // namespace cpdg::train

@@ -1,0 +1,57 @@
+#ifndef CPDG_TRAIN_TELEMETRY_H_
+#define CPDG_TRAIN_TELEMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dgnn/trainer.h"
+
+namespace cpdg::train {
+
+/// \brief Per-epoch diagnostics recorded by the training runtime.
+///
+/// Gradient norms are only recorded for epochs where gradient clipping is
+/// enabled (grad_clip > 0): the pre-clip value is the global L2 norm
+/// returned by tensor::ClipGradNorm, the post-clip value is what the
+/// optimizer actually stepped with (min(pre_clip, grad_clip)). A rising
+/// mean_grad_norm_pre_clip with a flat post-clip norm is the signature of
+/// a gradient-explosion regression.
+struct EpochTelemetry {
+  /// Wall-clock time of the epoch (monotonic, seconds).
+  double wall_clock_sec = 0.0;
+  /// Batches iterated, including batches that produced no optimizer step.
+  int64_t num_batches = 0;
+  /// Batches that produced a loss and took an optimizer step.
+  int64_t num_steps = 0;
+  /// Stepped-loss sum divided by num_batches (matches the historical
+  /// epoch-loss bookkeeping of the hand-rolled loops).
+  double mean_loss = 0.0;
+  /// Mean / max global gradient L2 norm before clipping, over stepped
+  /// batches.
+  double mean_grad_norm_pre_clip = 0.0;
+  double max_grad_norm_pre_clip = 0.0;
+  /// Mean global gradient L2 norm after clipping, over stepped batches.
+  double mean_grad_norm_post_clip = 0.0;
+};
+
+/// \brief Enriched training log produced by train::TrainLoop.
+///
+/// Extends dgnn::TrainLog so existing consumers of epoch_losses /
+/// final_loss() keep working; `epochs` carries the per-epoch wall-clock,
+/// batch-count and gradient-norm telemetry.
+struct TrainTelemetry : public dgnn::TrainLog {
+  std::vector<EpochTelemetry> epochs;
+
+  const EpochTelemetry& final_epoch() const { return epochs.back(); }
+
+  /// Total wall-clock across all epochs (seconds).
+  double total_wall_clock_sec() const {
+    double total = 0.0;
+    for (const EpochTelemetry& e : epochs) total += e.wall_clock_sec;
+    return total;
+  }
+};
+
+}  // namespace cpdg::train
+
+#endif  // CPDG_TRAIN_TELEMETRY_H_

@@ -1,0 +1,130 @@
+#include "train/train_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cpdg::train {
+
+namespace ts = cpdg::tensor;
+
+TrainLoop::TrainLoop(std::vector<tensor::Tensor> params,
+                     const TrainLoopOptions& options)
+    : params_(std::move(params)),
+      options_(options),
+      optimizer_(params_, options.learning_rate) {
+  CPDG_CHECK_GE(options.epochs, 1);
+}
+
+void TrainLoop::StepOnLoss(tensor::Tensor* loss, EpochTelemetry* epoch,
+                           double* loss_sum) {
+  optimizer_.ZeroGrad();
+  loss->Backward();
+  if (options_.grad_clip > 0.0f) {
+    double norm = static_cast<double>(
+        ts::ClipGradNorm(params_, options_.grad_clip));
+    double clipped =
+        std::min(norm, static_cast<double>(options_.grad_clip));
+    epoch->mean_grad_norm_pre_clip += norm;
+    epoch->max_grad_norm_pre_clip =
+        std::max(epoch->max_grad_norm_pre_clip, norm);
+    epoch->mean_grad_norm_post_clip += clipped;
+  }
+  optimizer_.Step();
+  *loss_sum += static_cast<double>(loss->item());
+  ++epoch->num_steps;
+}
+
+void TrainLoop::FinishEpoch(int64_t epoch_index, double loss_sum,
+                            EpochTelemetry epoch,
+                            TrainTelemetry* telemetry) {
+  // Historical convention of the hand-rolled loops: the epoch loss is the
+  // stepped-loss sum divided by the *total* batch count (batches that
+  // found no anchors contribute zero).
+  if (epoch.num_batches > 0) {
+    epoch.mean_loss = loss_sum / static_cast<double>(epoch.num_batches);
+  }
+  if (epoch.num_steps > 0) {
+    epoch.mean_grad_norm_pre_clip /= static_cast<double>(epoch.num_steps);
+    epoch.mean_grad_norm_post_clip /= static_cast<double>(epoch.num_steps);
+  }
+  telemetry->epoch_losses.push_back(epoch.mean_loss);
+  CPDG_LOG(Debug) << options_.log_label << " epoch " << epoch_index
+                  << " loss=" << epoch.mean_loss
+                  << " grad_norm=" << epoch.mean_grad_norm_pre_clip
+                  << " batches=" << epoch.num_batches
+                  << " wall_ms=" << epoch.wall_clock_sec * 1e3;
+  telemetry->epochs.push_back(epoch);
+}
+
+TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
+                                           const graph::TemporalGraph& graph,
+                                           int64_t batch_size,
+                                           const ChronoBatchFn& batch_fn) {
+  CPDG_CHECK(batch_fn != nullptr);
+  TrainTelemetry telemetry;
+  // One batcher for the whole run; Reset() rewinds it each epoch.
+  graph::ChronologicalBatcher batcher(&graph, batch_size);
+  const int64_t num_batches = batcher.num_batches();
+
+  BatchContext ctx;
+  ctx.num_epochs = options_.epochs;
+  ctx.num_batches = num_batches;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    ctx.epoch = epoch;
+    ctx.final_epoch = (epoch == options_.epochs - 1);
+    if (encoder != nullptr) encoder->memory().Reset();
+    batcher.Reset();
+
+    util::Timer timer;
+    EpochTelemetry et;
+    double loss_sum = 0.0;
+    graph::EventBatch batch;
+    while (batcher.Next(&batch)) {
+      ctx.batch_index = et.num_batches;
+      if (encoder != nullptr) encoder->BeginBatch();
+      std::optional<tensor::Tensor> loss = batch_fn(ctx, batch);
+      if (loss.has_value()) StepOnLoss(&*loss, &et, &loss_sum);
+      if (encoder != nullptr) encoder->CommitBatch(batch.events);
+      ++et.num_batches;
+      if (batch_end_hook_) batch_end_hook_(ctx);
+    }
+    et.wall_clock_sec = timer.ElapsedSeconds();
+    FinishEpoch(epoch, loss_sum, et, &telemetry);
+  }
+  return telemetry;
+}
+
+TrainTelemetry TrainLoop::RunSteps(int64_t steps_per_epoch,
+                                   const StepFn& step_fn) {
+  CPDG_CHECK(step_fn != nullptr);
+  CPDG_CHECK_GE(steps_per_epoch, 0);
+  TrainTelemetry telemetry;
+
+  BatchContext ctx;
+  ctx.num_epochs = options_.epochs;
+  ctx.num_batches = steps_per_epoch;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    ctx.epoch = epoch;
+    ctx.final_epoch = (epoch == options_.epochs - 1);
+
+    util::Timer timer;
+    EpochTelemetry et;
+    double loss_sum = 0.0;
+    for (int64_t step = 0; step < steps_per_epoch; ++step) {
+      ctx.batch_index = step;
+      std::optional<tensor::Tensor> loss = step_fn(ctx);
+      if (loss.has_value()) StepOnLoss(&*loss, &et, &loss_sum);
+      ++et.num_batches;
+      if (batch_end_hook_) batch_end_hook_(ctx);
+    }
+    et.wall_clock_sec = timer.ElapsedSeconds();
+    FinishEpoch(epoch, loss_sum, et, &telemetry);
+  }
+  return telemetry;
+}
+
+}  // namespace cpdg::train

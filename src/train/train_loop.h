@@ -1,0 +1,117 @@
+#ifndef CPDG_TRAIN_TRAIN_LOOP_H_
+#define CPDG_TRAIN_TRAIN_LOOP_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dgnn/encoder.h"
+#include "graph/batching.h"
+#include "graph/temporal_graph.h"
+#include "tensor/optim.h"
+#include "train/telemetry.h"
+
+namespace cpdg::train {
+
+/// \brief Knobs of the shared training runtime.
+struct TrainLoopOptions {
+  int64_t epochs = 1;
+  float learning_rate = 1e-3f;
+  /// Global gradient-norm clip applied after every backward pass;
+  /// <= 0 disables clipping (and gradient-norm telemetry).
+  float grad_clip = 0.0f;
+  /// Prefix of the per-epoch debug log line.
+  std::string log_label = "train";
+};
+
+/// \brief Position of the current batch within the run, handed to batch
+/// callbacks and hooks.
+struct BatchContext {
+  int64_t epoch = 0;
+  int64_t num_epochs = 1;
+  /// 0-based batch index within the current epoch.
+  int64_t batch_index = 0;
+  /// Batches per epoch (ChronologicalBatcher::num_batches() for
+  /// chronological runs, steps_per_epoch for step runs).
+  int64_t num_batches = 0;
+  bool final_epoch = false;
+};
+
+/// \brief Computes the loss of one chronological event batch. Returning
+/// nullopt skips the optimizer step for this batch (the batch still
+/// advances encoder memory and counts toward telemetry) — used by
+/// objectives that can find no anchors in a batch.
+using ChronoBatchFn = std::function<std::optional<tensor::Tensor>(
+    const BatchContext& ctx, const graph::EventBatch& batch)>;
+
+/// \brief Computes the loss of one step of a data-free (non-streaming)
+/// loop, e.g. static-GNN sampled batches or a full-batch head epoch.
+using StepFn =
+    std::function<std::optional<tensor::Tensor>(const BatchContext& ctx)>;
+
+/// \brief Observer invoked after each batch completes (optimizer stepped
+/// and, for chronological runs, the batch committed to encoder memory).
+/// CPDG's uniform memory checkpointing is implemented as this hook.
+using BatchHook = std::function<void(const BatchContext& ctx)>;
+
+/// \brief The shared epoch/batch driver every training entry point in the
+/// repo runs on: CPDG pre-training and fine-tuning, the supervised
+/// TGN-family trainer, the SSL baselines, the static-GNN loops and the
+/// node-classification head.
+///
+/// The loop owns the Adam optimizer over `params`, the
+/// ZeroGrad -> Backward -> ClipGradNorm -> Step sequence, the per-epoch
+/// encoder-memory reset and per-batch BeginBatch/CommitBatch lifecycle
+/// (chronological runs), and telemetry (per-epoch wall-clock, batch
+/// counts, mean loss, gradient norms). Call sites supply only the
+/// objective as a batch callback. Centralizing the iteration here is what
+/// lets batching, instrumentation and (later) parallel negative sampling /
+/// prefetching land in one place.
+class TrainLoop {
+ public:
+  TrainLoop(std::vector<tensor::Tensor> params,
+            const TrainLoopOptions& options);
+
+  /// Registers a hook run after every completed batch.
+  void set_batch_end_hook(BatchHook hook) {
+    batch_end_hook_ = std::move(hook);
+  }
+
+  /// \brief Chronological event-stream training over `graph`: one
+  /// ChronologicalBatcher is constructed up front and Reset() per epoch;
+  /// when `encoder` is non-null its memory is reset at each epoch start
+  /// and every batch is wrapped in BeginBatch / CommitBatch (the TGN
+  /// within-batch protocol).
+  TrainTelemetry RunChronological(dgnn::DgnnEncoder* encoder,
+                                  const graph::TemporalGraph& graph,
+                                  int64_t batch_size,
+                                  const ChronoBatchFn& batch_fn);
+
+  /// \brief Step-based training: `steps_per_epoch` invocations of
+  /// `step_fn` per epoch with no event stream or encoder lifecycle.
+  TrainTelemetry RunSteps(int64_t steps_per_epoch, const StepFn& step_fn);
+
+  const TrainLoopOptions& options() const { return options_; }
+  const std::vector<tensor::Tensor>& params() const { return params_; }
+  tensor::Adam& optimizer() { return optimizer_; }
+
+ private:
+  /// Backward + clip + step for one produced loss; accumulates epoch
+  /// telemetry.
+  void StepOnLoss(tensor::Tensor* loss, EpochTelemetry* epoch,
+                  double* loss_sum);
+
+  /// Finalizes one epoch's telemetry and emits the debug log line.
+  void FinishEpoch(int64_t epoch_index, double loss_sum,
+                   EpochTelemetry epoch, TrainTelemetry* telemetry);
+
+  std::vector<tensor::Tensor> params_;
+  TrainLoopOptions options_;
+  tensor::Adam optimizer_;
+  BatchHook batch_end_hook_;
+};
+
+}  // namespace cpdg::train
+
+#endif  // CPDG_TRAIN_TRAIN_LOOP_H_

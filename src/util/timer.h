@@ -1,0 +1,34 @@
+#ifndef CPDG_UTIL_TIMER_H_
+#define CPDG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cpdg::util {
+
+/// \brief Monotonic wall-clock stopwatch. Backs the training-runtime
+/// telemetry (per-epoch wall time) and is safe against system clock
+/// adjustments, unlike std::chrono::system_clock.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch from now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Milliseconds elapsed since construction / the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cpdg::util
+
+#endif  // CPDG_UTIL_TIMER_H_

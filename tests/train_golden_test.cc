@@ -1,0 +1,299 @@
+// Golden-loss regression tests for the nine training loops that were
+// migrated onto the shared training runtime (src/train/). Each scenario
+// fixes every seed and asserts the per-epoch losses against values
+// captured from the pre-refactor hand-rolled loops: the migration must be
+// behavior-preserving down to floating-point op order.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "core/finetuner.h"
+#include "core/pretrainer.h"
+#include "dgnn/trainer.h"
+#include "eval/evaluators.h"
+#include "graph/temporal_graph.h"
+#include "ssl/ssl_baselines.h"
+#include "static_gnn/static_gnn.h"
+
+namespace cpdg {
+namespace {
+
+using graph::Event;
+using graph::NodeId;
+using graph::TemporalGraph;
+
+constexpr double kTol = 1e-5;
+
+// Prints captured values when CPDG_GOLDEN_PRINT is set, for re-baselining.
+bool GoldenPrint() { return std::getenv("CPDG_GOLDEN_PRINT") != nullptr; }
+
+void CheckGolden(const char* name, const std::vector<double>& actual,
+                 const std::vector<double>& expected) {
+  if (GoldenPrint()) {
+    std::fprintf(stderr, "GOLDEN %s =", name);
+    for (double v : actual) std::fprintf(stderr, " %.17g,", v);
+    std::fprintf(stderr, "\n");
+    return;
+  }
+  ASSERT_EQ(actual.size(), expected.size()) << name;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], kTol) << name << " index " << i;
+  }
+}
+
+// 30-node bipartite graph (15 users, 15 items), as in core_test.
+TemporalGraph MakeGraphA(uint64_t seed, int64_t events_count = 400) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < events_count; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(15));
+    NodeId b = 15 + static_cast<NodeId>(rng.NextBounded(15));
+    events.push_back({a, b, static_cast<double>(i) * 0.002});
+  }
+  return TemporalGraph::Create(30, events).ValueOrDie();
+}
+
+// 24-node two-community bipartite graph, as in baselines_test.
+TemporalGraph MakeGraphB(uint64_t seed, int64_t events_count = 400) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < events_count; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(12));
+    NodeId b = (a < 6) ? 12 + static_cast<NodeId>(rng.NextBounded(6))
+                       : 18 + static_cast<NodeId>(rng.NextBounded(6));
+    events.push_back({a, b, static_cast<double>(i) * 0.002});
+  }
+  return TemporalGraph::Create(24, events).ValueOrDie();
+}
+
+dgnn::EncoderConfig SmallConfig(int64_t num_nodes) {
+  dgnn::EncoderConfig c =
+      dgnn::EncoderConfig::Preset(dgnn::EncoderType::kTgn, num_nodes);
+  c.memory_dim = 8;
+  c.embed_dim = 8;
+  c.time_dim = 4;
+  c.num_neighbors = 3;
+  return c;
+}
+
+static_gnn::StaticGnnEncoder::Config SmallStaticConfig(int64_t num_nodes) {
+  static_gnn::StaticGnnEncoder::Config c;
+  c.num_nodes = num_nodes;
+  c.feature_dim = 8;
+  c.hidden_dim = 8;
+  c.embed_dim = 8;
+  c.num_neighbors = 3;
+  return c;
+}
+
+TEST(TrainGoldenTest, CpdgPretrain) {
+  TemporalGraph g = MakeGraphA(11);
+  Rng rng(13);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  dgnn::LinkPredictor decoder(8, 8, &rng);
+  core::CpdgConfig config;
+  config.epochs = 2;
+  config.batch_size = 50;
+  config.num_checkpoints = 4;
+  config.max_contrast_anchors = 16;
+  core::CpdgPretrainer pretrainer(config, &rng);
+  core::PretrainResult result = pretrainer.Pretrain(&encoder, &decoder, g);
+  CheckGolden("cpdg_pretrain", result.log.epoch_losses,
+              {0.97793694585561752, 0.94721362739801407});
+
+  // Telemetry contract: wall-clock, batch counts, mean loss and clipped
+  // gradient norms are populated for every epoch.
+  ASSERT_EQ(result.log.epochs.size(), 2u);
+  for (const train::EpochTelemetry& et : result.log.epochs) {
+    EXPECT_EQ(et.num_batches, 8);  // 400 events / batch_size 50
+    EXPECT_EQ(et.num_steps, 8);
+    EXPECT_GE(et.wall_clock_sec, 0.0);
+    EXPECT_GT(et.mean_grad_norm_pre_clip, 0.0);
+    EXPECT_GT(et.mean_grad_norm_post_clip, 0.0);
+    EXPECT_LE(et.mean_grad_norm_post_clip, et.mean_grad_norm_pre_clip + kTol);
+  }
+  EXPECT_NEAR(result.log.final_epoch().mean_loss,
+              result.log.epoch_losses.back(), kTol);
+  EXPECT_GE(result.log.total_wall_clock_sec(), 0.0);
+}
+
+TEST(TrainGoldenTest, FineTune) {
+  TemporalGraph g = MakeGraphA(31);
+  Rng rng(37);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  core::FineTuneConfig config;
+  config.train.epochs = 2;
+  config.train.batch_size = 50;
+  train::TrainTelemetry telemetry;
+  core::FineTunedModel model = core::FineTuneLinkPrediction(
+      &encoder, g, config, nullptr, &rng, &telemetry);
+  (void)model;
+  CheckGolden("finetune", telemetry.epoch_losses,
+              {0.69337601959705353, 0.69200737774372101});
+
+  ASSERT_EQ(telemetry.epochs.size(), 2u);
+  for (const train::EpochTelemetry& et : telemetry.epochs) {
+    EXPECT_EQ(et.num_batches, 8);
+    EXPECT_GE(et.wall_clock_sec, 0.0);
+    EXPECT_GT(et.mean_grad_norm_post_clip, 0.0);
+  }
+}
+
+TEST(TrainGoldenTest, TlpTrainer) {
+  TemporalGraph g = MakeGraphA(21);
+  Rng rng(23);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  dgnn::LinkPredictor decoder(8, 8, &rng);
+  dgnn::TlpTrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 50;
+  dgnn::TrainLog log =
+      dgnn::TrainLinkPrediction(&encoder, &decoder, g, opts, &rng);
+  CheckGolden("tlp", log.epoch_losses,
+              {0.69014842808246613, 0.68560515344142914,
+               0.68003710359334946});
+}
+
+TEST(TrainGoldenTest, Ddgcl) {
+  TemporalGraph g = MakeGraphB(9, 600);
+  Rng rng(10);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  ssl::SslTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 60;
+  opts.view_window = 0.2;
+  // Assigning to the base TrainLog checks the telemetry type still slices
+  // cleanly onto the legacy log type used across the repo.
+  dgnn::TrainLog log = ssl::PretrainDdgcl(&encoder, g, opts, &rng);
+  CheckGolden("ddgcl", log.epoch_losses,
+              {0.62676404118537898, 0.5886502087116241});
+}
+
+TEST(TrainGoldenTest, SelfRgnn) {
+  TemporalGraph g = MakeGraphB(11, 600);
+  Rng rng(12);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  ssl::SslTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 60;
+  dgnn::TrainLog log = ssl::PretrainSelfRgnn(&encoder, g, opts, &rng);
+  CheckGolden("selfrgnn", log.epoch_losses,
+              {0.49786578714847562, 0.49223771691322327});
+}
+
+TEST(TrainGoldenTest, StaticLinkPrediction) {
+  TemporalGraph g = MakeGraphB(3);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(4);
+  static_gnn::StaticGnnEncoder encoder(SmallStaticConfig(g.num_nodes()),
+                                       &rng);
+  encoder.AttachSnapshot(&snap);
+  tensor::Mlp decoder({16, 8, 1}, &rng);
+  static_gnn::StaticTrainOptions opts;
+  opts.steps = 60;
+  opts.batch_size = 32;
+  double final_loss = static_gnn::TrainLinkPredictionStatic(
+      &encoder, &decoder, g.events(), opts, &rng);
+  CheckGolden("static_lp", {final_loss}, {0.68578656911849978});
+}
+
+TEST(TrainGoldenTest, Dgi) {
+  TemporalGraph g = MakeGraphB(5);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(6);
+  static_gnn::StaticGnnEncoder encoder(SmallStaticConfig(g.num_nodes()),
+                                       &rng);
+  encoder.AttachSnapshot(&snap);
+  auto nodes = g.NodesBefore(std::numeric_limits<double>::infinity());
+  static_gnn::StaticTrainOptions opts;
+  opts.steps = 40;
+  double final_loss = static_gnn::TrainDgi(&encoder, nodes, opts, &rng);
+  CheckGolden("dgi", {final_loss}, {0.69508542418479924});
+}
+
+TEST(TrainGoldenTest, GptGnn) {
+  TemporalGraph g = MakeGraphB(7);
+  auto snap = graph::StaticSnapshot::FromTemporalGraph(
+      g, std::numeric_limits<double>::infinity());
+  Rng rng(8);
+  static_gnn::StaticGnnEncoder encoder(SmallStaticConfig(g.num_nodes()),
+                                       &rng);
+  encoder.AttachSnapshot(&snap);
+  static_gnn::StaticTrainOptions opts;
+  opts.steps = 40;
+  double final_loss =
+      static_gnn::TrainGptGnn(&encoder, g.events(), opts, &rng);
+  CheckGolden("gptgnn", {final_loss}, {0.69779365062713627});
+}
+
+TEST(TrainGoldenTest, NodeClassificationHead) {
+  // Labeled graph: ~every 4th event carries a label; positives are the
+  // minority class so the oversampling path is exercised.
+  Rng grng(51);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < 500; ++i) {
+    NodeId a = static_cast<NodeId>(grng.NextBounded(15));
+    NodeId b = 15 + static_cast<NodeId>(grng.NextBounded(15));
+    Event e{a, b, static_cast<double>(i) * 0.002};
+    if (i % 4 == 0) e.label = (a < 3) ? 1 : 0;
+    events.push_back(e);
+  }
+  TemporalGraph g = TemporalGraph::Create(30, events).ValueOrDie();
+  Rng rng(53);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  eval::EmbedFn embed = [&](const std::vector<NodeId>& nodes,
+                            const std::vector<double>& times) {
+    return encoder.ComputeEmbeddings(nodes, times);
+  };
+  eval::NodeClassificationMetrics metrics =
+      eval::EvaluateDynamicNodeClassification(&encoder, embed, g.events(),
+                                              0.6, 0.6, 50, 25, 0.05f, &rng);
+  CheckGolden("node_cls_auc", {metrics.auc}, {0.92013888888888884});
+
+  // The head's full-batch training trace (one step per epoch), captured
+  // from the pre-refactor loop via a temporary probe.
+  ASSERT_EQ(metrics.head_log.epochs.size(), 25u);
+  CheckGolden("head_first_last",
+              {metrics.head_log.epoch_losses.front(),
+               metrics.head_log.epoch_losses.back()},
+              {0.74420899152755737, 0.28536489605903625});
+}
+
+TEST(SampleNegativeTest, DegeneratePoolFallsBackToPositive) {
+  // A pool containing only the positive destination can never produce a
+  // distinct negative: after the bounded retries the sampler must give up
+  // and return the positive rather than loop forever.
+  Rng rng(99);
+  std::vector<NodeId> pool = {7};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dgnn::SampleNegative(pool, 30, 7, &rng), 7);
+  }
+}
+
+TEST(SampleNegativeTest, AvoidsPositiveWhenPoolAllowsIt) {
+  // Draws come from the pool only; the retry loop avoids the positive in
+  // all but the rare case where every bounded attempt hits it.
+  Rng rng(100);
+  std::vector<NodeId> pool = {3, 7};
+  int non_positive = 0;
+  for (int i = 0; i < 50; ++i) {
+    NodeId neg = dgnn::SampleNegative(pool, 30, 7, &rng);
+    EXPECT_TRUE(neg == 3 || neg == 7);
+    if (neg == 3) ++non_positive;
+  }
+  EXPECT_GE(non_positive, 45);
+  // Empty pool: uniform over [0, num_nodes), still avoiding the positive.
+  std::vector<NodeId> empty_pool;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(dgnn::SampleNegative(empty_pool, 30, 7, &rng), 7);
+  }
+}
+
+}  // namespace
+}  // namespace cpdg
