@@ -1,0 +1,241 @@
+// Kernel-threading benchmark: times MatMul forward and forward+backward
+// serial vs parallel across a thread sweep, plus one full link-prediction
+// cell per thread count, and verifies every parallel result is bitwise
+// identical to the serial run (the thread pool's static-partition
+// contract). Results land in BENCH_kernels.json next to the binary.
+//
+// Usage:
+//   bench_kernels          full sweep: 512x512x512, threads {1,2,4,8}
+//   bench_kernels --smoke  CI-sized:   128x128x128, threads {1,2}
+//
+// Exits nonzero if any parallel result deviates from serial by a single
+// bit, so the ctest `bench-smoke` registration doubles as a determinism
+// check.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common/experiment.h"
+#include "data/transfer.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cpdg;
+namespace ts = cpdg::tensor;
+
+struct Record {
+  std::string name;
+  int threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double speedup_vs_1 = 0.0;
+  bool bitwise_equal_to_serial = true;
+};
+
+bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+std::vector<float> Snapshot(const float* p, int64_t n) {
+  return std::vector<float>(p, p + n);
+}
+
+// --- MatMul kernels -------------------------------------------------------
+
+struct MatMulOutputs {
+  std::vector<float> out, ga, gb;
+};
+
+MatMulOutputs TimeMatMul(int64_t m, int64_t k, int64_t n, int reps,
+                         bool backward, double* seconds_out) {
+  Rng rng(42);
+  ts::Tensor a = ts::Tensor::RandomUniform(m, k, 0.5f, &rng, backward);
+  ts::Tensor b = ts::Tensor::RandomUniform(k, n, 0.5f, &rng, backward);
+  MatMulOutputs outputs;
+  // Warm-up rep excluded from timing (first touch, pool spin-up).
+  {
+    ts::Tensor out = ts::MatMul(a, b);
+    if (backward) out.Backward();
+  }
+  if (backward) {
+    std::memset(a.grad(), 0, sizeof(float) * static_cast<size_t>(a.size()));
+    std::memset(b.grad(), 0, sizeof(float) * static_cast<size_t>(b.size()));
+  }
+  util::Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    ts::Tensor out = ts::MatMul(a, b);
+    if (backward) out.Backward();
+    if (r == reps - 1) {
+      outputs.out = Snapshot(out.data(), out.size());
+      if (backward) {
+        outputs.ga = Snapshot(a.grad(), a.size());
+        outputs.gb = Snapshot(b.grad(), b.size());
+      }
+    }
+  }
+  *seconds_out = timer.ElapsedSeconds() / reps;
+  return outputs;
+}
+
+// --- Full bench cell ------------------------------------------------------
+
+data::UniverseSpec CellUniverse() {
+  data::UniverseSpec spec;
+  spec.num_users = 50;
+  data::FieldSpec a;
+  a.name = "A";
+  a.num_items = 30;
+  a.num_communities = 4;
+  a.num_events_early = 600;
+  a.num_events_late = 400;
+  data::FieldSpec pre = a;
+  pre.name = "Pre";
+  spec.fields = {a, pre};
+  return spec;
+}
+
+bench::ExperimentScale CellScale() {
+  bench::ExperimentScale scale;
+  scale.num_seeds = 2;
+  scale.pretrain_epochs = 1;
+  scale.finetune_epochs = 1;
+  scale.batch_size = 200;
+  scale.num_neighbors = 5;
+  return scale;
+}
+
+// --- JSON output ----------------------------------------------------------
+
+void WriteJson(const std::vector<Record>& records, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"threads\": %d, \"seconds\": %.6g, "
+                 "\"gflops\": %.4g, \"speedup_vs_1\": %.4g, "
+                 "\"bitwise_equal_to_serial\": %s}%s\n",
+                 r.name.c_str(), r.threads, r.seconds, r.gflops,
+                 r.speedup_vs_1, r.bitwise_equal_to_serial ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int64_t dim = smoke ? 128 : 512;
+  const int reps = smoke ? 3 : 5;
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("kernel threading benchmark (%s): MatMul %lldx%lldx%lld, "
+              "threads {",
+              smoke ? "smoke" : "full", static_cast<long long>(dim),
+              static_cast<long long>(dim), static_cast<long long>(dim));
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::printf("%s%d", i != 0u ? "," : "", thread_counts[i]);
+  }
+  std::printf("}; hardware_concurrency=%d\n\n",
+              util::ThreadPool::DefaultNumThreads());
+
+  std::vector<Record> records;
+  bool all_bitwise = true;
+
+  // Forward flops: 2*m*k*n. Backward adds dA (2*m*n*k) and dB (2*k*m*n).
+  const double fwd_flops = 2.0 * static_cast<double>(dim) * dim * dim;
+
+  for (bool backward : {false, true}) {
+    const char* name = backward ? "matmul_fwd_bwd" : "matmul_fwd";
+    const double flops = backward ? 3.0 * fwd_flops : fwd_flops;
+    MatMulOutputs serial;
+    double serial_seconds = 0.0;
+    for (int threads : thread_counts) {
+      util::ThreadPool::SetGlobalNumThreads(threads);
+      Record rec;
+      rec.name = name;
+      rec.threads = threads;
+      MatMulOutputs got =
+          TimeMatMul(dim, dim, dim, reps, backward, &rec.seconds);
+      rec.gflops = flops / rec.seconds * 1e-9;
+      if (threads == 1) {
+        serial = got;
+        serial_seconds = rec.seconds;
+        rec.speedup_vs_1 = 1.0;
+      } else {
+        rec.speedup_vs_1 = serial_seconds / rec.seconds;
+        rec.bitwise_equal_to_serial =
+            SameBits(serial.out, got.out) && SameBits(serial.ga, got.ga) &&
+            SameBits(serial.gb, got.gb);
+      }
+      all_bitwise = all_bitwise && rec.bitwise_equal_to_serial;
+      std::printf("%-16s threads=%d  %8.4f s  %7.2f GFLOP/s  speedup %.2fx"
+                  "  bitwise %s\n",
+                  name, threads, rec.seconds, rec.gflops, rec.speedup_vs_1,
+                  rec.bitwise_equal_to_serial ? "ok" : "MISMATCH");
+      records.push_back(rec);
+    }
+  }
+
+  // Full cell: pre-train + fine-tune + eval, per thread count. Timed once
+  // each (the cell is seconds-scale); bitwise check on the AUC/AP doubles.
+  {
+    data::TransferBenchmarkBuilder builder(CellUniverse(), 77);
+    data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+    bench::LinkPredResult serial_cell;
+    double serial_seconds = 0.0;
+    for (int threads : thread_counts) {
+      util::ThreadPool::SetGlobalNumThreads(threads);
+      Record rec;
+      rec.name = "link_pred_cell";
+      rec.threads = threads;
+      util::Timer timer;
+      bench::LinkPredResult cell = bench::RunLinkPrediction(
+          bench::MethodSpec::Cpdg(), ds, CellScale(), /*seed=*/1);
+      rec.seconds = timer.ElapsedSeconds();
+      if (threads == 1) {
+        serial_cell = cell;
+        serial_seconds = rec.seconds;
+        rec.speedup_vs_1 = 1.0;
+      } else {
+        rec.speedup_vs_1 = serial_seconds / rec.seconds;
+        rec.bitwise_equal_to_serial =
+            cell.auc == serial_cell.auc && cell.ap == serial_cell.ap;
+      }
+      all_bitwise = all_bitwise && rec.bitwise_equal_to_serial;
+      std::printf("%-16s threads=%d  %8.4f s  %7s           speedup %.2fx"
+                  "  bitwise %s\n",
+                  "link_pred_cell", threads, rec.seconds, "",
+                  rec.speedup_vs_1,
+                  rec.bitwise_equal_to_serial ? "ok" : "MISMATCH");
+      records.push_back(rec);
+    }
+  }
+
+  util::ThreadPool::SetGlobalNumThreads(util::ThreadPool::DefaultNumThreads());
+  WriteJson(records, "BENCH_kernels.json");
+
+  if (!all_bitwise) {
+    std::fprintf(stderr,
+                 "FAIL: parallel result differs bitwise from serial\n");
+    return 1;
+  }
+  return 0;
+}

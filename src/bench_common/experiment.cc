@@ -11,6 +11,7 @@
 #include "tensor/ops.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cpdg::bench {
 
@@ -460,10 +461,21 @@ AggregatedResult RunLinkPredictionSeeds(const MethodSpec& spec,
                                         const data::TransferDataset& dataset,
                                         const ExperimentScale& scale,
                                         bool inductive) {
+  // Seed-level fan-out: every cell derives its entire stream from
+  // Rng(seed * const + offset), so cells are independent and can run on
+  // any worker. Results are collected per seed and merged into the
+  // RunningStats in seed order, making the aggregate bitwise identical at
+  // any thread count.
+  std::vector<LinkPredResult> results(static_cast<size_t>(scale.num_seeds));
+  util::ThreadPool::Global().ParallelFor(
+      0, scale.num_seeds, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          results[static_cast<size_t>(s)] =
+              RunLinkPrediction(spec, dataset, scale, 1000 + s, inductive);
+        }
+      });
   AggregatedResult agg;
-  for (int64_t s = 0; s < scale.num_seeds; ++s) {
-    LinkPredResult r =
-        RunLinkPrediction(spec, dataset, scale, 1000 + s, inductive);
+  for (const LinkPredResult& r : results) {
     agg.auc.Add(r.auc);
     agg.ap.Add(r.ap);
   }
@@ -473,10 +485,17 @@ AggregatedResult RunLinkPredictionSeeds(const MethodSpec& spec,
 RunningStats RunNodeClassificationSeeds(const MethodSpec& spec,
                                         const data::TransferDataset& dataset,
                                         const ExperimentScale& scale) {
+  // Same seed fan-out and seed-order merge as RunLinkPredictionSeeds.
+  std::vector<double> aucs(static_cast<size_t>(scale.num_seeds));
+  util::ThreadPool::Global().ParallelFor(
+      0, scale.num_seeds, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          aucs[static_cast<size_t>(s)] =
+              RunNodeClassification(spec, dataset, scale, 2000 + s);
+        }
+      });
   RunningStats stats;
-  for (int64_t s = 0; s < scale.num_seeds; ++s) {
-    stats.Add(RunNodeClassification(spec, dataset, scale, 2000 + s));
-  }
+  for (double auc : aucs) stats.Add(auc);
   return stats;
 }
 

@@ -18,6 +18,12 @@ namespace cpdg::bench {
 ///   CPDG_SEEDS        number of random seeds per cell (default 3)
 ///   CPDG_EVENT_SCALE  multiplies all dataset event counts (default 1.0)
 ///   CPDG_EPOCHS       pre-train/fine-tune epochs (default 2)
+///
+/// Seed aggregation (RunLinkPredictionSeeds / RunNodeClassificationSeeds)
+/// fans the per-seed cells out over util::ThreadPool::Global(), whose size
+/// is controlled by CPDG_NUM_THREADS (default: hardware concurrency; 1 =
+/// fully serial). Results are merged in seed order, so aggregates are
+/// bitwise identical at any thread count.
 struct ExperimentScale {
   int64_t num_seeds = 3;
   double event_scale = 1.0;

@@ -61,6 +61,7 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
   for (int64_t hop = 0; hop < options.depth && !frontier.empty(); ++hop) {
     std::vector<std::pair<NodeId, double>> next;
     for (const auto& [u, ut] : frontier) {
+      ++out.frontier_expansions;
       auto view = graph_->NeighborsBefore(u, ut);
       if (view.empty()) continue;
 
@@ -70,31 +71,43 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
           TemporalProbabilities(times, ut, bias, options.temperature);
 
       // Weighted sampling without replacement: draw up to `width` distinct
-      // neighbor positions by zeroing drawn weights.
+      // neighbor positions by zeroing drawn weights. The remaining mass is
+      // tracked as a running total decremented by each drawn weight, so an
+      // expansion costs O(draws * n) scans but only one initial summation.
+      double total = 0.0;
+      for (double p : probs) total += p;
       int64_t draws = std::min(options.width, view.count);
       for (int64_t d = 0; d < draws; ++d) {
-        double total = 0.0;
-        for (double p : probs) total += p;
         if (total <= 0.0) break;
         double x = rng->NextDouble() * total;
         double acc = 0.0;
-        size_t pick = probs.size() - 1;
+        size_t pick = probs.size();
+        size_t last_alive = probs.size();
         for (size_t i = 0; i < probs.size(); ++i) {
+          if (probs[i] <= 0.0) continue;  // already drawn
+          last_alive = i;
           acc += probs[i];
           if (x < acc) {
             pick = i;
             break;
           }
         }
+        // Rounding in the decremented total can push x past the remaining
+        // mass; fall back to the last undrawn position.
+        if (pick == probs.size()) pick = last_alive;
+        if (pick == probs.size()) break;  // every weight already drawn
+        total -= probs[pick];
         probs[pick] = 0.0;
         const auto& nbr = view[static_cast<int64_t>(pick)];
+        // Only a newly discovered node enters the next frontier: frontier
+        // entries would otherwise duplicate at every deeper hop. Expansion
+        // happens at the time of the sampled interaction, so deeper hops
+        // only see the past of that interaction.
         if (seen.insert(nbr.node).second) {
           out.nodes.push_back(nbr.node);
           out.times.push_back(nbr.time);
+          next.emplace_back(nbr.node, nbr.time);
         }
-        // Expand from the neighbor at the time of the sampled interaction,
-        // so deeper hops only see the past of that interaction.
-        next.emplace_back(nbr.node, nbr.time);
       }
     }
     frontier = std::move(next);
@@ -123,12 +136,15 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
+    ++out.frontier_expansions;
     if (f.depth_left == 0) continue;
     auto view = graph_->NeighborsBefore(f.node, f.time);
     if (view.empty()) continue;
     int64_t take = std::min(options.width, view.count);
-    // Most recent `take` entries, newest first for DFS order.
-    for (int64_t i = 0; i < take; ++i) {
+    // Most recent `take` entries, pushed oldest first so the newest sampled
+    // neighbor ends on top of the LIFO stack and is explored deepest-first
+    // (the chronological-tail order of Eq. 5).
+    for (int64_t i = take - 1; i >= 0; --i) {
       const auto& nbr = view[view.count - 1 - i];
       if (seen.insert(nbr.node).second) {
         out.nodes.push_back(nbr.node);

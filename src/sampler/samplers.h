@@ -32,6 +32,10 @@ enum class TemporalBias {
 struct SubgraphSample {
   std::vector<NodeId> nodes;
   std::vector<double> times;
+  /// Number of frontier entries the traversal expanded across all hops
+  /// (diagnostics). The η-BFS frontier is deduplicated against the seen
+  /// set, so this is bounded by the nodes added plus the root.
+  int64_t frontier_expansions = 0;
 
   bool empty() const { return nodes.empty(); }
   int64_t size() const { return static_cast<int64_t>(nodes.size()); }

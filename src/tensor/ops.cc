@@ -3,8 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace cpdg::tensor {
 namespace {
+
+// Minimum per-chunk element count for parallel kernels; tensors below this
+// stay on the serial fast path. Chunk boundaries depend only on this grain
+// (never on the worker count), and every chunk owns a disjoint slice of its
+// output, so parallel results are bitwise identical to serial ones.
+constexpr int64_t kElementGrain = 1 << 14;
+
+// Splits a flat element range into grain-sized chunks.
+void ParallelElems(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  util::ThreadPool::Global().ParallelFor(0, n, kElementGrain, fn);
+}
+
+// Splits a row range into chunks covering roughly kElementGrain scalar
+// operations each; `row_cost` is the per-row operation count.
+void ParallelRows(int64_t rows, int64_t row_cost,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  int64_t grain =
+      std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, row_cost));
+  util::ThreadPool::Global().ParallelFor(0, rows, grain, fn);
+}
 
 // Shapes are equal, or b is a [1, cols] row broadcast over a's rows.
 enum class BroadcastKind { kSame, kRow };
@@ -23,7 +45,9 @@ void AccumulateBroadcast(const Tensor& b, const float* dout, int64_t n,
                          int64_t d, BroadcastKind kind) {
   float* gb = b.grad();
   if (kind == BroadcastKind::kSame) {
-    for (int64_t i = 0; i < n * d; ++i) gb[i] += dout[i];
+    ParallelElems(n * d, [gb, dout](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gb[i] += dout[i];
+    });
   } else {
     for (int64_t r = 0; r < n; ++r) {
       for (int64_t c = 0; c < d; ++c) gb[c] += dout[r * d + c];
@@ -42,14 +66,16 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd, const char* name) {
         const float* x = a.data();
         const float* y = self.data();
         float* gx = a.grad();
-        int64_t n = a.size();
-        for (int64_t i = 0; i < n; ++i) gx[i] += dout[i] * bwd(x[i], y[i]);
+        ParallelElems(a.size(), [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) gx[i] += dout[i] * bwd(x[i], y[i]);
+        });
       },
       name);
   const float* x = a.data();
   float* y = out.data();
-  int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) y[i] = fwd(x[i]);
+  ParallelElems(a.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] = fwd(x[i]);
+  });
   return out;
 }
 
@@ -64,7 +90,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
         const float* dout = self.grad();
         if (a.requires_grad()) {
           float* ga = a.grad();
-          for (int64_t i = 0; i < n * d; ++i) ga[i] += dout[i];
+          ParallelElems(n * d, [ga, dout](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i];
+          });
         }
         if (b.requires_grad()) AccumulateBroadcast(b, dout, n, d, kind);
       },
@@ -73,7 +101,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   if (kind == BroadcastKind::kSame) {
-    for (int64_t i = 0; i < n * d; ++i) po[i] = pa[i] + pb[i];
+    ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+    });
   } else {
     for (int64_t r = 0; r < n; ++r) {
       for (int64_t c = 0; c < d; ++c) po[r * d + c] = pa[r * d + c] + pb[c];
@@ -91,12 +121,16 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
         const float* dout = self.grad();
         if (a.requires_grad()) {
           float* ga = a.grad();
-          for (int64_t i = 0; i < n * d; ++i) ga[i] += dout[i];
+          ParallelElems(n * d, [ga, dout](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i];
+          });
         }
         if (b.requires_grad()) {
           // Negated upstream gradient for the subtrahend.
           std::vector<float> neg(static_cast<size_t>(n * d));
-          for (int64_t i = 0; i < n * d; ++i) neg[i] = -dout[i];
+          ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) neg[i] = -dout[i];
+          });
           AccumulateBroadcast(b, neg.data(), n, d, kind);
         }
       },
@@ -105,7 +139,9 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   if (kind == BroadcastKind::kSame) {
-    for (int64_t i = 0; i < n * d; ++i) po[i] = pa[i] - pb[i];
+    ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+    });
   } else {
     for (int64_t r = 0; r < n; ++r) {
       for (int64_t c = 0; c < d; ++c) po[r * d + c] = pa[r * d + c] - pb[c];
@@ -126,7 +162,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         if (a.requires_grad()) {
           float* ga = a.grad();
           if (kind == BroadcastKind::kSame) {
-            for (int64_t i = 0; i < n * d; ++i) ga[i] += dout[i] * pb[i];
+            ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
+              for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i] * pb[i];
+            });
           } else {
             for (int64_t r = 0; r < n; ++r) {
               for (int64_t c = 0; c < d; ++c) {
@@ -136,10 +174,11 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
           }
         }
         if (b.requires_grad()) {
-          std::vector<float> scaled(static_cast<size_t>(n * d));
-          for (int64_t i = 0; i < n * d; ++i) scaled[i] = dout[i];
           // d(a*b)/db = a, so scale by a before (possibly) reducing rows.
-          for (int64_t i = 0; i < n * d; ++i) scaled[i] *= pa[i];
+          std::vector<float> scaled(static_cast<size_t>(n * d));
+          ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) scaled[i] = dout[i] * pa[i];
+          });
           AccumulateBroadcast(b, scaled.data(), n, d, kind);
         }
       },
@@ -148,7 +187,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   if (kind == BroadcastKind::kSame) {
-    for (int64_t i = 0; i < n * d; ++i) po[i] = pa[i] * pb[i];
+    ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    });
   } else {
     for (int64_t r = 0; r < n; ++r) {
       for (int64_t c = 0; c < d; ++c) po[r * d + c] = pa[r * d + c] * pb[c];
@@ -169,20 +210,26 @@ Tensor Div(const Tensor& a, const Tensor& b) {
         const float* pb = b.data();
         if (a.requires_grad()) {
           float* ga = a.grad();
-          for (int64_t i = 0; i < n; ++i) ga[i] += dout[i] / pb[i];
+          ParallelElems(n, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i] / pb[i];
+          });
         }
         if (b.requires_grad()) {
           float* gb = b.grad();
-          for (int64_t i = 0; i < n; ++i) {
-            gb[i] += -dout[i] * pa[i] / (pb[i] * pb[i]);
-          }
+          ParallelElems(n, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              gb[i] += -dout[i] * pa[i] / (pb[i] * pb[i]);
+            }
+          });
         }
       },
       "div");
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] / pb[i];
+  ParallelElems(n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] / pb[i];
+  });
   return out;
 }
 
@@ -210,47 +257,56 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* pa = a.data();
         const float* pb = b.data();
         if (a.requires_grad()) {
-          // dA = dOut * B^T
+          // dA = dOut * B^T; each chunk owns a disjoint row slice of ga.
           float* ga = a.grad();
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              float g = dout[i * n + j];
-              if (g == 0.0f) continue;
-              const float* brow = pb + j;  // column j of B, strided
-              for (int64_t p = 0; p < k; ++p) {
-                ga[i * k + p] += g * brow[p * n];
+          ParallelRows(m, n * k, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              for (int64_t j = 0; j < n; ++j) {
+                float g = dout[i * n + j];
+                if (g == 0.0f) continue;
+                const float* brow = pb + j;  // column j of B, strided
+                for (int64_t p = 0; p < k; ++p) {
+                  ga[i * k + p] += g * brow[p * n];
+                }
               }
             }
-          }
+          });
         }
         if (b.requires_grad()) {
-          // dB = A^T * dOut
+          // dB = A^T * dOut; parallel over rows p of B, so each chunk owns
+          // a disjoint row slice of gb and the per-element accumulation
+          // order over i stays ascending (bitwise equal to serial).
           float* gb = b.grad();
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t p = 0; p < k; ++p) {
-              float av = pa[i * k + p];
-              if (av == 0.0f) continue;
-              for (int64_t j = 0; j < n; ++j) {
-                gb[p * n + j] += av * dout[i * n + j];
+          ParallelRows(k, m * n, [&](int64_t lo, int64_t hi) {
+            for (int64_t p = lo; p < hi; ++p) {
+              for (int64_t i = 0; i < m; ++i) {
+                float av = pa[i * k + p];
+                if (av == 0.0f) continue;
+                for (int64_t j = 0; j < n; ++j) {
+                  gb[p * n + j] += av * dout[i * n + j];
+                }
               }
             }
-          }
+          });
         }
       },
       "matmul");
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // ikj loop order for cache-friendly access to B and Out.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // ikj loop order for cache-friendly access to B and Out; parallel chunks
+  // own disjoint row slices of Out.
+  ParallelRows(m, k * n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        float av = pa[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + p * n;
+        float* orow = po + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 

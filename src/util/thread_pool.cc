@@ -1,0 +1,143 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "util/check.h"
+
+namespace cpdg::util {
+namespace {
+
+/// True on pool worker threads, and on the calling thread while it executes
+/// its own stripe: any ParallelFor issued from such a context runs serially
+/// inline instead of re-entering the pool.
+thread_local bool tls_inside_parallel_region = false;
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  CPDG_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunStripe(const Region& region, int participant) {
+  for (int64_t c = participant; c < region.num_chunks;
+       c += region.participants) {
+    int64_t chunk_begin = region.begin + c * region.grain;
+    int64_t chunk_end = std::min(region.end, chunk_begin + region.grain);
+    (*region.fn)(chunk_begin, chunk_end);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  CPDG_CHECK_GE(grain, 1);
+  if (end <= begin) return;
+  int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Serial fallback: single-threaded pool, a single chunk, or a nested call
+  // from inside a running region. Iterates the identical chunk sequence so
+  // per-chunk results (and any per-chunk reductions the caller merges) are
+  // bitwise identical to the parallel path.
+  if (num_threads_ == 1 || num_chunks == 1 || tls_inside_parallel_region) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t chunk_begin = begin + c * grain;
+      fn(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> launch_lk(launch_mu_);
+  Region region;
+  region.fn = &fn;
+  region.begin = begin;
+  region.end = end;
+  region.grain = grain;
+  region.num_chunks = num_chunks;
+  region.participants = num_threads_;
+  region.remaining.store(num_threads_, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    region_ = &region;
+    ++region_gen_;
+  }
+  work_cv_.notify_all();
+
+  tls_inside_parallel_region = true;
+  RunStripe(region, 0);
+  tls_inside_parallel_region = false;
+
+  if (region.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return region.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    region_ = nullptr;
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  tls_inside_parallel_region = true;
+  uint64_t seen_gen = 0;
+  while (true) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (region_ != nullptr && region_gen_ != seen_gen);
+      });
+      if (stop_) return;
+      region = region_;
+      seen_gen = region_gen_;
+    }
+    RunStripe(*region, worker_id);
+    if (region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::unique_ptr<ThreadPool>& slot = GlobalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultNumThreads());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalNumThreads(int num_threads) {
+  CPDG_CHECK_GE(num_threads, 1);
+  std::unique_ptr<ThreadPool>& slot = GlobalSlot();
+  slot = std::make_unique<ThreadPool>(num_threads);
+}
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* v = std::getenv("CPDG_NUM_THREADS")) {
+    long n = std::atol(v);
+    if (n >= 1) return static_cast<int>(std::min<long>(n, 256));
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace cpdg::util

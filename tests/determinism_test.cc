@@ -1,0 +1,170 @@
+// Threading determinism suite: the thread-pool contract (static,
+// grain-only chunking with chunk-owned output slices) promises bitwise
+// identical results at every thread count. These tests pin that promise at
+// the three wired-in layers: raw tensor kernels, a full link-prediction
+// bench cell, and the seed-level fan-out.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common/experiment.h"
+#include "data/transfer.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace cpdg {
+namespace {
+
+namespace ts = cpdg::tensor;
+
+/// Restores the default global pool size when a test scope ends.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) {
+    util::ThreadPool::SetGlobalNumThreads(n);
+  }
+  ~ThreadCountGuard() {
+    util::ThreadPool::SetGlobalNumThreads(
+        util::ThreadPool::DefaultNumThreads());
+  }
+};
+
+std::vector<float> Bytes(const float* p, int64_t n) {
+  return std::vector<float>(p, p + n);
+}
+
+struct MatMulRun {
+  std::vector<float> out, ga, gb;
+};
+
+// Sizes chosen so every kernel exceeds the parallel grain: the forward and
+// dA row cost is 257*129 ~ 33k flops (one row per chunk) and the flat
+// elementwise paths see 300*257 > 2^14 elements.
+MatMulRun RunMatMulForwardBackward(int num_threads) {
+  ThreadCountGuard guard(num_threads);
+  Rng rng(7);
+  ts::Tensor a = ts::Tensor::RandomUniform(300, 257, 0.5f, &rng,
+                                           /*requires_grad=*/true);
+  ts::Tensor b = ts::Tensor::RandomUniform(257, 129, 0.5f, &rng,
+                                           /*requires_grad=*/true);
+  ts::Tensor out = ts::MatMul(a, b);
+  out.Backward();
+  return {Bytes(out.data(), out.size()), Bytes(a.grad(), a.size()),
+          Bytes(b.grad(), b.size())};
+}
+
+TEST(DeterminismTest, MatMulForwardBackwardBitIdentical) {
+  MatMulRun serial = RunMatMulForwardBackward(1);
+  for (int threads : {2, 4}) {
+    MatMulRun parallel = RunMatMulForwardBackward(threads);
+    ASSERT_EQ(serial.out.size(), parallel.out.size());
+    EXPECT_EQ(0, std::memcmp(serial.out.data(), parallel.out.data(),
+                             serial.out.size() * sizeof(float)))
+        << "forward, threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(serial.ga.data(), parallel.ga.data(),
+                             serial.ga.size() * sizeof(float)))
+        << "dA, threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(serial.gb.data(), parallel.gb.data(),
+                             serial.gb.size() * sizeof(float)))
+        << "dB, threads=" << threads;
+  }
+}
+
+std::vector<float> RunElementwiseChain(int num_threads) {
+  ThreadCountGuard guard(num_threads);
+  Rng rng(11);
+  ts::Tensor x = ts::Tensor::RandomUniform(180, 120, 1.0f, &rng,
+                                           /*requires_grad=*/true);
+  ts::Tensor y = ts::Tensor::RandomUniform(180, 120, 1.0f, &rng,
+                                           /*requires_grad=*/false);
+  ts::Tensor z = ts::Mean(ts::Sigmoid(ts::Mul(ts::Add(x, y), ts::Tanh(x))));
+  z.Backward();
+  std::vector<float> got = Bytes(x.grad(), x.size());
+  got.push_back(z.item());
+  return got;
+}
+
+TEST(DeterminismTest, ElementwiseChainBitIdentical) {
+  std::vector<float> serial = RunElementwiseChain(1);
+  std::vector<float> parallel = RunElementwiseChain(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                           serial.size() * sizeof(float)));
+}
+
+data::UniverseSpec CellUniverse() {
+  data::UniverseSpec spec;
+  spec.num_users = 50;
+  data::FieldSpec a;
+  a.name = "A";
+  a.num_items = 30;
+  a.num_communities = 4;
+  a.community_strength = 0.9;
+  a.short_term_prob = 0.3;
+  a.num_events_early = 600;
+  a.num_events_late = 400;
+  data::FieldSpec pre = a;
+  pre.name = "Pre";
+  spec.fields = {a, pre};
+  return spec;
+}
+
+// Dimensions large enough that the encoder's MatMuls cross the parallel
+// grain (batch 200 x embed 32), so the cell genuinely exercises the
+// threaded kernels rather than the small-tensor serial fast path.
+bench::ExperimentScale CellScale() {
+  bench::ExperimentScale scale;
+  scale.num_seeds = 2;
+  scale.pretrain_epochs = 1;
+  scale.finetune_epochs = 1;
+  scale.batch_size = 200;
+  scale.memory_dim = 32;
+  scale.embed_dim = 32;
+  scale.time_dim = 8;
+  scale.num_neighbors = 5;
+  return scale;
+}
+
+TEST(DeterminismTest, LinkPredictionCellBitIdentical) {
+  data::TransferBenchmarkBuilder builder(CellUniverse(), 301);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  bench::LinkPredResult serial, parallel;
+  {
+    ThreadCountGuard guard(1);
+    serial = bench::RunLinkPrediction(bench::MethodSpec::Cpdg(), ds,
+                                      CellScale(), /*seed=*/1);
+  }
+  {
+    ThreadCountGuard guard(4);
+    parallel = bench::RunLinkPrediction(bench::MethodSpec::Cpdg(), ds,
+                                        CellScale(), /*seed=*/1);
+  }
+  EXPECT_EQ(serial.auc, parallel.auc);
+  EXPECT_EQ(serial.ap, parallel.ap);
+}
+
+TEST(DeterminismTest, SeedFanOutBitIdentical) {
+  data::TransferBenchmarkBuilder builder(CellUniverse(), 303);
+  data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
+  bench::MethodSpec spec =
+      bench::MethodSpec::Baseline(bench::MethodId::kTgn);
+  bench::AggregatedResult serial, parallel;
+  {
+    ThreadCountGuard guard(1);
+    serial = bench::RunLinkPredictionSeeds(spec, ds, CellScale());
+  }
+  {
+    // Both seeds run concurrently; the merge happens in seed order.
+    ThreadCountGuard guard(4);
+    parallel = bench::RunLinkPredictionSeeds(spec, ds, CellScale());
+  }
+  EXPECT_EQ(serial.auc.count(), parallel.auc.count());
+  EXPECT_EQ(serial.auc.mean(), parallel.auc.mean());
+  EXPECT_EQ(serial.auc.stddev(), parallel.auc.stddev());
+  EXPECT_EQ(serial.ap.mean(), parallel.ap.mean());
+}
+
+}  // namespace
+}  // namespace cpdg

@@ -144,6 +144,33 @@ TEST(EtaBfsTest, TwoHopReachesSecondRing) {
   EXPECT_TRUE(has_second_ring);
 }
 
+TEST(EtaBfsTest, CliqueFrontierIsDeduplicated) {
+  // Dense clique: every node is a neighbor of every other, so with the old
+  // traversal an already-seen drawn neighbor was still pushed into the next
+  // frontier and re-expanded at every hop, growing the frontier towards
+  // width^depth duplicate entries. The fixed traversal only expands a node
+  // the first time it is discovered, so the total number of frontier
+  // expansions is bounded by the nodes added plus the root.
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = i + 1; j < 10; ++j) {
+      events.push_back({i, j, 1.0 + 0.01 * (i * 10 + j)});
+    }
+  }
+  TemporalGraph g = TemporalGraph::Create(10, events).ValueOrDie();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 6;
+  opts.depth = 5;
+  Rng rng(17);
+  auto s = sampler.SampleEtaBfs(0, 100.0, TemporalBias::kChronological, opts,
+                                &rng);
+  EXPECT_LE(s.frontier_expansions, s.size() + 1);
+  std::set<graph::NodeId> unique(s.nodes.begin(), s.nodes.end());
+  EXPECT_EQ(static_cast<int64_t>(unique.size()), s.size());
+  EXPECT_EQ(unique.count(0), 0u);  // the root is never re-added
+}
+
 TEST(EtaBfsTest, IsolatedRootYieldsEmpty) {
   auto g = graph::TemporalGraph::Create(3, {{0, 1, 1.0}}).ValueOrDie();
   StructuralTemporalSampler sampler(&g);
@@ -165,6 +192,26 @@ TEST(EpsilonDfsTest, PicksMostRecentNeighbors) {
   EXPECT_TRUE(got.count(4) == 1);
   EXPECT_TRUE(got.count(5) == 1);
   EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(EpsilonDfsTest, ExploresNewestNeighborDeepestFirst) {
+  // Hand-built graph with a known visit order. Node 0 interacted with 1
+  // (t=1) and 2 (t=2); node 2 leads to 3 (t=1.5) and node 1 leads to 4
+  // (t=0.5). Eq. 5 takes the chronological tail, so the *newest* sampled
+  // neighbor (2) must be explored deepest-first: its descendant 3 is
+  // visited before the older branch's descendant 4. The pre-fix traversal
+  // pushed newest-first onto the LIFO stack, which explored the oldest
+  // branch deepest-first and yielded [2, 1, 4, 3].
+  std::vector<Event> events = {
+      {0, 1, 1.0}, {0, 2, 2.0}, {1, 4, 0.5}, {2, 3, 1.5}};
+  TemporalGraph g = TemporalGraph::Create(5, events).ValueOrDie();
+  StructuralTemporalSampler sampler(&g);
+  StructuralTemporalSampler::Options opts;
+  opts.width = 2;
+  opts.depth = 2;
+  auto s = sampler.SampleEpsilonDfs(0, 10.0, opts);
+  EXPECT_EQ(s.nodes, (std::vector<graph::NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(s.times, (std::vector<double>{1.0, 2.0, 1.5, 0.5}));
 }
 
 TEST(EpsilonDfsTest, IsDeterministic) {

@@ -1,0 +1,138 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cpdg::util {
+namespace {
+
+using ChunkList = std::vector<std::pair<int64_t, int64_t>>;
+
+ChunkList CollectChunks(ThreadPool* pool, int64_t begin, int64_t end,
+                        int64_t grain) {
+  std::mutex mu;
+  ChunkList chunks;
+  pool->ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lk(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  // Each element belongs to exactly one chunk, and chunks own disjoint
+  // ranges, so plain int increments are race-free by construction.
+  std::vector<int> counts(1000, 0);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++counts[static_cast<size_t>(i)];
+  });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesDependOnlyOnGrain) {
+  ChunkList expected;
+  for (int64_t lo = 3; lo < 100; lo += 7) {
+    expected.emplace_back(lo, std::min<int64_t>(100, lo + 7));
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(CollectChunks(&pool, 3, 100, 7), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, SerialFallbackIteratesChunksInOrder) {
+  ThreadPool pool(1);
+  ChunkList chunks;
+  pool.ParallelFor(0, 20, 6, [&](int64_t lo, int64_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  EXPECT_EQ(chunks, (ChunkList{{0, 6}, {6, 12}, {12, 18}, {18, 20}}));
+}
+
+TEST(ThreadPoolTest, EmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<int64_t> inner_sums(8, 0);
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t slot = lo; slot < hi; ++slot) {
+      // The nested call degrades to the serial fallback on this worker;
+      // its chunks still cover the range exactly once.
+      pool.ParallelFor(0, 100, 9, [&, slot](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          inner_sums[static_cast<size_t>(slot)] += i;
+        }
+      });
+    }
+  });
+  for (int64_t s : inner_sums) EXPECT_EQ(s, 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, PerChunkReductionMergesIdenticallyAcrossThreadCounts) {
+  // The canonical deterministic-reduction pattern: accumulate per chunk
+  // (chunk id = lo / grain), then merge in chunk order. Since chunk
+  // boundaries are thread-count independent, the merged float result must
+  // be bitwise identical for every pool size.
+  constexpr int64_t kN = 10000;
+  constexpr int64_t kGrain = 128;
+  auto reduce = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<float> partial((kN + kGrain - 1) / kGrain, 0.0f);
+    pool.ParallelFor(0, kN, kGrain, [&](int64_t lo, int64_t hi) {
+      float acc = 0.0f;
+      for (int64_t i = lo; i < hi; ++i) {
+        acc += 1.0f / (1.0f + static_cast<float>(i));
+      }
+      partial[static_cast<size_t>(lo / kGrain)] = acc;
+    });
+    float total = 0.0f;
+    for (float p : partial) total += p;
+    return total;
+  };
+  float serial = reduce(1);
+  for (int threads : {2, 4, 8}) {
+    float parallel = reduce(threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsHonorsEnvKnob) {
+  const char* old = std::getenv("CPDG_NUM_THREADS");
+  std::string saved = old != nullptr ? old : "";
+  setenv("CPDG_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  setenv("CPDG_NUM_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+  unsetenv("CPDG_NUM_THREADS");
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  if (old != nullptr) setenv("CPDG_NUM_THREADS", saved.c_str(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolCanBeResized) {
+  ThreadPool::SetGlobalNumThreads(2);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 2);
+  std::vector<int> counts(64, 0);
+  ThreadPool::Global().ParallelFor(0, 64, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++counts[static_cast<size_t>(i)];
+  });
+  for (int c : counts) EXPECT_EQ(c, 1);
+  ThreadPool::SetGlobalNumThreads(ThreadPool::DefaultNumThreads());
+}
+
+}  // namespace
+}  // namespace cpdg::util
