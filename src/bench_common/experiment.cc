@@ -1,6 +1,7 @@
 #include "bench_common/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "core/finetuner.h"
@@ -36,6 +37,13 @@ ExperimentScale ExperimentScale::FromEnv() {
   if (const char* v = std::getenv("CPDG_LR")) {
     double lr = std::atof(v);
     if (lr > 0.0) s.learning_rate = static_cast<float>(lr);
+  }
+  if (const char* v = std::getenv("CPDG_CHECKPOINT_DIR")) {
+    s.checkpoint_dir = v;
+  }
+  if (const char* v = std::getenv("CPDG_CHECKPOINT_EVERY")) {
+    long every = std::atol(v);
+    if (every > 0) s.checkpoint_every_batches = every;
   }
   return s;
 }
@@ -111,6 +119,18 @@ MethodSpec MethodSpec::Cpdg(dgnn::EncoderType backbone) {
 
 namespace {
 
+/// Dataset names are display strings ("Beauty/time+field") — flatten them
+/// to a safe checkpoint file-name component.
+std::string SanitizeFileComponent(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    if (!safe) c = '_';
+  }
+  return out;
+}
+
 bool IsStaticMethod(MethodId id) {
   switch (id) {
     case MethodId::kGraphSage:
@@ -147,6 +167,10 @@ struct DynamicPipeline {
 /// Surfaces a training run's telemetry in bench output: final-epoch loss,
 /// gradient norms around clipping, batch count and total wall-clock.
 void LogTelemetry(const char* label, const train::TrainTelemetry& telemetry) {
+  if (!telemetry.status.ok()) {
+    CPDG_LOG(Warning) << label
+                      << ": run halted: " << telemetry.status.ToString();
+  }
   if (telemetry.epochs.empty()) return;
   const train::EpochTelemetry& last = telemetry.epochs.back();
   CPDG_LOG(Info) << label << ": epochs=" << telemetry.epochs.size()
@@ -155,11 +179,26 @@ void LogTelemetry(const char* label, const train::TrainTelemetry& telemetry) {
                  << " grad_norm_post_clip=" << last.mean_grad_norm_post_clip
                  << " batches_per_epoch=" << last.num_batches
                  << " wall_s=" << telemetry.total_wall_clock_sec();
+  if (telemetry.nonfinite_skips > 0 || telemetry.rollbacks > 0 ||
+      telemetry.checkpoint_saves > 0 || telemetry.checkpoint_failures > 0) {
+    CPDG_LOG(Info) << label << ": health: nonfinite_skips="
+                   << telemetry.nonfinite_skips
+                   << " rollbacks=" << telemetry.rollbacks
+                   << " checkpoint_saves=" << telemetry.checkpoint_saves
+                   << " checkpoint_failures="
+                   << telemetry.checkpoint_failures;
+  }
 }
 
+/// `cell_tag` uniquely identifies the (task, seed) cell; with
+/// scale.checkpoint_dir set it names the CPDG pre-training checkpoint
+/// (together with the dataset name and a method-config fingerprint) so
+/// that concurrent seed cells and differently configured methods never
+/// share a file and an aborted sweep resumes per cell.
 DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
                                    const data::TransferDataset& dataset,
-                                   const ExperimentScale& scale, Rng* rng) {
+                                   const ExperimentScale& scale, Rng* rng,
+                                   const std::string& cell_tag) {
   DynamicPipeline out;
   dgnn::EncoderConfig config = MakeEncoderConfig(spec, dataset, scale);
   Rng enc_rng = rng->Split();
@@ -213,6 +252,27 @@ DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
         config_cpdg.batch_size = scale.batch_size;
         config_cpdg.learning_rate = scale.learning_rate;
         config_cpdg.negative_pool = dataset.pretrain_negative_pool;
+        if (!scale.checkpoint_dir.empty()) {
+          // The file name fingerprints everything that shapes the
+          // pre-training trajectory but is NOT caught by the resume
+          // validation (run shape and parameter shapes are); without it,
+          // e.g. the contrast ablations would silently resume each
+          // other's checkpoints.
+          char cfg[96];
+          std::snprintf(cfg, sizeof(cfg), "bb%d_tc%d_sc%d_b%g_lr%g",
+                        static_cast<int>(spec.backbone),
+                        config_cpdg.use_temporal_contrast ? 1 : 0,
+                        config_cpdg.use_structural_contrast ? 1 : 0,
+                        static_cast<double>(config_cpdg.beta),
+                        static_cast<double>(config_cpdg.learning_rate));
+          config_cpdg.checkpoint_path =
+              scale.checkpoint_dir + "/" +
+              SanitizeFileComponent(dataset.name) + "_" + cell_tag + "_" +
+              cfg + ".ckpt";
+          config_cpdg.checkpoint_every_batches =
+              scale.checkpoint_every_batches;
+          config_cpdg.resume = true;
+        }
         Rng dec_rng = rng->Split();
         dgnn::LinkPredictor pre_decoder(config.embed_dim, scale.embed_dim,
                                         &dec_rng);
@@ -417,7 +477,10 @@ LinkPredResult RunLinkPrediction(const MethodSpec& spec,
   if (IsStaticMethod(spec.id)) {
     return RunStaticLinkPrediction(spec, dataset, scale, &rng, inductive);
   }
-  DynamicPipeline pipeline = RunDynamicPipeline(spec, dataset, scale, &rng);
+  std::string cell_tag =
+      std::string(inductive ? "lpind_s" : "lp_s") + std::to_string(seed);
+  DynamicPipeline pipeline =
+      RunDynamicPipeline(spec, dataset, scale, &rng, cell_tag);
   return EvaluateDynamic(&pipeline, dataset, scale, &rng, inductive);
 }
 
@@ -426,7 +489,8 @@ double RunNodeClassification(const MethodSpec& spec,
                              const ExperimentScale& scale, uint64_t seed) {
   CPDG_CHECK(!IsStaticMethod(spec.id));
   Rng rng(seed * 0xD1B54A32D192ED03ULL + 29);
-  DynamicPipeline pipeline = RunDynamicPipeline(spec, dataset, scale, &rng);
+  DynamicPipeline pipeline = RunDynamicPipeline(
+      spec, dataset, scale, &rng, "nc_s" + std::to_string(seed));
 
   // Stream all downstream events (train + val + test) from a fresh memory
   // and classify labeled events with a logistic head.

@@ -18,6 +18,11 @@ namespace cpdg::bench {
 ///   CPDG_SEEDS        number of random seeds per cell (default 3)
 ///   CPDG_EVENT_SCALE  multiplies all dataset event counts (default 1.0)
 ///   CPDG_EPOCHS       pre-train/fine-tune epochs (default 2)
+///   CPDG_CHECKPOINT_DIR    directory for per-cell CPDG pre-training
+///                          checkpoints (default: off). Cells whose
+///                          checkpoint file already exists resume from it.
+///   CPDG_CHECKPOINT_EVERY  checkpoint cadence in batches (default 50,
+///                          used only when the directory is set)
 ///
 /// Seed aggregation (RunLinkPredictionSeeds / RunNodeClassificationSeeds)
 /// fans the per-seed cells out over util::ThreadPool::Global(), whose size
@@ -35,6 +40,15 @@ struct ExperimentScale {
   int64_t embed_dim = 32;
   int64_t time_dim = 8;
   int64_t num_neighbors = 10;
+
+  /// Opt-in crash safety for the long pre-training stage: when non-empty,
+  /// each CPDG cell checkpoints to
+  /// `<checkpoint_dir>/<dataset>_<cell tag>_<config fingerprint>.ckpt`
+  /// every `checkpoint_every_batches` batches and resumes from an existing
+  /// file (the fingerprint covers backbone/contrast/beta/lr so differently
+  /// configured cells never share a file).
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_batches = 50;
 
   static ExperimentScale FromEnv();
 };

@@ -1,6 +1,7 @@
 #include "core/evolution.h"
 
 #include "tensor/ops.h"
+#include "util/byte_codec.h"
 #include "util/check.h"
 
 namespace cpdg::core {
@@ -24,6 +25,47 @@ const float* EvolutionCheckpoints::StateAt(int64_t checkpoint,
   CPDG_CHECK_GE(node, 0);
   CPDG_CHECK_LT(node, num_nodes_);
   return snapshots_[static_cast<size_t>(checkpoint)].data() + node * dim_;
+}
+
+void EvolutionCheckpoints::SerializeTo(std::string* out) const {
+  util::ByteWriter w(out);
+  w.Pod(num_nodes_);
+  w.Pod(dim_);
+  w.Pod(static_cast<uint32_t>(snapshots_.size()));
+  for (const std::vector<float>& snapshot : snapshots_) {
+    w.PodVector(snapshot);
+  }
+}
+
+Status EvolutionCheckpoints::DeserializeFrom(std::string_view bytes) {
+  util::ByteReader r(bytes);
+  int64_t num_nodes = 0, dim = 0;
+  uint32_t count = 0;
+  if (!r.Pod(&num_nodes) || !r.Pod(&dim) || !r.Pod(&count)) {
+    return Status::InvalidArgument("truncated evolution-checkpoint header");
+  }
+  if (num_nodes < 0 || dim < 0) {
+    return Status::InvalidArgument("corrupt evolution-checkpoint shape");
+  }
+  std::vector<std::vector<float>> snapshots(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.PodVector(&snapshots[i])) {
+      return Status::InvalidArgument("truncated evolution snapshot " +
+                                     std::to_string(i));
+    }
+    if (snapshots[i].size() != static_cast<size_t>(num_nodes * dim)) {
+      return Status::InvalidArgument("evolution snapshot " +
+                                     std::to_string(i) + " size mismatch");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing garbage in evolution-checkpoint payload");
+  }
+  num_nodes_ = num_nodes;
+  dim_ = dim;
+  snapshots_ = std::move(snapshots);
+  return Status::OK();
 }
 
 const char* EieVariantName(EieVariant variant) {

@@ -3,11 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "dgnn/memory.h"
 #include "tensor/nn.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace cpdg::core {
 
@@ -34,6 +37,14 @@ class EvolutionCheckpoints {
 
   /// State of `node` at checkpoint `l` (pointer to dim floats).
   const float* StateAt(int64_t checkpoint, NodeId node) const;
+
+  /// \brief Appends the full snapshot sequence to `out` so the EIE raw
+  /// material survives a crash of the pre-training run that records it.
+  void SerializeTo(std::string* out) const;
+
+  /// \brief Restores a SerializeTo payload, replacing current contents.
+  /// Validates dimensions and snapshot sizes before mutating anything.
+  Status DeserializeFrom(std::string_view bytes);
 
  private:
   int64_t num_nodes_ = 0;

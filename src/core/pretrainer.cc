@@ -6,6 +6,8 @@
 #include "tensor/ops.h"
 #include "train/link_batch.h"
 #include "train/train_loop.h"
+#include "util/atomic_file.h"
+#include "util/byte_codec.h"
 #include "util/check.h"
 
 namespace cpdg::core {
@@ -154,7 +156,51 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
   loop_options.learning_rate = config_.learning_rate;
   loop_options.grad_clip = config_.grad_clip;
   loop_options.log_label = "CPDG pretrain";
+  loop_options.checkpoint_path = config_.checkpoint_path;
+  loop_options.checkpoint_every_batches = config_.checkpoint_every_batches;
+  loop_options.non_finite_policy = config_.non_finite_policy;
+  loop_options.max_batches = config_.max_batches;
   train::TrainLoop loop(std::move(params), loop_options);
+
+  // State the loop cannot know about but a bit-exact resume needs: the
+  // pre-trainer's RNG stream (negative sampling, anchor subsampling,
+  // subgraph sampling) and the evolution checkpoints recorded so far.
+  loop.RegisterCheckpointSection(
+      "rng",
+      {[this](std::string* out) {
+         Rng::State s = rng_->GetState();
+         util::ByteWriter w(out);
+         w.Pod(s.state);
+         w.Pod(static_cast<uint8_t>(s.has_cached_gaussian ? 1 : 0));
+         w.Pod(s.cached_gaussian);
+       },
+       [this](std::string_view bytes) -> Status {
+         util::ByteReader r(bytes);
+         Rng::State s;
+         uint8_t flag = 0;
+         if (!r.Pod(&s.state) || !r.Pod(&flag) ||
+             !r.Pod(&s.cached_gaussian) || !r.AtEnd()) {
+           return Status::InvalidArgument("corrupt rng section");
+         }
+         s.has_cached_gaussian = (flag != 0);
+         rng_->SetState(s);
+         return Status::OK();
+       }});
+  loop.RegisterCheckpointSection(
+      "evolution",
+      {[&result](std::string* out) { result.checkpoints.SerializeTo(out); },
+       [&result](std::string_view bytes) {
+         return result.checkpoints.DeserializeFrom(bytes);
+       }});
+
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      util::FileExists(config_.checkpoint_path)) {
+    Status staged = loop.ResumeFrom(config_.checkpoint_path);
+    if (!staged.ok()) {
+      result.log.status = std::move(staged);
+      return result;
+    }
+  }
 
   // Uniform memory checkpoints over the final epoch (Sec. IV-C), recorded
   // after the batch has been committed to memory.
@@ -190,8 +236,12 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
         return loss;
       });
 
-  // Always include the final memory state as the last checkpoint.
-  result.checkpoints.Record(encoder->memory());
+  // Include the final memory state as the last checkpoint — but only for
+  // runs that actually finished: a halted or gracefully stopped run will
+  // record it when the resumed run completes.
+  if (result.log.status.ok() && !result.log.stopped_early) {
+    result.checkpoints.Record(encoder->memory());
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define CPDG_CORE_PRETRAINER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/evolution.h"
@@ -10,6 +11,7 @@
 #include "sampler/samplers.h"
 #include "train/link_batch.h"
 #include "train/telemetry.h"
+#include "train/train_loop.h"
 #include "util/rng.h"
 
 namespace cpdg::core {
@@ -45,6 +47,22 @@ struct CpdgConfig {
   float learning_rate = 1e-3f;
   float grad_clip = 5.0f;
   std::vector<graph::NodeId> negative_pool;
+
+  /// \name Crash safety (see train::TrainLoopOptions)
+  /// When set (with checkpoint_every_batches > 0), full pre-training state
+  /// — encoder/decoder params, Adam moments, encoder memory, the RNG
+  /// stream and the recorded evolution checkpoints — is published
+  /// atomically to this path on the given batch cadence.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_batches = 0;
+  /// Resume from checkpoint_path when the file exists; a resumed run is
+  /// bit-identical to one that never stopped.
+  bool resume = false;
+  /// Non-finite loss handling of the training health monitor.
+  train::NonFinitePolicy non_finite_policy = train::NonFinitePolicy::kHalt;
+  /// Graceful stop after this many batches (0 = run to completion); used
+  /// by the fault-tolerance tests to simulate a mid-run kill.
+  int64_t max_batches = 0;
 };
 
 /// \brief Output of pre-training: the loss/telemetry trace plus the

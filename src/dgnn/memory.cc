@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/byte_codec.h"
 #include "util/check.h"
 
 namespace cpdg::dgnn {
@@ -97,6 +98,77 @@ std::vector<float> Memory::SnapshotFlat() const { return states_; }
 void Memory::RestoreFlat(const std::vector<float>& snapshot) {
   CPDG_CHECK_EQ(snapshot.size(), states_.size());
   states_ = snapshot;
+}
+
+void Memory::SerializeTo(std::string* out) const {
+  util::ByteWriter w(out);
+  w.Pod(num_nodes_);
+  w.Pod(dim_);
+  w.PodVector(states_);
+  w.PodVector(last_update_);
+  for (const std::vector<RawMessage>& queue : pending_) {
+    w.Pod(static_cast<uint64_t>(queue.size()));
+    for (const RawMessage& m : queue) {
+      w.Pod(static_cast<int64_t>(m.other));
+      w.Pod(m.time);
+    }
+  }
+}
+
+Status Memory::DeserializeFrom(std::string_view bytes) {
+  util::ByteReader r(bytes);
+  int64_t num_nodes = 0, dim = 0;
+  if (!r.Pod(&num_nodes) || !r.Pod(&dim)) {
+    return Status::InvalidArgument("truncated memory header");
+  }
+  if (num_nodes != num_nodes_ || dim != dim_) {
+    return Status::FailedPrecondition(
+        "memory checkpoint is " + std::to_string(num_nodes) + "x" +
+        std::to_string(dim) + ", this memory is " +
+        std::to_string(num_nodes_) + "x" + std::to_string(dim_));
+  }
+  std::vector<float> states;
+  std::vector<double> last_update;
+  if (!r.PodVector(&states) || !r.PodVector(&last_update)) {
+    return Status::InvalidArgument("truncated memory payload");
+  }
+  if (states.size() != states_.size() ||
+      last_update.size() != last_update_.size()) {
+    return Status::InvalidArgument("memory payload size mismatch");
+  }
+  std::vector<std::vector<RawMessage>> pending(
+      static_cast<size_t>(num_nodes_));
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    uint64_t count = 0;
+    if (!r.Pod(&count)) {
+      return Status::InvalidArgument("truncated pending-message count");
+    }
+    // Each message costs 16 bytes; bound before allocating.
+    if (count > r.remaining() / 16) {
+      return Status::InvalidArgument("corrupt pending-message count");
+    }
+    std::vector<RawMessage>& queue = pending[static_cast<size_t>(v)];
+    queue.resize(static_cast<size_t>(count));
+    for (RawMessage& m : queue) {
+      int64_t other = 0;
+      if (!r.Pod(&other) || !r.Pod(&m.time)) {
+        return Status::InvalidArgument("truncated pending message");
+      }
+      if (other < 0 || other >= num_nodes_) {
+        return Status::InvalidArgument("pending message references node " +
+                                       std::to_string(other));
+      }
+      m.other = static_cast<NodeId>(other);
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage in memory payload");
+  }
+  // Everything validated; commit (all-or-nothing).
+  states_ = std::move(states);
+  last_update_ = std::move(last_update);
+  pending_ = std::move(pending);
+  return Status::OK();
 }
 
 double Memory::StateNorm() const {

@@ -2,10 +2,13 @@
 #define CPDG_DGNN_MEMORY_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/temporal_graph.h"
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace cpdg::dgnn {
 
@@ -64,6 +67,18 @@ class Memory {
 
   /// L2 norm of the full state matrix; used by tests and diagnostics.
   double StateNorm() const;
+
+  /// \brief Appends the complete memory to `out`: states, last-update
+  /// timestamps AND the pending raw-message queues. Unlike SnapshotFlat
+  /// (which EIE uses for state-only snapshots), this captures everything a
+  /// crash-safe resume needs — unflushed messages change the next batch's
+  /// Msg/Agg/Mem flush, so dropping them would break bit-exact resume.
+  void SerializeTo(std::string* out) const;
+
+  /// \brief Restores state written by SerializeTo. Validates the node
+  /// count and dimension against this memory before mutating anything
+  /// (all-or-nothing); corrupt input fails with a descriptive Status.
+  Status DeserializeFrom(std::string_view bytes);
 
  private:
   int64_t num_nodes_;

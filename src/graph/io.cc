@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
+
 namespace cpdg::graph {
 namespace {
 
@@ -39,22 +41,18 @@ bool ParseDouble(const std::string& s, double* out) {
 
 Status WriteEventsCsv(const std::string& path,
                       const std::vector<Event>& events) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out << "src,dst,time,edge_type,label\n";
+  // Serialize fully in memory and publish atomically (temp file + rename):
+  // a crash mid-write can never leave a torn CSV behind.
+  std::string out = "src,dst,time,edge_type,label\n";
   for (const Event& e : events) {
     char buf[128];
     std::snprintf(buf, sizeof(buf), "%lld,%lld,%.17g,%d,%d\n",
                   static_cast<long long>(e.src),
                   static_cast<long long>(e.dst), e.time, e.edge_type,
                   e.label);
-    out << buf;
+    out += buf;
   }
-  out.flush();
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return util::AtomicWriteFile(path, out);
 }
 
 Result<std::vector<Event>> ReadEventsCsv(const std::string& path) {

@@ -22,7 +22,8 @@ namespace cpdg::graph {
 ///     Event::label, and edge features are ignored (this implementation is
 ///     featureless; see DESIGN.md).
 
-/// \brief Writes events as native CSV. Overwrites the file.
+/// \brief Writes events as native CSV. Overwrites the file atomically
+/// (temp file + rename), so readers never observe a torn write.
 Status WriteEventsCsv(const std::string& path,
                       const std::vector<Event>& events);
 

@@ -1,0 +1,144 @@
+#include "tensor/checkpoint_container.h"
+
+#include <cstring>
+
+#include "util/atomic_file.h"
+#include "util/byte_codec.h"
+#include "util/check.h"
+
+namespace cpdg::tensor {
+
+namespace {
+/// Section names are tiny identifiers; anything larger is corruption.
+constexpr uint32_t kMaxSectionNameLen = 256;
+}  // namespace
+
+void SectionWriter::Add(std::string name, std::string payload) {
+  CPDG_CHECK(!name.empty());
+  CPDG_CHECK_LT(name.size(), static_cast<size_t>(kMaxSectionNameLen));
+  for (const auto& [existing, _] : sections_) {
+    CPDG_CHECK(existing != name) << "duplicate checkpoint section " << name;
+  }
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string SectionWriter::Finish() const {
+  std::string out;
+  util::ByteWriter w(&out);
+  out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  w.Pod(kCheckpointVersionV2);
+  w.Pod(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    w.String(name);
+    w.Pod(static_cast<uint64_t>(payload.size()));
+    w.Pod(util::Crc32(payload.data(), payload.size()));
+    out.append(payload);
+  }
+  return out;
+}
+
+Status SectionWriter::WriteAtomic(const std::string& path) const {
+  return util::AtomicWriteFile(path, Finish());
+}
+
+Result<SectionReader> SectionReader::FromBytes(std::string bytes,
+                                               const std::string& origin) {
+  const std::string where = origin.empty() ? "checkpoint" : origin;
+  SectionReader reader;
+  reader.bytes_ = std::move(bytes);
+  util::ByteReader r(reader.bytes_);
+
+  std::string_view magic;
+  if (!r.Bytes(sizeof(kCheckpointMagic), &magic) ||
+      std::memcmp(magic.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic in " + where);
+  }
+  uint32_t version = 0;
+  if (!r.Pod(&version)) {
+    return Status::InvalidArgument("truncated checkpoint header in " + where);
+  }
+  if (version != kCheckpointVersionV2) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint container version " +
+        std::to_string(version) + " in " + where);
+  }
+  uint32_t count = 0;
+  if (!r.Pod(&count)) {
+    return Status::InvalidArgument("truncated section count in " + where);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!r.Pod(&name_len)) {
+      return Status::InvalidArgument("truncated section name length in " +
+                                     where);
+    }
+    if (name_len == 0 || name_len > kMaxSectionNameLen) {
+      return Status::InvalidArgument("corrupt section name length in " +
+                                     where);
+    }
+    std::string_view name_view;
+    if (!r.Bytes(name_len, &name_view)) {
+      return Status::InvalidArgument("truncated section name in " + where);
+    }
+    std::string name(name_view);
+    uint64_t payload_size = 0;
+    uint32_t crc = 0;
+    if (!r.Pod(&payload_size) || !r.Pod(&crc)) {
+      return Status::InvalidArgument("truncated section header for '" +
+                                     name + "' in " + where);
+    }
+    if (payload_size > r.remaining()) {
+      return Status::InvalidArgument(
+          "section '" + name + "' claims " + std::to_string(payload_size) +
+          " bytes but only " + std::to_string(r.remaining()) +
+          " remain in " + where);
+    }
+    std::string_view payload;
+    r.Bytes(static_cast<size_t>(payload_size), &payload);
+    if (util::Crc32(payload.data(), payload.size()) != crc) {
+      return Status::InvalidArgument("checksum mismatch in section '" +
+                                     name + "' of " + where);
+    }
+    for (const std::string& existing : reader.names_) {
+      if (existing == name) {
+        return Status::InvalidArgument("duplicate section '" + name +
+                                       "' in " + where);
+      }
+    }
+    reader.names_.push_back(name);
+    reader.spans_.emplace_back(
+        static_cast<size_t>(payload.data() - reader.bytes_.data()),
+        payload.size());
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage after last section in " +
+                                   where);
+  }
+  return reader;
+}
+
+Result<SectionReader> SectionReader::Open(const std::string& path) {
+  std::string bytes;
+  CPDG_RETURN_NOT_OK(util::ReadFileToString(path, &bytes));
+  return FromBytes(std::move(bytes), path);
+}
+
+bool SectionReader::Has(const std::string& name) const {
+  for (const std::string& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Result<std::string_view> SectionReader::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return std::string_view(bytes_).substr(spans_[i].first,
+                                             spans_[i].second);
+    }
+  }
+  return Status::NotFound("checkpoint section '" + name + "' not found");
+}
+
+}  // namespace cpdg::tensor

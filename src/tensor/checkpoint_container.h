@@ -1,0 +1,83 @@
+#ifndef CPDG_TENSOR_CHECKPOINT_CONTAINER_H_
+#define CPDG_TENSOR_CHECKPOINT_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpdg::tensor {
+
+/// \file Version-2 CPDGCKPT container: a flat file of named,
+/// CRC32-checksummed byte sections.
+///
+/// Layout (all integers little-endian, no padding):
+///   magic "CPDGCKPT" | version u32 = 2 | section count u32 |
+///   per section: name length u32, name bytes,
+///                payload size u64, payload crc32 u32, payload bytes.
+///
+/// Version 1 files (raw tensor list, written by the pre-fault-tolerance
+/// SaveTensors) are not containers; tensor/serialization keeps loading
+/// them directly. Everything that stores *full training state* — module
+/// params, optimizer moments, encoder memory, RNG streams, loop progress —
+/// lives in named sections of a v2 container so that each subsystem can
+/// evolve its payload independently and every load is checksum-verified.
+
+inline constexpr char kCheckpointMagic[8] = {'C', 'P', 'D', 'G',
+                                             'C', 'K', 'P', 'T'};
+inline constexpr uint32_t kCheckpointVersionV1 = 1;
+inline constexpr uint32_t kCheckpointVersionV2 = 2;
+
+/// \brief Accumulates named sections and serializes them as a v2
+/// container. Publishing goes through util::AtomicWriteFile, so a crash at
+/// any point leaves the previous checkpoint intact.
+class SectionWriter {
+ public:
+  /// Adds a section; names must be unique and non-empty.
+  void Add(std::string name, std::string payload);
+
+  /// Serializes the container to bytes.
+  std::string Finish() const;
+
+  /// Finish() + atomic publish to `path`.
+  Status WriteAtomic(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// \brief Parses a v2 container, validating structure and every section's
+/// CRC32 up front. Corrupt input (bad magic, truncation at any byte,
+/// trailing garbage, checksum mismatch) fails with a descriptive Status
+/// and never partially-applied state.
+class SectionReader {
+ public:
+  /// Parses from an in-memory buffer (takes ownership of the bytes).
+  static Result<SectionReader> FromBytes(std::string bytes,
+                                         const std::string& origin = "");
+
+  /// Reads and parses `path`.
+  static Result<SectionReader> Open(const std::string& path);
+
+  bool Has(const std::string& name) const;
+
+  /// View into the section payload; NotFound if absent. The view borrows
+  /// from this reader and must not outlive it.
+  Result<std::string_view> Find(const std::string& name) const;
+
+  const std::vector<std::string>& section_names() const { return names_; }
+
+ private:
+  SectionReader() = default;
+
+  std::string bytes_;
+  std::vector<std::string> names_;  // in file order
+  std::vector<std::pair<size_t, size_t>> spans_;  // (offset, size) per name
+};
+
+}  // namespace cpdg::tensor
+
+#endif  // CPDG_TENSOR_CHECKPOINT_CONTAINER_H_

@@ -2,9 +2,53 @@
 
 #include <cmath>
 
+#include "util/byte_codec.h"
 #include "util/check.h"
 
 namespace cpdg::tensor {
+namespace {
+
+/// Per-parameter moment buffers are stored as (u64 count, floats); restore
+/// validates every size against the live parameter list before any buffer
+/// is replaced.
+void WriteMoments(util::ByteWriter* w,
+                  const std::vector<std::vector<float>>& moments) {
+  w->Pod(static_cast<uint32_t>(moments.size()));
+  for (const std::vector<float>& m : moments) w->PodVector(m);
+}
+
+Status ReadMoments(util::ByteReader* r, const std::vector<Tensor>& params,
+                   const char* what,
+                   std::vector<std::vector<float>>* out) {
+  uint32_t count = 0;
+  if (!r->Pod(&count)) {
+    return Status::InvalidArgument(std::string("truncated ") + what +
+                                   " buffer count");
+  }
+  if (count != params.size()) {
+    return Status::FailedPrecondition(
+        std::string(what) + " state has " + std::to_string(count) +
+        " buffers, optimizer has " + std::to_string(params.size()) +
+        " parameters");
+  }
+  std::vector<std::vector<float>> moments(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r->PodVector(&moments[i])) {
+      return Status::InvalidArgument(std::string("truncated ") + what +
+                                     " buffer " + std::to_string(i));
+    }
+    if (moments[i].size() != static_cast<size_t>(params[i].size())) {
+      return Status::FailedPrecondition(
+          std::string(what) + " buffer " + std::to_string(i) + " has " +
+          std::to_string(moments[i].size()) + " elements, parameter has " +
+          std::to_string(params[i].size()));
+    }
+  }
+  *out = std::move(moments);
+  return Status::OK();
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
   for (Tensor& p : params_) {
@@ -15,6 +59,16 @@ Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
 
 void Optimizer::ZeroGrad() {
   for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::SaveState(std::string* out) const { (void)out; }
+
+Status Optimizer::LoadState(std::string_view blob) {
+  if (!blob.empty()) {
+    return Status::InvalidArgument(
+        "stateless optimizer given a non-empty state blob");
+  }
+  return Status::OK();
 }
 
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
@@ -29,6 +83,33 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
       velocity_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
     }
   }
+}
+
+void Sgd::SaveState(std::string* out) const {
+  util::ByteWriter w(out);
+  w.Pod(static_cast<uint8_t>(velocity_.empty() ? 0 : 1));
+  if (!velocity_.empty()) WriteMoments(&w, velocity_);
+}
+
+Status Sgd::LoadState(std::string_view blob) {
+  util::ByteReader r(blob);
+  uint8_t has_velocity = 0;
+  if (!r.Pod(&has_velocity)) {
+    return Status::InvalidArgument("truncated SGD state");
+  }
+  if ((has_velocity != 0) != !velocity_.empty()) {
+    return Status::FailedPrecondition(
+        "SGD momentum configuration differs from the checkpoint");
+  }
+  std::vector<std::vector<float>> velocity;
+  if (has_velocity != 0) {
+    CPDG_RETURN_NOT_OK(ReadMoments(&r, params_, "SGD velocity", &velocity));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage in SGD state");
+  }
+  velocity_ = std::move(velocity);
+  return Status::OK();
 }
 
 void Sgd::Step() {
@@ -64,6 +145,32 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
     m_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
     v_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
   }
+}
+
+void Adam::SaveState(std::string* out) const {
+  util::ByteWriter w(out);
+  w.Pod(t_);
+  WriteMoments(&w, m_);
+  WriteMoments(&w, v_);
+}
+
+Status Adam::LoadState(std::string_view blob) {
+  util::ByteReader r(blob);
+  int64_t t = 0;
+  if (!r.Pod(&t) || t < 0) {
+    return Status::InvalidArgument("truncated or corrupt Adam step count");
+  }
+  std::vector<std::vector<float>> m, v;
+  CPDG_RETURN_NOT_OK(ReadMoments(&r, params_, "Adam first-moment", &m));
+  CPDG_RETURN_NOT_OK(ReadMoments(&r, params_, "Adam second-moment", &v));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage in Adam state");
+  }
+  // Everything validated; commit (all-or-nothing).
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 void Adam::Step() {

@@ -2,9 +2,12 @@
 #define CPDG_TENSOR_OPTIM_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace cpdg::tensor {
 
@@ -21,6 +24,17 @@ class Optimizer {
   /// Zeroes all parameter gradients; call between batches.
   void ZeroGrad();
 
+  /// \brief Appends the optimizer's internal state (step counter, moment
+  /// buffers) to `out` so a resumed run steps bit-identically to an
+  /// uninterrupted one. The base optimizer is stateless.
+  virtual void SaveState(std::string* out) const;
+
+  /// \brief Restores state written by SaveState. Validates every buffer
+  /// size against the current parameter list before mutating anything
+  /// (all-or-nothing); fails with a descriptive Status on mismatch or
+  /// corrupt input.
+  virtual Status LoadState(std::string_view blob);
+
   const std::vector<Tensor>& params() const { return params_; }
 
  protected:
@@ -34,6 +48,9 @@ class Sgd : public Optimizer {
       float weight_decay = 0.0f);
 
   void Step() override;
+
+  void SaveState(std::string* out) const override;
+  Status LoadState(std::string_view blob) override;
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
@@ -53,8 +70,14 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  void SaveState(std::string* out) const override;
+  Status LoadState(std::string_view blob) override;
+
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
+
+  /// Steps taken so far (the bias-correction exponent t).
+  int64_t step_count() const { return t_; }
 
  private:
   float lr_;

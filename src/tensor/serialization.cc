@@ -2,92 +2,122 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+
+#include "tensor/checkpoint_container.h"
+#include "util/atomic_file.h"
+#include "util/byte_codec.h"
 
 namespace cpdg::tensor {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'P', 'D', 'G', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+/// Upper bound on a single tensor's element count accepted from disk; the
+/// per-tensor payload is additionally bounded by the remaining input, so
+/// this only caps pathological rows*cols overflow.
+constexpr int64_t kMaxTensorElems = int64_t{1} << 40;
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return in.good();
-}
-
-}  // namespace
-
-Status SaveTensors(const std::vector<Tensor>& tensors,
-                   const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint32_t>(tensors.size()));
-  for (const Tensor& t : tensors) {
-    if (!t.defined()) return Status::InvalidArgument("undefined tensor");
-    WritePod(out, static_cast<int64_t>(t.rows()));
-    WritePod(out, static_cast<int64_t>(t.cols()));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.size() * sizeof(float)));
-  }
-  out.flush();
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
-}
-
-Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad checkpoint magic in " + path);
-  }
-  uint32_t version = 0, count = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
-  }
-  if (!ReadPod(in, &count)) {
-    return Status::InvalidArgument("truncated checkpoint header");
-  }
+Result<std::vector<Tensor>> ParseTensorList(util::ByteReader* r,
+                                            uint32_t count,
+                                            bool reject_trailing) {
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     int64_t rows = 0, cols = 0;
-    if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || rows <= 0 ||
-        cols <= 0) {
+    if (!r->Pod(&rows) || !r->Pod(&cols) || rows <= 0 || cols <= 0) {
       return Status::InvalidArgument("truncated or corrupt tensor header");
     }
-    std::vector<float> data(static_cast<size_t>(rows * cols));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in.good()) {
-      return Status::InvalidArgument("truncated tensor payload");
+    // Bound rows*cols against the remaining bytes *before* allocating, so
+    // a corrupt header cannot trigger a multi-GB allocation attempt.
+    if (rows > kMaxTensorElems / cols ||
+        static_cast<uint64_t>(rows * cols) >
+            r->remaining() / sizeof(float)) {
+      return Status::InvalidArgument(
+          "tensor " + std::to_string(i) + " claims shape " +
+          std::to_string(rows) + "x" + std::to_string(cols) +
+          " exceeding the remaining payload");
     }
+    std::vector<float> data(static_cast<size_t>(rows * cols));
+    std::string_view raw;
+    r->Bytes(data.size() * sizeof(float), &raw);
+    std::memcpy(data.data(), raw.data(), raw.size());
     tensors.push_back(Tensor::FromVector(rows, cols, std::move(data)));
+  }
+  if (reject_trailing && !r->AtEnd()) {
+    return Status::InvalidArgument("trailing garbage after last tensor");
   }
   return tensors;
 }
 
-Status SaveParameters(const Module& module, const std::string& path) {
-  return SaveTensors(module.Parameters(), path);
+}  // namespace
+
+Result<std::string> EncodeTensorList(const std::vector<Tensor>& tensors) {
+  std::string payload;
+  util::ByteWriter w(&payload);
+  w.Pod(static_cast<uint32_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    if (!t.defined()) return Status::InvalidArgument("undefined tensor");
+    w.Pod(static_cast<int64_t>(t.rows()));
+    w.Pod(static_cast<int64_t>(t.cols()));
+    payload.append(reinterpret_cast<const char*>(t.data()),
+                   static_cast<size_t>(t.size()) * sizeof(float));
+  }
+  return payload;
 }
 
-Status LoadParameters(Module* module, const std::string& path) {
-  if (module == nullptr) return Status::InvalidArgument("null module");
-  CPDG_ASSIGN_OR_RETURN(std::vector<Tensor> loaded, LoadTensors(path));
-  std::vector<Tensor> params = module->Parameters();
+Result<std::vector<Tensor>> DecodeTensorList(std::string_view payload) {
+  util::ByteReader r(payload);
+  uint32_t count = 0;
+  if (!r.Pod(&count)) {
+    return Status::InvalidArgument("truncated tensor-list header");
+  }
+  return ParseTensorList(&r, count, /*reject_trailing=*/true);
+}
+
+Status SaveTensors(const std::vector<Tensor>& tensors,
+                   const std::string& path) {
+  CPDG_ASSIGN_OR_RETURN(std::string payload, EncodeTensorList(tensors));
+  SectionWriter writer;
+  writer.Add(kParamsSection, std::move(payload));
+  return writer.WriteAtomic(path);
+}
+
+Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  std::string bytes;
+  CPDG_RETURN_NOT_OK(util::ReadFileToString(path, &bytes));
+
+  // Both versions share the magic; dispatch on the version field.
+  util::ByteReader header(bytes);
+  std::string_view magic;
+  if (!header.Bytes(sizeof(kCheckpointMagic), &magic) ||
+      std::memcmp(magic.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path);
+  }
+  uint32_t version = 0;
+  if (!header.Pod(&version)) {
+    return Status::InvalidArgument("truncated checkpoint header in " + path);
+  }
+
+  if (version == kCheckpointVersionV1) {
+    uint32_t count = 0;
+    if (!header.Pod(&count)) {
+      return Status::InvalidArgument("truncated checkpoint header in " +
+                                     path);
+    }
+    return ParseTensorList(&header, count, /*reject_trailing=*/true);
+  }
+  if (version == kCheckpointVersionV2) {
+    CPDG_ASSIGN_OR_RETURN(SectionReader reader,
+                          SectionReader::FromBytes(std::move(bytes), path));
+    CPDG_ASSIGN_OR_RETURN(std::string_view payload,
+                          reader.Find(kParamsSection));
+    return DecodeTensorList(payload);
+  }
+  return Status::InvalidArgument("unsupported checkpoint version " +
+                                 std::to_string(version) + " in " + path);
+}
+
+Status RestoreTensorData(std::vector<Tensor> params,
+                         const std::vector<Tensor>& loaded) {
   if (params.size() != loaded.size()) {
     return Status::FailedPrecondition(
         "checkpoint has " + std::to_string(loaded.size()) +
@@ -100,10 +130,21 @@ Status LoadParameters(Module* module, const std::string& path) {
                                         std::to_string(i));
     }
   }
+  // All shapes verified; only now mutate (all-or-nothing contract).
   for (size_t i = 0; i < params.size(); ++i) {
     params[i].CopyDataFrom(loaded[i]);
   }
   return Status::OK();
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  return SaveTensors(module.Parameters(), path);
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  CPDG_ASSIGN_OR_RETURN(std::vector<Tensor> loaded, LoadTensors(path));
+  return RestoreTensorData(module->Parameters(), loaded);
 }
 
 }  // namespace cpdg::tensor

@@ -2,6 +2,7 @@
 #define CPDG_TENSOR_SERIALIZATION_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tensor/nn.h"
@@ -12,27 +13,52 @@ namespace cpdg::tensor {
 
 /// \file Binary checkpointing of module parameters.
 ///
-/// The on-disk format is a small self-describing container:
-///   magic "CPDGCKPT" | version u32 | tensor count u32 |
-///   per tensor: rows i64, cols i64, rows*cols f32 payload.
+/// Writers emit the version-2 CPDGCKPT container (see
+/// tensor/checkpoint_container.h) with the tensor list in a
+/// CRC32-checksummed "params" section, published atomically (temp file +
+/// fsync + rename) so a crash mid-save can never destroy the previous
+/// checkpoint. The loader also accepts legacy version-1 files
+///   magic "CPDGCKPT" | version u32 = 1 | tensor count u32 |
+///   per tensor: rows i64, cols i64, rows*cols f32 payload
+/// with hardened parsing: tensor shapes are bounded against the remaining
+/// file size before any allocation and trailing garbage is rejected.
+///
 /// Loading validates shapes against the target module, so a checkpoint can
 /// only be restored into an architecturally identical model — the same
 /// contract as Module::CopyParametersFrom, but across processes. This is
 /// how a pre-trained CPDG encoder is shipped to downstream fine-tuning
-/// jobs.
+/// jobs, and full-training-state checkpoints (train/checkpoint.h) reuse
+/// the same "params" payload encoding for their module-parameter section.
 
-/// \brief Writes all parameters of `module` to `path` (overwrites).
+/// \brief Name of the container section holding the tensor list.
+inline constexpr char kParamsSection[] = "params";
+
+/// \brief Writes all parameters of `module` to `path` (atomic overwrite).
 Status SaveParameters(const Module& module, const std::string& path);
 
 /// \brief Restores parameters saved by SaveParameters into `module`.
 /// Fails without modifying anything if the tensor count or any shape
-/// disagrees.
+/// disagrees (all-or-nothing, for v1 and v2 files alike).
 Status LoadParameters(Module* module, const std::string& path);
 
 /// \brief Lower-level variants operating on explicit tensor lists.
 Status SaveTensors(const std::vector<Tensor>& tensors,
                    const std::string& path);
 Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+/// \brief Encodes a tensor list as the "params" section payload:
+/// count u32, then per tensor rows i64, cols i64, f32 data.
+Result<std::string> EncodeTensorList(const std::vector<Tensor>& tensors);
+
+/// \brief Decodes an EncodeTensorList payload with bounds-checked shapes;
+/// rejects trailing garbage.
+Result<std::vector<Tensor>> DecodeTensorList(std::string_view payload);
+
+/// \brief Validates `loaded` against `params` (count + shapes) and then
+/// copies data in; the all-or-nothing core of LoadParameters, shared with
+/// the training-state resume path.
+Status RestoreTensorData(std::vector<Tensor> params,
+                         const std::vector<Tensor>& loaded);
 
 }  // namespace cpdg::tensor
 

@@ -1,0 +1,118 @@
+#include "train/checkpoint.h"
+
+#include <vector>
+
+#include "util/byte_codec.h"
+
+namespace cpdg::train {
+
+namespace {
+
+void WriteEpoch(util::ByteWriter* w, const EpochTelemetry& e) {
+  w->Pod(e.wall_clock_sec);
+  w->Pod(e.num_batches);
+  w->Pod(e.num_steps);
+  w->Pod(e.mean_loss);
+  w->Pod(e.mean_grad_norm_pre_clip);
+  w->Pod(e.max_grad_norm_pre_clip);
+  w->Pod(e.mean_grad_norm_post_clip);
+}
+
+bool ReadEpoch(util::ByteReader* r, EpochTelemetry* e) {
+  return r->Pod(&e->wall_clock_sec) && r->Pod(&e->num_batches) &&
+         r->Pod(&e->num_steps) && r->Pod(&e->mean_loss) &&
+         r->Pod(&e->mean_grad_norm_pre_clip) &&
+         r->Pod(&e->max_grad_norm_pre_clip) &&
+         r->Pod(&e->mean_grad_norm_post_clip);
+}
+
+}  // namespace
+
+std::string EncodeProgress(const RunProgress& progress) {
+  std::string out;
+  util::ByteWriter w(&out);
+  w.Pod(progress.mode);
+  w.Pod(progress.num_epochs);
+  w.Pod(progress.num_batches);
+  w.Pod(progress.next_epoch);
+  w.Pod(progress.next_batch);
+  return out;
+}
+
+Status DecodeProgress(std::string_view bytes, RunProgress* progress) {
+  util::ByteReader r(bytes);
+  RunProgress p;
+  if (!r.Pod(&p.mode) || !r.Pod(&p.num_epochs) || !r.Pod(&p.num_batches) ||
+      !r.Pod(&p.next_epoch) || !r.Pod(&p.next_batch)) {
+    return Status::InvalidArgument("truncated progress section");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage in progress section");
+  }
+  if (p.mode != kRunModeChronological && p.mode != kRunModeSteps) {
+    return Status::InvalidArgument("unknown run mode " +
+                                   std::to_string(p.mode));
+  }
+  if (p.num_epochs < 1 || p.num_batches < 0 || p.next_epoch < 0 ||
+      p.next_epoch >= p.num_epochs || p.next_batch < 0 ||
+      p.next_batch > p.num_batches) {
+    return Status::InvalidArgument("progress cursor out of range");
+  }
+  *progress = p;
+  return Status::OK();
+}
+
+std::string EncodeTelemetryState(const TrainTelemetry& telemetry,
+                                 const PartialEpoch& partial) {
+  std::string out;
+  util::ByteWriter w(&out);
+  w.PodVector(telemetry.epoch_losses);
+  w.Pod(static_cast<uint32_t>(telemetry.epochs.size()));
+  for (const EpochTelemetry& e : telemetry.epochs) WriteEpoch(&w, e);
+  w.Pod(telemetry.nonfinite_skips);
+  w.Pod(telemetry.rollbacks);
+  w.Pod(telemetry.checkpoint_saves);
+  w.Pod(telemetry.checkpoint_failures);
+  WriteEpoch(&w, partial.epoch);
+  w.Pod(partial.loss_sum);
+  return out;
+}
+
+Status DecodeTelemetryState(std::string_view bytes,
+                            TrainTelemetry* telemetry,
+                            PartialEpoch* partial) {
+  util::ByteReader r(bytes);
+  TrainTelemetry t;
+  PartialEpoch p;
+  uint32_t num_epochs = 0;
+  if (!r.PodVector(&t.epoch_losses) || !r.Pod(&num_epochs)) {
+    return Status::InvalidArgument("truncated telemetry section");
+  }
+  // Each epoch record is 7 * 8 bytes; bound before allocating.
+  if (num_epochs > r.remaining() / 56) {
+    return Status::InvalidArgument("corrupt telemetry epoch count");
+  }
+  t.epochs.resize(num_epochs);
+  for (EpochTelemetry& e : t.epochs) {
+    if (!ReadEpoch(&r, &e)) {
+      return Status::InvalidArgument("truncated epoch telemetry");
+    }
+  }
+  if (!r.Pod(&t.nonfinite_skips) || !r.Pod(&t.rollbacks) ||
+      !r.Pod(&t.checkpoint_saves) || !r.Pod(&t.checkpoint_failures) ||
+      !ReadEpoch(&r, &p.epoch) || !r.Pod(&p.loss_sum)) {
+    return Status::InvalidArgument("truncated telemetry counters");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage in telemetry section");
+  }
+  if (t.epoch_losses.size() != t.epochs.size()) {
+    return Status::InvalidArgument(
+        "telemetry epoch_losses / epochs count mismatch");
+  }
+  *telemetry = std::move(t);
+  *partial = p;
+  return Status::OK();
+}
+
+}  // namespace cpdg::train

@@ -1,0 +1,61 @@
+#ifndef CPDG_TRAIN_CHECKPOINT_H_
+#define CPDG_TRAIN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "train/telemetry.h"
+#include "util/status.h"
+
+namespace cpdg::train {
+
+/// \name Section names of a training checkpoint (CPDGCKPT v2 container).
+/// Model parameters live under tensor::kParamsSection ("params"); clients
+/// of TrainLoop::RegisterCheckpointSection add their own names next to
+/// these (e.g. the pre-trainer's "rng" and "evolution").
+inline constexpr char kProgressSection[] = "progress";
+inline constexpr char kTelemetrySection[] = "telemetry";
+inline constexpr char kOptimizerSection[] = "optimizer";
+inline constexpr char kMemorySection[] = "memory";
+
+/// Run modes recorded in the progress section so a checkpoint written by
+/// RunChronological cannot silently resume a RunSteps run (and vice versa).
+inline constexpr uint32_t kRunModeChronological = 1;
+inline constexpr uint32_t kRunModeSteps = 2;
+
+/// \brief The batch cursor of a run: where training stops being restored
+/// and starts being executed. `next_batch` counts completed batches within
+/// `next_epoch`; next_batch == num_batches means "epoch finished but its
+/// telemetry not yet finalized" (the save fired on the epoch's last batch).
+struct RunProgress {
+  uint32_t mode = 0;
+  int64_t num_epochs = 0;
+  /// Batches (or steps) per epoch of the run that wrote the checkpoint;
+  /// validated against the resuming run's shape.
+  int64_t num_batches = 0;
+  int64_t next_epoch = 0;
+  int64_t next_batch = 0;
+};
+
+/// \brief Mid-epoch telemetry accumulators. loss_sum is kept separately in
+/// double so a resumed run replays the exact same additions (bit-exact
+/// mean_loss) as an uninterrupted one.
+struct PartialEpoch {
+  EpochTelemetry epoch;
+  double loss_sum = 0.0;
+};
+
+std::string EncodeProgress(const RunProgress& progress);
+Status DecodeProgress(std::string_view bytes, RunProgress* progress);
+
+/// Serializes completed-epoch telemetry plus the in-flight partial epoch.
+/// TrainTelemetry::status and stopped_early are run-local and not stored.
+std::string EncodeTelemetryState(const TrainTelemetry& telemetry,
+                                 const PartialEpoch& partial);
+Status DecodeTelemetryState(std::string_view bytes,
+                            TrainTelemetry* telemetry, PartialEpoch* partial);
+
+}  // namespace cpdg::train
+
+#endif  // CPDG_TRAIN_CHECKPOINT_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dgnn/trainer.h"
+#include "util/status.h"
 
 namespace cpdg::train {
 
@@ -41,6 +42,28 @@ struct EpochTelemetry {
 /// batch-count and gradient-norm telemetry.
 struct TrainTelemetry : public dgnn::TrainLog {
   std::vector<EpochTelemetry> epochs;
+
+  /// \name Health-monitor counters
+  /// Batches whose loss or gradient norm was non-finite and were skipped
+  /// under NonFinitePolicy::kSkipBatch.
+  int64_t nonfinite_skips = 0;
+  /// Times the run restored the last checkpoint and replayed under
+  /// NonFinitePolicy::kRollbackToCheckpoint.
+  int64_t rollbacks = 0;
+
+  /// \name Checkpoint bookkeeping
+  /// Successful periodic checkpoint publishes / failed attempts (a failed
+  /// save never aborts training; the previous checkpoint stays intact).
+  int64_t checkpoint_saves = 0;
+  int64_t checkpoint_failures = 0;
+
+  /// True when the run ended before all epochs via TrainLoop::RequestStop
+  /// or TrainLoopOptions::max_batches (graceful shutdown, still OK).
+  bool stopped_early = false;
+
+  /// OK unless the run halted: non-finite loss under kHalt, a failed
+  /// resume, or an exhausted rollback budget (Status::Internal).
+  Status status;
 
   const EpochTelemetry& final_epoch() const { return epochs.back(); }
 

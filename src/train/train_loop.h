@@ -2,17 +2,38 @@
 #define CPDG_TRAIN_TRAIN_LOOP_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dgnn/encoder.h"
 #include "graph/batching.h"
 #include "graph/temporal_graph.h"
+#include "tensor/checkpoint_container.h"
 #include "tensor/optim.h"
+#include "train/checkpoint.h"
 #include "train/telemetry.h"
+#include "util/status.h"
 
 namespace cpdg::train {
+
+/// \brief What the health monitor does when a batch produces a non-finite
+/// loss or gradient norm.
+enum class NonFinitePolicy {
+  /// Stop the run; TrainTelemetry::status carries Status::Internal.
+  kHalt,
+  /// Drop the batch without stepping (the batch still advances encoder
+  /// memory and counts toward telemetry) and keep going; counted in
+  /// TrainTelemetry::nonfinite_skips.
+  kSkipBatch,
+  /// Restore the last checkpoint written to checkpoint_path and replay
+  /// from its cursor; counted in TrainTelemetry::rollbacks. Requires
+  /// periodic checkpointing to be on; halts once max_rollbacks is spent
+  /// (a deterministic blow-up would otherwise loop forever).
+  kRollbackToCheckpoint,
+};
 
 /// \brief Knobs of the shared training runtime.
 struct TrainLoopOptions {
@@ -23,6 +44,26 @@ struct TrainLoopOptions {
   float grad_clip = 0.0f;
   /// Prefix of the per-epoch debug log line.
   std::string log_label = "train";
+
+  /// \name Crash safety
+  /// When non-empty and checkpoint_every_batches > 0, full training state
+  /// (params, optimizer moments, encoder memory, telemetry, batch cursor
+  /// and registered client sections) is published atomically to this path
+  /// every checkpoint_every_batches completed batches. A failed save is
+  /// logged and counted but never aborts training.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_batches = 0;
+
+  /// \name Health monitor
+  NonFinitePolicy non_finite_policy = NonFinitePolicy::kHalt;
+  /// Rollback budget per Run call under kRollbackToCheckpoint.
+  int64_t max_rollbacks = 3;
+
+  /// Graceful stop after this many batches executed by this Run call
+  /// (restored batches do not count); 0 disables. The run returns with
+  /// stopped_early = true and an OK status — combined with
+  /// checkpoint_path this simulates a mid-run crash in tests.
+  int64_t max_batches = 0;
 };
 
 /// \brief Position of the current batch within the run, handed to batch
@@ -55,6 +96,15 @@ using StepFn =
 /// CPDG's uniform memory checkpointing is implemented as this hook.
 using BatchHook = std::function<void(const BatchContext& ctx)>;
 
+/// \brief State contributed to (and restored from) training checkpoints by
+/// a TrainLoop client — state the loop cannot know about, e.g. the
+/// pre-trainer's RNG stream and evolution snapshots. `save` appends the
+/// payload to its argument; `restore` must validate before mutating.
+struct CheckpointClientSection {
+  std::function<void(std::string* out)> save;
+  std::function<Status(std::string_view bytes)> restore;
+};
+
 /// \brief The shared epoch/batch driver every training entry point in the
 /// repo runs on: CPDG pre-training and fine-tuning, the supervised
 /// TGN-family trainer, the SSL baselines, the static-GNN loops and the
@@ -68,6 +118,13 @@ using BatchHook = std::function<void(const BatchContext& ctx)>;
 /// objective as a batch callback. Centralizing the iteration here is what
 /// lets batching, instrumentation and (later) parallel negative sampling /
 /// prefetching land in one place.
+///
+/// \par Crash safety
+/// With checkpoint_path set, the loop periodically publishes its complete
+/// state through the atomic temp-file-plus-rename path, and ResumeFrom()
+/// stages a previously written checkpoint: the next Run call restores all
+/// state, fast-forwards the chronological batcher to the saved cursor and
+/// continues, producing results bit-identical to an uninterrupted run.
 class TrainLoop {
  public:
   TrainLoop(std::vector<tensor::Tensor> params,
@@ -77,6 +134,23 @@ class TrainLoop {
   void set_batch_end_hook(BatchHook hook) {
     batch_end_hook_ = std::move(hook);
   }
+
+  /// \brief Registers client state saved into every checkpoint under
+  /// `name` and restored from it on resume. Must be registered (same
+  /// names) before both the saving and the resuming Run call.
+  void RegisterCheckpointSection(std::string name,
+                                 CheckpointClientSection section);
+
+  /// \brief Stages the checkpoint at `path` for the next Run call, which
+  /// restores every section and continues from the saved batch cursor.
+  /// Fails fast on unreadable/corrupt containers; cross-checks against
+  /// the run shape (mode, epochs, batches) happen inside Run and surface
+  /// through TrainTelemetry::status.
+  Status ResumeFrom(const std::string& path);
+
+  /// Requests a graceful stop after the current batch; the run returns
+  /// with stopped_early = true. Safe to call from batch callbacks/hooks.
+  void RequestStop() { stop_requested_ = true; }
 
   /// \brief Chronological event-stream training over `graph`: one
   /// ChronologicalBatcher is constructed up front and Reset() per epoch;
@@ -97,19 +171,62 @@ class TrainLoop {
   tensor::Adam& optimizer() { return optimizer_; }
 
  private:
-  /// Backward + clip + step for one produced loss; accumulates epoch
-  /// telemetry.
-  void StepOnLoss(tensor::Tensor* loss, EpochTelemetry* epoch,
-                  double* loss_sum);
+  enum class BatchOutcome { kStepped, kNoLoss, kSkippedNonFinite, kHalt,
+                            kRollback };
+
+  /// Health-checked backward + clip + step for one produced loss;
+  /// accumulates epoch telemetry on a successful step.
+  BatchOutcome StepOnLoss(tensor::Tensor* loss, PartialEpoch* partial,
+                          TrainTelemetry* telemetry);
 
   /// Finalizes one epoch's telemetry and emits the debug log line.
   void FinishEpoch(int64_t epoch_index, double loss_sum,
                    EpochTelemetry epoch, TrainTelemetry* telemetry);
 
+  bool checkpointing_enabled() const {
+    return !options_.checkpoint_path.empty() &&
+           options_.checkpoint_every_batches > 0;
+  }
+
+  /// Publishes full state with the cursor after `batches_done` completed
+  /// batches of `epoch`. Failures are logged and counted, not fatal.
+  void SaveCheckpoint(uint32_t mode, int64_t num_batches, int64_t epoch,
+                      int64_t batches_done, dgnn::DgnnEncoder* encoder,
+                      TrainTelemetry* telemetry, const PartialEpoch& partial);
+
+  /// Called after every completed batch; saves when the cadence is due.
+  void MaybeCheckpoint(uint32_t mode, int64_t num_batches, int64_t epoch,
+                       int64_t batches_done, dgnn::DgnnEncoder* encoder,
+                       TrainTelemetry* telemetry,
+                       const PartialEpoch& partial);
+
+  /// Validates the staged checkpoint against the run shape, then restores
+  /// every section (params, optimizer, memory, telemetry, clients) and
+  /// outputs the batch cursor. All-or-nothing up to the per-section
+  /// restore contracts. Consumes staged_resume_.
+  Status ApplyStagedResume(uint32_t mode, int64_t num_batches,
+                           dgnn::DgnnEncoder* encoder,
+                           TrainTelemetry* telemetry, PartialEpoch* partial,
+                           int64_t* next_epoch, int64_t* next_batch);
+
+  /// kRollbackToCheckpoint: re-stages checkpoint_path and applies it.
+  Status Rollback(uint32_t mode, int64_t num_batches,
+                  dgnn::DgnnEncoder* encoder, TrainTelemetry* telemetry,
+                  PartialEpoch* partial, int64_t* next_epoch,
+                  int64_t* next_batch);
+
   std::vector<tensor::Tensor> params_;
   TrainLoopOptions options_;
   tensor::Adam optimizer_;
   BatchHook batch_end_hook_;
+  std::vector<std::pair<std::string, CheckpointClientSection>>
+      checkpoint_sections_;
+  std::unique_ptr<tensor::SectionReader> staged_resume_;
+  bool stop_requested_ = false;
+  /// Batches executed by the current Run call (max_batches budget).
+  int64_t batches_run_ = 0;
+  int64_t batches_since_checkpoint_ = 0;
+  int64_t rollbacks_this_run_ = 0;
 };
 
 }  // namespace cpdg::train

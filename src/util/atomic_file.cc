@@ -1,0 +1,135 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/fault_injection.h"
+
+namespace cpdg::util {
+namespace {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when there is no separator), for the
+/// post-rename directory fsync that makes the new directory entry durable.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  std::optional<FaultInjector::Config> fault =
+      FaultInjector::Instance().active();
+
+  // A bit-flip fault corrupts the bytes on their way to disk; the save
+  // itself still "succeeds", as real silent corruption would.
+  std::string flipped;
+  if (fault.has_value() && fault->bitflip_byte >= 0 && !payload.empty()) {
+    flipped.assign(payload.data(), payload.size());
+    flipped[static_cast<size_t>(fault->bitflip_byte) % flipped.size()] ^=
+        static_cast<char>(fault->bitflip_mask);
+    payload = flipped;
+  }
+
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+
+  if (fault.has_value() && fault->crash_after_bytes >= 0 &&
+      static_cast<size_t>(fault->crash_after_bytes) < payload.size()) {
+    // Simulated mid-write crash: persist only the prefix and fail, leaving
+    // the partial temp file behind exactly as a dead process would.
+    Status st = WriteAll(fd, payload.data(),
+                         static_cast<size_t>(fault->crash_after_bytes), tmp);
+    ::close(fd);
+    if (!st.ok()) return st;
+    return Status::IoError("injected crash after " +
+                           std::to_string(fault->crash_after_bytes) +
+                           " bytes writing " + tmp);
+  }
+
+  // On any failure below the process is still alive (unlike the simulated
+  // crash above), so clean up the temp file instead of littering the
+  // checkpoint directory.
+  Status st = WriteAll(fd, payload.data(), payload.size(), tmp);
+  if (!st.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    Status err = Status::IoError(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::close(fd) != 0) {
+    Status err = Status::IoError(ErrnoMessage("close", tmp));
+    ::unlink(tmp.c_str());
+    return err;
+  }
+
+  if (fault.has_value() && fault->fail_rename) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("injected rename failure publishing " + path);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status err = Status::IoError(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return err;
+  }
+
+  // Make the rename durable. Best effort: some filesystems refuse to open
+  // directories for fsync; the data itself is already synced.
+  int dfd = ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace cpdg::util

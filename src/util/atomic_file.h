@@ -1,0 +1,33 @@
+#ifndef CPDG_UTIL_ATOMIC_FILE_H_
+#define CPDG_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cpdg::util {
+
+/// \brief Writes `payload` to `path` atomically: the bytes are written to a
+/// sibling temp file (`path` + ".tmp"), fsync'd, and renamed over the
+/// target, with the containing directory fsync'd after the rename. Readers
+/// therefore observe either the previous complete file or the new complete
+/// file — never a torn mixture — and a crash at any point of the save
+/// leaves the previous file untouched.
+///
+/// This is the single choke point every checkpoint/CSV writer in the repo
+/// routes through; util::FaultInjector hooks into it to simulate
+/// crash-after-N-bytes, failed renames and silent bit flips for the
+/// fault-tolerance suite.
+Status AtomicWriteFile(const std::string& path, std::string_view payload);
+
+/// \brief Reads a whole file into `out`. Returns IoError if the file
+/// cannot be opened or read.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// \brief True if `path` exists (stat succeeds).
+bool FileExists(const std::string& path);
+
+}  // namespace cpdg::util
+
+#endif  // CPDG_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,145 @@
+#ifndef CPDG_UTIL_BYTE_CODEC_H_
+#define CPDG_UTIL_BYTE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace cpdg::util {
+
+/// \file Little helpers shared by every checkpoint serializer: an appending
+/// POD/vector payload writer, a bounds-checked reader that degrades to a
+/// sticky failure bit instead of crashing on corrupt input, and the CRC32
+/// (IEEE 802.3) used to checksum checkpoint sections.
+
+/// \brief CRC32 (polynomial 0xEDB88320, the zlib/IEEE one) of `size` bytes.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// \brief Appends trivially-copyable values and flat vectors to a byte
+/// string. The layout is raw little-endian PODs with no padding; readers
+/// must consume fields in the identical order.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_->append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  /// Writes a u64 element count followed by the raw elements.
+  template <typename T>
+  void PodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod(static_cast<uint64_t>(v.size()));
+    out_->append(reinterpret_cast<const char*>(v.data()),
+                 v.size() * sizeof(T));
+  }
+
+  /// Writes a u32 length followed by the bytes.
+  void String(std::string_view s) {
+    Pod(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// \brief Bounds-checked sequential reader over a byte buffer. Every
+/// accessor returns false (and leaves the output untouched) once the input
+/// is exhausted or a length field exceeds the remaining bytes, so corrupt
+/// checkpoints surface as a clean failure instead of an over-allocation or
+/// an out-of-bounds read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (failed_ || bytes_.size() - pos_ < sizeof(T)) return Fail();
+    std::memcpy(v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads a u64 count + elements written by ByteWriter::PodVector. The
+  /// count is validated against the remaining input *before* allocating,
+  /// so a corrupt header cannot trigger a huge allocation.
+  template <typename T>
+  bool PodVector(std::vector<T>* v) {
+    uint64_t count = 0;
+    if (!Pod(&count)) return false;
+    if (count > (bytes_.size() - pos_) / sizeof(T)) return Fail();
+    v->resize(static_cast<size_t>(count));
+    std::memcpy(v->data(), bytes_.data() + pos_,
+                static_cast<size_t>(count) * sizeof(T));
+    pos_ += static_cast<size_t>(count) * sizeof(T);
+    return true;
+  }
+
+  bool String(std::string* s) {
+    uint32_t len = 0;
+    if (!Pod(&len)) return false;
+    if (len > bytes_.size() - pos_) return Fail();
+    s->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  /// Raw view of the next `size` bytes without copying.
+  bool Bytes(size_t size, std::string_view* out) {
+    if (failed_ || bytes_.size() - pos_ < size) return Fail();
+    *out = bytes_.substr(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool Skip(size_t size) {
+    if (failed_ || bytes_.size() - pos_ < size) return Fail();
+    pos_ += size;
+    return true;
+  }
+
+  /// True when every input byte has been consumed (no trailing garbage).
+  bool AtEnd() const { return !failed_ && pos_ == bytes_.size(); }
+  bool failed() const { return failed_; }
+  size_t remaining() const { return failed_ ? 0 : bytes_.size() - pos_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace cpdg::util
+
+#endif  // CPDG_UTIL_BYTE_CODEC_H_

@@ -96,6 +96,26 @@ class Rng {
   /// seed across components without correlating their streams.
   Rng Split() { return Rng(NextUint64() ^ 0xD1B54A32D192ED03ULL); }
 
+  /// \brief Complete generator state, checkpointable so a resumed training
+  /// run draws the identical stream an uninterrupted run would have. The
+  /// Box-Muller cache is part of the state: NextGaussian emits values in
+  /// pairs and the spare must survive a checkpoint boundary.
+  struct State {
+    uint64_t state = 0;
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State GetState() const {
+    return {state_, has_cached_gaussian_, cached_gaussian_};
+  }
+
+  void SetState(const State& s) {
+    state_ = s.state;
+    has_cached_gaussian_ = s.has_cached_gaussian;
+    cached_gaussian_ = s.cached_gaussian;
+  }
+
  private:
   uint64_t state_;
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,446 @@
+// Fault-tolerance suite for the crash-safe training runtime: kill-and-
+// resume bit-exactness of CPDG pre-training, the non-finite-loss health
+// monitor policies, and injected storage faults (crash mid-save, failed
+// rename, silent bit flips) against the atomic checkpoint publish path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pretrainer.h"
+#include "graph/temporal_graph.h"
+#include "tensor/checkpoint_container.h"
+#include "tensor/ops.h"
+#include "train/train_loop.h"
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace cpdg {
+namespace {
+
+namespace ts = cpdg::tensor;
+using graph::Event;
+using graph::NodeId;
+using graph::TemporalGraph;
+
+/// Restores the default global pool size when a test scope ends.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) {
+    util::ThreadPool::SetGlobalNumThreads(n);
+  }
+  ~ThreadCountGuard() {
+    util::ThreadPool::SetGlobalNumThreads(
+        util::ThreadPool::DefaultNumThreads());
+  }
+};
+
+// Same workload as the CPDG pre-training golden test: a 30-node bipartite
+// graph, 400 events, 8 batches per epoch over 2 epochs.
+TemporalGraph MakeGraphA(uint64_t seed, int64_t events_count = 400) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < events_count; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(15));
+    NodeId b = 15 + static_cast<NodeId>(rng.NextBounded(15));
+    events.push_back({a, b, static_cast<double>(i) * 0.002});
+  }
+  return TemporalGraph::Create(30, events).ValueOrDie();
+}
+
+dgnn::EncoderConfig SmallConfig(int64_t num_nodes) {
+  dgnn::EncoderConfig c =
+      dgnn::EncoderConfig::Preset(dgnn::EncoderType::kTgn, num_nodes);
+  c.memory_dim = 8;
+  c.embed_dim = 8;
+  c.time_dim = 4;
+  c.num_neighbors = 3;
+  return c;
+}
+
+/// Everything a bit-exactness comparison needs from one pre-training run.
+struct PretrainCapture {
+  core::PretrainResult result;
+  std::vector<float> params;  // encoder then decoder, concatenated
+  std::string memory_bytes;
+  std::string evolution_bytes;
+};
+
+/// Runs CPDG pre-training from identical seeds with the given crash-safety
+/// knobs. Every run constructs fresh graph/encoder/decoder/RNG objects, so
+/// a `resume` run only shares state with its predecessor through the
+/// checkpoint file — exactly what a process restart would see.
+PretrainCapture RunPretrain(const std::string& checkpoint_path,
+                            int64_t checkpoint_every, int64_t max_batches,
+                            bool resume) {
+  TemporalGraph g = MakeGraphA(11);
+  Rng rng(13);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  dgnn::LinkPredictor decoder(8, 8, &rng);
+  core::CpdgConfig config;
+  config.epochs = 2;
+  config.batch_size = 50;
+  config.num_checkpoints = 4;
+  config.max_contrast_anchors = 16;
+  config.checkpoint_path = checkpoint_path;
+  config.checkpoint_every_batches = checkpoint_every;
+  config.resume = resume;
+  config.max_batches = max_batches;
+  core::CpdgPretrainer pretrainer(config, &rng);
+
+  PretrainCapture cap;
+  cap.result = pretrainer.Pretrain(&encoder, &decoder, g);
+  for (const ts::Tensor& t : encoder.Parameters()) {
+    cap.params.insert(cap.params.end(), t.data(), t.data() + t.size());
+  }
+  for (const ts::Tensor& t : decoder.Parameters()) {
+    cap.params.insert(cap.params.end(), t.data(), t.data() + t.size());
+  }
+  encoder.memory().SerializeTo(&cap.memory_bytes);
+  cap.result.checkpoints.SerializeTo(&cap.evolution_bytes);
+  return cap;
+}
+
+/// Kill a pre-training run mid-epoch (graceful stop after max_batches, then
+/// all objects are discarded), resume from the checkpoint with fresh
+/// objects, and require the final state to be bit-identical to a run that
+/// was never interrupted.
+void CheckKillAndResumeBitIdentical(int num_threads) {
+  ThreadCountGuard guard(num_threads);
+  const std::string ckpt = ::testing::TempDir() + "ft_resume_t" +
+                           std::to_string(num_threads) + ".ckpt";
+  std::remove(ckpt.c_str());
+
+  PretrainCapture golden =
+      RunPretrain(/*checkpoint_path=*/"", /*checkpoint_every=*/0,
+                  /*max_batches=*/0, /*resume=*/false);
+  ASSERT_TRUE(golden.result.log.status.ok());
+  ASSERT_EQ(golden.result.log.epoch_losses.size(), 2u);
+
+  // 16 batches total (2 epochs x 8); die after 11, checkpointing every 3.
+  // The last save lands at global batch 9 = epoch 1, batch 1 — a mid-epoch
+  // cursor, so resume must restore partial-epoch accumulators and encoder
+  // memory, not just parameters.
+  PretrainCapture killed = RunPretrain(ckpt, /*checkpoint_every=*/3,
+                                       /*max_batches=*/11, /*resume=*/false);
+  ASSERT_TRUE(killed.result.log.status.ok());
+  EXPECT_TRUE(killed.result.log.stopped_early);
+  EXPECT_TRUE(killed.result.log.epoch_losses.size() < 2u);
+  EXPECT_GE(killed.result.log.checkpoint_saves, 3);
+  ASSERT_TRUE(util::FileExists(ckpt));
+
+  PretrainCapture resumed = RunPretrain(ckpt, /*checkpoint_every=*/3,
+                                        /*max_batches=*/0, /*resume=*/true);
+  ASSERT_TRUE(resumed.result.log.status.ok())
+      << resumed.result.log.status.ToString();
+  EXPECT_FALSE(resumed.result.log.stopped_early);
+
+  // Losses, telemetry counts, parameters, memory (including pending
+  // message queues and last-update times) and the recorded evolution
+  // checkpoints must all be bitwise identical.
+  ASSERT_EQ(resumed.result.log.epoch_losses.size(),
+            golden.result.log.epoch_losses.size());
+  for (size_t i = 0; i < golden.result.log.epoch_losses.size(); ++i) {
+    EXPECT_EQ(resumed.result.log.epoch_losses[i],
+              golden.result.log.epoch_losses[i])
+        << "epoch " << i << " loss differs after resume";
+  }
+  ASSERT_EQ(resumed.result.log.epochs.size(),
+            golden.result.log.epochs.size());
+  for (size_t i = 0; i < golden.result.log.epochs.size(); ++i) {
+    EXPECT_EQ(resumed.result.log.epochs[i].num_batches,
+              golden.result.log.epochs[i].num_batches);
+    EXPECT_EQ(resumed.result.log.epochs[i].num_steps,
+              golden.result.log.epochs[i].num_steps);
+    EXPECT_EQ(resumed.result.log.epochs[i].mean_loss,
+              golden.result.log.epochs[i].mean_loss);
+    EXPECT_EQ(resumed.result.log.epochs[i].mean_grad_norm_pre_clip,
+              golden.result.log.epochs[i].mean_grad_norm_pre_clip);
+  }
+  ASSERT_EQ(resumed.params.size(), golden.params.size());
+  EXPECT_EQ(0, std::memcmp(resumed.params.data(), golden.params.data(),
+                           golden.params.size() * sizeof(float)));
+  EXPECT_EQ(resumed.memory_bytes, golden.memory_bytes);
+  EXPECT_EQ(resumed.evolution_bytes, golden.evolution_bytes);
+  std::remove(ckpt.c_str());
+}
+
+TEST(FaultToleranceTest, KillAndResumeBitIdenticalSingleThread) {
+  CheckKillAndResumeBitIdentical(1);
+}
+
+TEST(FaultToleranceTest, KillAndResumeBitIdenticalFourThreads) {
+  CheckKillAndResumeBitIdentical(4);
+}
+
+TEST(FaultToleranceTest, ResumeFromCorruptCheckpointFailsCleanly) {
+  const std::string ckpt = ::testing::TempDir() + "ft_corrupt.ckpt";
+  ASSERT_TRUE(util::AtomicWriteFile(ckpt, "this is not a checkpoint").ok());
+  PretrainCapture run = RunPretrain(ckpt, /*checkpoint_every=*/3,
+                                    /*max_batches=*/0, /*resume=*/true);
+  EXPECT_FALSE(run.result.log.status.ok());
+  EXPECT_TRUE(run.result.log.epoch_losses.empty());
+  std::remove(ckpt.c_str());
+}
+
+// --- Health monitor -------------------------------------------------------
+
+/// One-parameter quadratic toy problem; `nan_on_call` poisons the loss on
+/// the n-th invocation of the step function (1-based, 0 = never).
+struct ToyLoop {
+  explicit ToyLoop(train::TrainLoopOptions options)
+      : rng(5),
+        w(ts::Tensor::RandomUniform(2, 2, 0.5f, &rng,
+                                    /*requires_grad=*/true)),
+        loop({w}, options) {}
+
+  train::TrainTelemetry Run(int64_t steps_per_epoch, int nan_on_call) {
+    int calls = 0;
+    return loop.RunSteps(
+        steps_per_epoch,
+        [&](const train::BatchContext&) -> std::optional<ts::Tensor> {
+          ++calls;
+          ts::Tensor loss = ts::Mean(ts::Mul(w, w));
+          if (calls == nan_on_call) {
+            return ts::MulScalar(
+                loss, std::numeric_limits<float>::quiet_NaN());
+          }
+          return loss;
+        });
+  }
+
+  Rng rng;
+  ts::Tensor w;
+  train::TrainLoop loop;
+};
+
+TEST(HealthMonitorTest, HaltReturnsInternalStatus) {
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.non_finite_policy = train::NonFinitePolicy::kHalt;
+  ToyLoop toy(options);
+  train::TrainTelemetry telemetry = toy.Run(/*steps_per_epoch=*/4,
+                                            /*nan_on_call=*/2);
+  EXPECT_EQ(telemetry.status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(telemetry.epochs.empty());  // halted inside the first epoch
+  EXPECT_EQ(telemetry.nonfinite_skips, 0);
+}
+
+TEST(HealthMonitorTest, SkipBatchCountsAndCompletes) {
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.non_finite_policy = train::NonFinitePolicy::kSkipBatch;
+  ToyLoop toy(options);
+  train::TrainTelemetry telemetry = toy.Run(/*steps_per_epoch=*/4,
+                                            /*nan_on_call=*/2);
+  ASSERT_TRUE(telemetry.status.ok()) << telemetry.status.ToString();
+  EXPECT_EQ(telemetry.nonfinite_skips, 1);
+  ASSERT_EQ(telemetry.epochs.size(), 1u);
+  EXPECT_EQ(telemetry.epochs[0].num_batches, 4);
+  EXPECT_EQ(telemetry.epochs[0].num_steps, 3);  // poisoned batch not stepped
+}
+
+TEST(HealthMonitorTest, RollbackRestoresCheckpointAndCompletes) {
+  const std::string ckpt = ::testing::TempDir() + "ft_rollback.ckpt";
+  std::remove(ckpt.c_str());
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.non_finite_policy = train::NonFinitePolicy::kRollbackToCheckpoint;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every_batches = 1;
+  ToyLoop toy(options);
+  // The 3rd call blows up; by then the checkpoint holds the cursor after
+  // step 1 (call counting makes the replayed step finite the second time).
+  train::TrainTelemetry telemetry = toy.Run(/*steps_per_epoch=*/5,
+                                            /*nan_on_call=*/3);
+  ASSERT_TRUE(telemetry.status.ok()) << telemetry.status.ToString();
+  EXPECT_EQ(telemetry.rollbacks, 1);
+  ASSERT_EQ(telemetry.epochs.size(), 1u);
+  EXPECT_EQ(telemetry.epochs[0].num_batches, 5);
+  EXPECT_EQ(telemetry.epochs[0].num_steps, 5);
+  std::remove(ckpt.c_str());
+}
+
+TEST(HealthMonitorTest, RollbackWithoutCheckpointingHalts) {
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.non_finite_policy = train::NonFinitePolicy::kRollbackToCheckpoint;
+  ToyLoop toy(options);
+  train::TrainTelemetry telemetry = toy.Run(/*steps_per_epoch=*/4,
+                                            /*nan_on_call=*/2);
+  EXPECT_EQ(telemetry.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(telemetry.rollbacks, 0);
+}
+
+TEST(HealthMonitorTest, DeterministicBlowupExhaustsRollbackBudget) {
+  const std::string ckpt = ::testing::TempDir() + "ft_rollback_budget.ckpt";
+  std::remove(ckpt.c_str());
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.non_finite_policy = train::NonFinitePolicy::kRollbackToCheckpoint;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every_batches = 1;
+  options.max_rollbacks = 2;
+  ToyLoop toy(options);
+  // Poison by *position*: every replay of step 2 is non-finite again, so
+  // the rollback loop must give up after max_rollbacks instead of spinning.
+  train::TrainTelemetry telemetry = toy.loop.RunSteps(
+      4, [&](const train::BatchContext& ctx) -> std::optional<ts::Tensor> {
+        ts::Tensor loss = ts::Mean(ts::Mul(toy.w, toy.w));
+        if (ctx.batch_index == 2) {
+          return ts::MulScalar(loss,
+                               std::numeric_limits<float>::quiet_NaN());
+        }
+        return loss;
+      });
+  EXPECT_EQ(telemetry.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(telemetry.rollbacks, 2);
+  std::remove(ckpt.c_str());
+}
+
+TEST(HealthMonitorTest, ResumeRunShapeMismatchIsRejected) {
+  const std::string ckpt = ::testing::TempDir() + "ft_shape.ckpt";
+  std::remove(ckpt.c_str());
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every_batches = 1;
+  {
+    ToyLoop toy(options);
+    ASSERT_TRUE(toy.Run(/*steps_per_epoch=*/4, /*nan_on_call=*/0)
+                    .status.ok());
+  }
+  ToyLoop other(options);
+  ASSERT_TRUE(other.loop.ResumeFrom(ckpt).ok());
+  // Same checkpoint, different steps_per_epoch: the progress section must
+  // refuse to fast-forward into a differently shaped run.
+  train::TrainTelemetry telemetry = other.loop.RunSteps(
+      7, [&](const train::BatchContext&) -> std::optional<ts::Tensor> {
+        return ts::Mean(ts::Mul(other.w, other.w));
+      });
+  EXPECT_EQ(telemetry.status.code(), StatusCode::kFailedPrecondition);
+  std::remove(ckpt.c_str());
+}
+
+// --- Injected storage faults ---------------------------------------------
+
+TEST(FaultInjectionTest, CrashMidWriteLeavesPreviousFileIntact) {
+  const std::string path = ::testing::TempDir() + "ft_crash.bin";
+  ASSERT_TRUE(util::AtomicWriteFile(path, "old-payload").ok());
+  {
+    util::FaultInjector::Config fault;
+    fault.crash_after_bytes = 5;
+    util::FaultInjector::Scope scope(fault);
+    Status status = util::AtomicWriteFile(path, "new-payload-longer");
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+  }
+  std::string content;
+  ASSERT_TRUE(util::ReadFileToString(path, &content).ok());
+  EXPECT_EQ(content, "old-payload");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FailedRenameLeavesPreviousFileIntact) {
+  const std::string path = ::testing::TempDir() + "ft_rename.bin";
+  ASSERT_TRUE(util::AtomicWriteFile(path, "old-payload").ok());
+  {
+    util::FaultInjector::Config fault;
+    fault.fail_rename = true;
+    util::FaultInjector::Scope scope(fault);
+    Status status = util::AtomicWriteFile(path, "new-payload");
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+  }
+  std::string content;
+  ASSERT_TRUE(util::ReadFileToString(path, &content).ok());
+  EXPECT_EQ(content, "old-payload");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, SilentBitflipIsCaughtByChecksumOnLoad) {
+  const std::string path = ::testing::TempDir() + "ft_bitflip.ckpt";
+  tensor::SectionWriter writer;
+  writer.Add("blob", std::string(64, 'x'));
+  const size_t file_size = writer.Finish().size();
+  {
+    util::FaultInjector::Config fault;
+    // Corrupt the last payload byte on its way to disk; the save itself
+    // must still report success (silent corruption).
+    fault.bitflip_byte = static_cast<int64_t>(file_size) - 1;
+    util::FaultInjector::Scope scope(fault);
+    ASSERT_TRUE(writer.WriteAtomic(path).ok());
+  }
+  Result<tensor::SectionReader> reader = tensor::SectionReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, TrainingSurvivesCheckpointSaveFailures) {
+  const std::string ckpt = ::testing::TempDir() + "ft_save_fail.ckpt";
+  std::remove(ckpt.c_str());
+  train::TrainLoopOptions options;
+  options.epochs = 1;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every_batches = 1;
+  ToyLoop toy(options);
+  util::FaultInjector::Config fault;
+  fault.crash_after_bytes = 3;
+  util::FaultInjector::Scope scope(fault);
+  train::TrainTelemetry telemetry = toy.Run(/*steps_per_epoch=*/4,
+                                            /*nan_on_call=*/0);
+  // Every save fails, but training itself completes untouched.
+  ASSERT_TRUE(telemetry.status.ok()) << telemetry.status.ToString();
+  EXPECT_EQ(telemetry.checkpoint_saves, 0);
+  EXPECT_EQ(telemetry.checkpoint_failures, 4);
+  ASSERT_EQ(telemetry.epochs.size(), 1u);
+  EXPECT_EQ(telemetry.epochs[0].num_steps, 4);
+  EXPECT_FALSE(util::FileExists(ckpt));
+}
+
+TEST(FaultInjectionTest, CrashDuringPretrainSaveKeepsLastGoodCheckpoint) {
+  const std::string ckpt = ::testing::TempDir() + "ft_pretrain_crash.ckpt";
+  std::remove(ckpt.c_str());
+  // First segment writes good checkpoints (last at global batch 9).
+  PretrainCapture killed = RunPretrain(ckpt, /*checkpoint_every=*/3,
+                                       /*max_batches=*/11, /*resume=*/false);
+  ASSERT_TRUE(killed.result.log.stopped_early);
+  std::string good_checkpoint;
+  ASSERT_TRUE(util::ReadFileToString(ckpt, &good_checkpoint).ok());
+
+  // Second segment resumes but every subsequent save dies mid-write: the
+  // on-disk checkpoint must remain byte-for-byte the last good one, and
+  // the run itself must still finish with the bit-exact result.
+  PretrainCapture golden =
+      RunPretrain(/*checkpoint_path=*/"", /*checkpoint_every=*/0,
+                  /*max_batches=*/0, /*resume=*/false);
+  std::string after_faults;
+  {
+    util::FaultInjector::Config fault;
+    fault.crash_after_bytes = 10;
+    util::FaultInjector::Scope scope(fault);
+    PretrainCapture resumed = RunPretrain(ckpt, /*checkpoint_every=*/3,
+                                          /*max_batches=*/0, /*resume=*/true);
+    ASSERT_TRUE(resumed.result.log.status.ok());
+    EXPECT_GT(resumed.result.log.checkpoint_failures, 0);
+    // The restored telemetry carries the two successful pre-kill saves
+    // (batches 3 and 6, embedded in the batch-9 checkpoint); none of the
+    // post-resume saves succeed, so the count must not grow past that.
+    EXPECT_EQ(resumed.result.log.checkpoint_saves, 2);
+    EXPECT_EQ(resumed.evolution_bytes, golden.evolution_bytes);
+    ASSERT_EQ(resumed.params.size(), golden.params.size());
+    EXPECT_EQ(0, std::memcmp(resumed.params.data(), golden.params.data(),
+                             golden.params.size() * sizeof(float)));
+  }
+  ASSERT_TRUE(util::ReadFileToString(ckpt, &after_faults).ok());
+  EXPECT_EQ(after_faults, good_checkpoint);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace cpdg
