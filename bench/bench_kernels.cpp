@@ -20,6 +20,8 @@
 
 #include "bench_common/experiment.h"
 #include "data/transfer.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -231,6 +233,29 @@ int main(int argc, char** argv) {
 
   util::ThreadPool::SetGlobalNumThreads(util::ThreadPool::DefaultNumThreads());
   WriteJson(records, "BENCH_kernels.json");
+
+  // Observability side channel next to the bench output: a flat metrics
+  // snapshot always, plus the Chrome trace when CPDG_TRACE=1.
+  {
+    cpdg::Status status = obs::MetricsRegistry::Global().WriteJson(
+        "BENCH_kernels_metrics.json");
+    if (status.ok()) {
+      std::printf("wrote BENCH_kernels_metrics.json\n");
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+    }
+    if (obs::TraceEnabled()) {
+      status = obs::Profiler::Global().WriteChromeTrace(
+          "BENCH_kernels_trace.json");
+      if (status.ok()) {
+        std::printf("wrote BENCH_kernels_trace.json\n");
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+  }
 
   if (!all_bitwise) {
     std::fprintf(stderr,

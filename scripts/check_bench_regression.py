@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernels.json against a committed baseline.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/BENCH_kernels.json \
+      --current build/bench/BENCH_kernels.json [--warn-pct 10] [--fail-pct 25]
+
+Records are matched on (name, threads) and compared on `seconds`.
+Slowdowns above --warn-pct print a warning; slowdowns above --fail-pct
+(and any record with bitwise_equal_to_serial == false) fail the run with
+exit code 1. Records present in only one file are reported but do not
+fail the run, so the baseline can trail the benchmark by one PR.
+
+Stdlib only — runs on a bare CI python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as f:
+        records = json.load(f)
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    out = {}
+    for r in records:
+        key = (r["name"], int(r["threads"]))
+        if key in out:
+            raise ValueError(f"{path}: duplicate record for {key}")
+        out[key] = r
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--warn-pct", type=float, default=10.0)
+    parser.add_argument("--fail-pct", type=float, default=25.0)
+    args = parser.parse_args()
+
+    try:
+        baseline = load_records(args.baseline)
+        current = load_records(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    warnings = []
+    for key in sorted(set(baseline) & set(current)):
+        name, threads = key
+        base_s = float(baseline[key]["seconds"])
+        cur_s = float(current[key]["seconds"])
+        if base_s <= 0.0:
+            warnings.append(f"{name} threads={threads}: "
+                            f"non-positive baseline seconds {base_s}")
+            continue
+        delta_pct = (cur_s - base_s) / base_s * 100.0
+        line = (f"{name:<16} threads={threads}  "
+                f"baseline {base_s:.6f}s  current {cur_s:.6f}s  "
+                f"{delta_pct:+.1f}%")
+        if delta_pct > args.fail_pct:
+            failures.append(line)
+        elif delta_pct > args.warn_pct:
+            warnings.append(line)
+        else:
+            print(f"ok    {line}")
+
+    for key in sorted(set(baseline) - set(current)):
+        warnings.append(f"{key[0]} threads={key[1]}: missing from current run")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note  {key[0]} threads={key[1]}: new record, no baseline")
+
+    for key in sorted(current):
+        if current[key].get("bitwise_equal_to_serial") is False:
+            failures.append(f"{key[0]} threads={key[1]}: "
+                            "parallel result not bitwise equal to serial")
+
+    for w in warnings:
+        print(f"WARN  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) above "
+              f"{args.fail_pct:.0f}% (or determinism breaks)",
+              file=sys.stderr)
+        return 1
+    print(f"\nall comparisons within {args.fail_pct:.0f}% "
+          f"({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "core/finetuner.h"
 #include "dgnn/trainer.h"
 #include "eval/evaluators.h"
+#include "obs/profiler.h"
 #include "ssl/ssl_baselines.h"
 #include "static_gnn/static_gnn.h"
 #include "tensor/ops.h"
@@ -199,6 +200,7 @@ DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
                                    const data::TransferDataset& dataset,
                                    const ExperimentScale& scale, Rng* rng,
                                    const std::string& cell_tag) {
+  CPDG_TRACE_SPAN("bench/pipeline");
   DynamicPipeline out;
   dgnn::EncoderConfig config = MakeEncoderConfig(spec, dataset, scale);
   Rng enc_rng = rng->Split();
@@ -207,6 +209,7 @@ DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
 
   bool eie = false;
   if (spec.pretrain) {
+    CPDG_TRACE_SPAN("bench/pretrain");
     switch (spec.id) {
       case MethodId::kDyRep:
       case MethodId::kJodie:
@@ -290,6 +293,7 @@ DynamicPipeline RunDynamicPipeline(const MethodSpec& spec,
   }
 
   // Downstream fine-tuning (full fine-tuning; optionally EIE-enhanced).
+  CPDG_TRACE_SPAN("bench/finetune");
   out.encoder->AttachGraph(&dataset.downstream_train_graph);
   core::FineTuneConfig ft;
   ft.train.epochs = scale.finetune_epochs;
@@ -313,6 +317,7 @@ LinkPredResult EvaluateDynamic(DynamicPipeline* pipeline,
                                const data::TransferDataset& dataset,
                                const ExperimentScale& scale, Rng* rng,
                                bool inductive) {
+  CPDG_TRACE_SPAN("bench/eval");
   eval::ScoreFn score = [&](const std::vector<NodeId>& srcs,
                             const std::vector<NodeId>& dsts,
                             const std::vector<double>& times) {

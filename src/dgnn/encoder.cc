@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/losses.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -259,6 +261,7 @@ tensor::Tensor DgnnEncoder::BuildAggregatedMessage(
 }
 
 void DgnnEncoder::FlushNodes(const std::vector<NodeId>& nodes) {
+  CPDG_TRACE_SPAN("dgnn/memory_flush");
   // Split uncached nodes into those with pending messages (need the
   // differentiable update path) and those without (plain leaf states).
   std::vector<NodeId> to_update;
@@ -273,6 +276,9 @@ void DgnnEncoder::FlushNodes(const std::vector<NodeId>& nodes) {
     }
   }
   if (!to_update.empty()) {
+    static obs::Counter& state_updates =
+        obs::MetricsRegistry::Global().counter("dgnn.memory.state_updates");
+    state_updates.Add(static_cast<int64_t>(to_update.size()));
     ts::Tensor updated = UpdateStates(to_update);
     for (size_t i = 0; i < to_update.size(); ++i) {
       updated_states_.emplace(
@@ -378,6 +384,10 @@ tensor::Tensor DgnnEncoder::ComputeEmbeddings(
 }
 
 void DgnnEncoder::CommitBatch(const std::vector<graph::Event>& events) {
+  CPDG_TRACE_SPAN("dgnn/memory_commit");
+  static obs::Counter& messages = obs::MetricsRegistry::Global().counter(
+      "dgnn.memory.messages_enqueued");
+  messages.Add(2 * static_cast<int64_t>(events.size()));
   // Persist flushed states (detached) and consume their pending messages.
   for (auto& [node, state] : updated_states_) {
     if (memory_.HasPending(node)) {

@@ -1,0 +1,175 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+#include "util/logging.h"
+
+namespace cpdg::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Open-span bookkeeping is thread-local: depth is incremented by
+/// ScopedSpan::Open and decremented by Close, giving hierarchical spans
+/// without any shared state on the hot path.
+thread_local int32_t tl_depth = 0;
+
+/// Env-driven startup: CPDG_TRACE=1 switches tracing on and registers an
+/// atexit hook that writes the trace to CPDG_TRACE_FILE (default
+/// cpdg_trace.json). CPDG_METRICS=<path> likewise dumps the metrics
+/// registry at exit. Runs once when the first obs symbol is touched, which
+/// in an instrumented binary is during static init of this TU.
+struct EnvInit {
+  EnvInit() {
+    const char* trace = std::getenv("CPDG_TRACE");
+    if (trace != nullptr && std::strcmp(trace, "0") != 0 &&
+        std::strcmp(trace, "") != 0) {
+      internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+      std::atexit([] {
+        const char* file = std::getenv("CPDG_TRACE_FILE");
+        std::string path = file != nullptr && *file != '\0'
+                               ? file
+                               : "cpdg_trace.json";
+        Status status = Profiler::Global().WriteChromeTrace(path);
+        if (!status.ok()) {
+          CPDG_LOG(Warning) << "trace export failed: " << status.ToString();
+        } else {
+          CPDG_LOG(Info) << "wrote trace to " << path;
+        }
+      });
+    }
+    const char* metrics = std::getenv("CPDG_METRICS");
+    if (metrics != nullptr && *metrics != '\0' &&
+        std::strcmp(metrics, "0") != 0) {
+      // CPDG_METRICS=1 picks the default file name; anything else is a path.
+      std::string path = std::strcmp(metrics, "1") == 0 ? "cpdg_metrics.json"
+                                                        : metrics;
+      static std::string* exit_path = new std::string(path);
+      std::atexit([] {
+        Status status = MetricsRegistry::Global().WriteJson(*exit_path);
+        if (!status.ok()) {
+          CPDG_LOG(Warning) << "metrics export failed: " << status.ToString();
+        } else {
+          CPDG_LOG(Info) << "wrote metrics to " << *exit_path;
+        }
+      });
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Profiler::Profiler() : epoch_ns_(SteadyNowNanos()) {}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+int64_t Profiler::NowMicros() const {
+  return (SteadyNowNanos() - epoch_ns_) / 1000;
+}
+
+Profiler::ThreadBuffer* Profiler::BufferForThisThread() {
+  thread_local ThreadBuffer* tl_buffer = nullptr;
+  if (tl_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    tl_buffer = buffers_.back().get();
+    tl_buffer->tid = static_cast<int32_t>(buffers_.size()) - 1;
+  }
+  return tl_buffer;
+}
+
+void Profiler::Record(const char* name, int64_t start_us, int64_t dur_us,
+                      int32_t depth) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (static_cast<int64_t>(buffer->events.size()) >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back({name, start_us, dur_us, buffer->tid, depth});
+}
+
+std::vector<SpanEvent> Profiler::Snapshot() const {
+  std::vector<SpanEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buffer->mu);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  return all;
+}
+
+std::map<std::string, SpanStats> Profiler::AggregateByName() const {
+  std::map<std::string, SpanStats> stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    for (const SpanEvent& e : buffer->events) {
+      SpanStats& s = stats[e.name];
+      ++s.count;
+      s.total_us += e.dur_us;
+    }
+  }
+  return stats;
+}
+
+Status Profiler::WriteChromeTrace(const std::string& path) const {
+  return WriteChromeTraceJson(path, Snapshot());
+}
+
+void Profiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void ScopedSpan::Open(const char* name) {
+  name_ = name;
+  depth_ = tl_depth++;
+  start_us_ = Profiler::Global().NowMicros();
+}
+
+void ScopedSpan::Close() {
+  --tl_depth;
+  // If tracing was switched off while the span was open, drop the event
+  // (the depth bookkeeping above still has to unwind).
+  if (!TraceEnabled()) return;
+  Profiler& profiler = Profiler::Global();
+  int64_t end_us = profiler.NowMicros();
+  profiler.Record(name_, start_us_, end_us - start_us_, depth_);
+}
+
+}  // namespace cpdg::obs

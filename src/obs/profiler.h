@@ -1,0 +1,146 @@
+#ifndef CPDG_OBS_PROFILER_H_
+#define CPDG_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpdg::obs {
+
+/// \brief One closed span: a named [start, start+dur) interval on a thread,
+/// with the nesting depth it was opened at. `name` must point at a string
+/// with static storage duration (literals at the instrumentation sites);
+/// events never own memory.
+struct SpanEvent {
+  const char* name = nullptr;
+  int64_t start_us = 0;  ///< Microseconds since the profiler epoch.
+  int64_t dur_us = 0;
+  int32_t tid = 0;   ///< Stable small id, assigned per thread on first span.
+  int32_t depth = 0; ///< Nesting depth at open time (0 = top level).
+};
+
+/// \brief Deterministic per-name aggregate merged across all threads.
+struct SpanStats {
+  int64_t count = 0;
+  int64_t total_us = 0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// \brief Fast global tracing switch. A single relaxed atomic load — this
+/// is the entire cost of a disabled ScopedSpan, so instrumentation can sit
+/// on hot paths. Initialized from CPDG_TRACE at startup; flippable at
+/// runtime (tests, bench harness).
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled);
+
+/// \brief Collects closed spans into per-thread buffers.
+///
+/// Each thread records into its own buffer (guarded by a per-buffer mutex
+/// that only harvest ever contends on), capped at kMaxEventsPerThread;
+/// overflow events are dropped and counted. Buffers live for the process
+/// lifetime, so late-exiting pool threads are safe.
+class Profiler {
+ public:
+  /// Per-thread event cap (~8 MiB of spans); beyond it spans are dropped
+  /// and counted in dropped_events().
+  static constexpr int64_t kMaxEventsPerThread = 1 << 18;
+
+  static Profiler& Global();
+
+  /// Microseconds since the profiler epoch (process start).
+  int64_t NowMicros() const;
+
+  /// Appends a closed span to the calling thread's buffer.
+  void Record(const char* name, int64_t start_us, int64_t dur_us,
+              int32_t depth);
+
+  /// All recorded spans merged across threads, sorted by (start_us, tid,
+  /// depth) so traces from the same workload are stably ordered.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Per-name {count, total_us} merged across threads. The map order (and
+  /// the counts, for workloads whose span set is thread-count-invariant,
+  /// like the static-chunked kernels) is deterministic.
+  std::map<std::string, SpanStats> AggregateByName() const;
+
+  /// Writes Snapshot() as Chrome trace-event JSON ("X" complete events,
+  /// chrome://tracing- and Perfetto-loadable) via an atomic temp+rename.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards all recorded spans (buffers stay registered).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<SpanEvent> events;
+    int32_t tid = 0;
+  };
+
+  Profiler();
+  ThreadBuffer* BufferForThisThread();
+
+  mutable std::mutex mu_;  ///< Guards buffers_ registration.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<int64_t> dropped_{0};
+  int64_t epoch_ns_ = 0;
+};
+
+/// \brief RAII span. When tracing is disabled at construction the
+/// constructor is a relaxed load + branch and the destructor a null check:
+/// no clock reads, no allocation, nothing recorded. A null `name` disables
+/// the span unconditionally (used for conditional instrumentation of e.g.
+/// small-tensor fast paths).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (name == nullptr || !TraceEnabled()) {
+      name_ = nullptr;
+      return;
+    }
+    Open(name);
+  }
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) Close();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Open(const char* name);
+  void Close();
+
+  const char* name_;
+  int64_t start_us_ = 0;
+  int32_t depth_ = 0;
+};
+
+#define CPDG_OBS_CONCAT_INNER_(a, b) a##b
+#define CPDG_OBS_CONCAT_(a, b) CPDG_OBS_CONCAT_INNER_(a, b)
+
+/// \brief Declares an RAII trace span covering the rest of the enclosing
+/// scope. `name` must be a string literal (or any static-duration string).
+#define CPDG_TRACE_SPAN(name) \
+  ::cpdg::obs::ScopedSpan CPDG_OBS_CONCAT_(cpdg_span_, __LINE__)(name)
+
+}  // namespace cpdg::obs
+
+#endif  // CPDG_OBS_PROFILER_H_

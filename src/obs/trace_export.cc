@@ -1,0 +1,301 @@
+#include "obs/trace_export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/atomic_file.h"
+
+namespace cpdg::obs {
+
+namespace {
+
+void AppendEscaped(std::ostringstream* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      *out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out << buf;
+    } else {
+      *out << c;
+    }
+  }
+}
+
+/// Minimal recursive-descent scanner for the JSON subset a trace document
+/// uses (objects, arrays, strings, numbers, true/false/null). It fully
+/// validates nesting and tokens but only materializes the fields
+/// ParsedTraceEvent cares about.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(h) - 'a' + 10);
+            }
+            // The exporter only escapes control characters, so a plain
+            // byte append covers everything it can produce.
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = digits ||
+               std::isdigit(static_cast<unsigned char>(text_[pos_]));
+      ++pos_;
+    }
+    if (!digits) return false;
+    *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+    return true;
+  }
+
+  /// Validates and discards any JSON value.
+  bool SkipValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '"') {
+      std::string unused;
+      return ParseString(&unused);
+    }
+    if (c == '{') return SkipCompound('{', '}');
+    if (c == '[') return SkipCompound('[', ']');
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    double unused = 0.0;
+    return ParseNumber(&unused);
+  }
+
+ private:
+  bool SkipCompound(char open, char close) {
+    if (!Consume(open)) return false;
+    if (Consume(close)) return true;
+    while (true) {
+      if (open == '{') {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) return false;
+      }
+      if (!SkipValue()) return false;
+      if (Consume(close)) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status MalformedTrace(const std::string& what) {
+  return Status::InvalidArgument("malformed trace JSON: " + what);
+}
+
+Result<ParsedTraceEvent> ParseEventObject(JsonScanner* scanner) {
+  if (!scanner->Consume('{')) return MalformedTrace("event is not an object");
+  ParsedTraceEvent event;
+  bool have_name = false, have_ph = false, have_ts = false;
+  if (!scanner->Consume('}')) {
+    while (true) {
+      std::string key;
+      if (!scanner->ParseString(&key) || !scanner->Consume(':')) {
+        return MalformedTrace("bad event key");
+      }
+      if (key == "name") {
+        if (!scanner->ParseString(&event.name)) {
+          return MalformedTrace("event name is not a string");
+        }
+        have_name = true;
+      } else if (key == "ph") {
+        if (!scanner->ParseString(&event.ph)) {
+          return MalformedTrace("event ph is not a string");
+        }
+        have_ph = true;
+      } else if (key == "ts" || key == "dur" || key == "pid" ||
+                 key == "tid") {
+        double v = 0.0;
+        if (!scanner->ParseNumber(&v)) {
+          return MalformedTrace("event " + key + " is not a number");
+        }
+        int64_t iv = static_cast<int64_t>(v);
+        if (key == "ts") {
+          event.ts_us = iv;
+          have_ts = true;
+        } else if (key == "dur") {
+          event.dur_us = iv;
+        } else if (key == "pid") {
+          event.pid = iv;
+        } else {
+          event.tid = iv;
+        }
+      } else {
+        if (!scanner->SkipValue()) {
+          return MalformedTrace("bad value for event key '" + key + "'");
+        }
+      }
+      if (scanner->Consume('}')) break;
+      if (!scanner->Consume(',')) return MalformedTrace("expected , or }");
+    }
+  }
+  if (!have_name) return MalformedTrace("event without name");
+  if (!have_ph) return MalformedTrace("event without ph");
+  if (!have_ts) return MalformedTrace("event without ts");
+  return event;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"";
+    AppendEscaped(&out, e.name);
+    out << "\", \"cat\": \"cpdg\", \"ph\": \"X\", \"ts\": " << e.start_us
+        << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  out << (events.empty() ? "]" : "\n]") << "}\n";
+  return out.str();
+}
+
+Status WriteChromeTraceJson(const std::string& path,
+                            const std::vector<SpanEvent>& events) {
+  return util::AtomicWriteFile(path, ChromeTraceJson(events));
+}
+
+Result<std::vector<ParsedTraceEvent>> ParseChromeTrace(
+    std::string_view json) {
+  JsonScanner scanner(json);
+  if (!scanner.Consume('{')) {
+    return MalformedTrace("document is not an object");
+  }
+  std::vector<ParsedTraceEvent> events;
+  bool have_events = false;
+  if (!scanner.Consume('}')) {
+    while (true) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return MalformedTrace("bad top-level key");
+      }
+      if (key == "traceEvents") {
+        have_events = true;
+        if (!scanner.Consume('[')) {
+          return MalformedTrace("traceEvents is not an array");
+        }
+        if (!scanner.Consume(']')) {
+          while (true) {
+            CPDG_ASSIGN_OR_RETURN(ParsedTraceEvent event,
+                                  ParseEventObject(&scanner));
+            events.push_back(std::move(event));
+            if (scanner.Consume(']')) break;
+            if (!scanner.Consume(',')) {
+              return MalformedTrace("expected , or ] in traceEvents");
+            }
+          }
+        }
+      } else {
+        if (!scanner.SkipValue()) {
+          return MalformedTrace("bad value for top-level key '" + key + "'");
+        }
+      }
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return MalformedTrace("expected , or } at top level");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) return MalformedTrace("trailing garbage");
+  if (!have_events) return MalformedTrace("no traceEvents array");
+  return events;
+}
+
+}  // namespace cpdg::obs

@@ -1,0 +1,46 @@
+#ifndef CPDG_OBS_TRACE_EXPORT_H_
+#define CPDG_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "util/status.h"
+
+namespace cpdg::obs {
+
+/// \brief Serializes spans in the Chrome trace-event format (JSON object
+/// with a "traceEvents" array of "X" complete events), loadable by
+/// chrome://tracing and Perfetto. `ts`/`dur` are microseconds; `tid` is the
+/// profiler's stable per-thread id; `pid` is fixed at 1.
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events);
+
+/// \brief Writes ChromeTraceJson(events) to `path` atomically (temp file +
+/// rename), so a crash mid-export never leaves a torn trace.
+Status WriteChromeTraceJson(const std::string& path,
+                            const std::vector<SpanEvent>& events);
+
+/// \brief One event parsed back out of a Chrome trace JSON document.
+/// `name` is owned (the parser copies out of the document).
+struct ParsedTraceEvent {
+  std::string name;
+  std::string ph;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  int64_t pid = 0;
+  int64_t tid = 0;
+};
+
+/// \brief Parses a Chrome trace-event JSON document produced by
+/// ChromeTraceJson (or any document of the same shape: a top-level object
+/// holding a "traceEvents" array of flat event objects). Rejects malformed
+/// JSON, a missing traceEvents array, and events without the string `name`
+/// / `ph` or numeric `ts` fields; tests use this to prove the export
+/// round-trips. Events may carry extra keys (skipped).
+Result<std::vector<ParsedTraceEvent>> ParseChromeTrace(
+    std::string_view json);
+
+}  // namespace cpdg::obs
+
+#endif  // CPDG_OBS_TRACE_EXPORT_H_

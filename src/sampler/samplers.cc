@@ -4,9 +4,39 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace cpdg::sampler {
+
+namespace {
+
+/// Sampler hot-path metrics. Resolved once (the registry lookup takes a
+/// mutex); the updates themselves are relaxed atomics.
+struct SamplerMetrics {
+  obs::Counter& eta_bfs_calls =
+      obs::MetricsRegistry::Global().counter("sampler.eta_bfs.calls");
+  obs::Counter& eta_bfs_expansions = obs::MetricsRegistry::Global().counter(
+      "sampler.eta_bfs.frontier_expansions");
+  obs::Histogram& eta_bfs_nodes =
+      obs::MetricsRegistry::Global().histogram("sampler.eta_bfs.nodes");
+  obs::Counter& eps_dfs_calls =
+      obs::MetricsRegistry::Global().counter("sampler.eps_dfs.calls");
+  obs::Counter& eps_dfs_expansions = obs::MetricsRegistry::Global().counter(
+      "sampler.eps_dfs.frontier_expansions");
+  obs::Histogram& eps_dfs_nodes =
+      obs::MetricsRegistry::Global().histogram("sampler.eps_dfs.nodes");
+  obs::Counter& neighbor_batch_calls =
+      obs::MetricsRegistry::Global().counter("sampler.neighbor_batch.calls");
+
+  static SamplerMetrics& Get() {
+    static SamplerMetrics* metrics = new SamplerMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::vector<double> TemporalProbabilities(
     const std::vector<double>& neighbor_times, double t, TemporalBias bias,
@@ -52,6 +82,7 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
   CPDG_CHECK(rng != nullptr);
   CPDG_CHECK_GT(options.width, 0);
   CPDG_CHECK_GT(options.depth, 0);
+  CPDG_TRACE_SPAN("sampler/eta_bfs");
 
   SubgraphSample out;
   std::unordered_set<NodeId> seen;
@@ -112,6 +143,10 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
     }
     frontier = std::move(next);
   }
+  SamplerMetrics& metrics = SamplerMetrics::Get();
+  metrics.eta_bfs_calls.Add();
+  metrics.eta_bfs_expansions.Add(out.frontier_expansions);
+  metrics.eta_bfs_nodes.Observe(static_cast<double>(out.size()));
   return out;
 }
 
@@ -119,6 +154,7 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
     NodeId root, double time, const Options& options) const {
   CPDG_CHECK_GT(options.width, 0);
   CPDG_CHECK_GT(options.depth, 0);
+  CPDG_TRACE_SPAN("sampler/eps_dfs");
 
   SubgraphSample out;
   std::unordered_set<NodeId> seen;
@@ -153,6 +189,10 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
       stack.push_back({nbr.node, nbr.time, f.depth_left - 1});
     }
   }
+  SamplerMetrics& metrics = SamplerMetrics::Get();
+  metrics.eps_dfs_calls.Add();
+  metrics.eps_dfs_expansions.Add(out.frontier_expansions);
+  metrics.eps_dfs_nodes.Observe(static_cast<double>(out.size()));
   return out;
 }
 
@@ -166,6 +206,8 @@ NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
   if (strategy == NeighborStrategy::kUniform) {
     CPDG_CHECK(rng != nullptr);
   }
+  CPDG_TRACE_SPAN("sampler/neighbor_batch");
+  SamplerMetrics::Get().neighbor_batch_calls.Add();
 
   int64_t n = static_cast<int64_t>(roots.size());
   NeighborBatch batch;

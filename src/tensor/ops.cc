@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/thread_pool.h"
 
 namespace cpdg::tensor {
@@ -14,8 +16,12 @@ namespace {
 // output, so parallel results are bitwise identical to serial ones.
 constexpr int64_t kElementGrain = 1 << 14;
 
-// Splits a flat element range into grain-sized chunks.
+// Splits a flat element range into grain-sized chunks. Only ranges that
+// actually fan out over the pool get a trace span: sub-grain tensors run
+// serially on a fast path that must stay span-free (the encoder issues
+// thousands of tiny elementwise ops per batch).
 void ParallelElems(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  CPDG_TRACE_SPAN(n >= kElementGrain ? "tensor/elementwise" : nullptr);
   util::ThreadPool::Global().ParallelFor(0, n, kElementGrain, fn);
 }
 
@@ -23,6 +29,8 @@ void ParallelElems(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
 // operations each; `row_cost` is the per-row operation count.
 void ParallelRows(int64_t rows, int64_t row_cost,
                   const std::function<void(int64_t, int64_t)>& fn) {
+  CPDG_TRACE_SPAN(rows * row_cost >= kElementGrain ? "tensor/rowwise"
+                                                   : nullptr);
   int64_t grain =
       std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, row_cost));
   util::ThreadPool::Global().ParallelFor(0, rows, grain, fn);
@@ -250,9 +258,19 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CPDG_CHECK_EQ(a.cols(), b.rows());
   int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  CPDG_TRACE_SPAN("tensor/matmul_fwd");
+  {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::Global().counter("tensor.matmul.calls");
+    static obs::Counter& flops =
+        obs::MetricsRegistry::Global().counter("tensor.matmul.fwd_flops");
+    calls.Add();
+    flops.Add(2 * m * k * n);
+  }
   Tensor out = Tensor::MakeOpResult(
       m, n, {a, b},
       [a, b, m, k, n](Tensor& self) mutable {
+        CPDG_TRACE_SPAN("tensor/matmul_bwd");
         const float* dout = self.grad();
         const float* pa = a.data();
         const float* pb = b.data();

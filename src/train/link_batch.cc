@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "dgnn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/losses.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -15,6 +17,10 @@ LinkBatch AssembleLinkBatch(const std::vector<graph::Event>& events,
                             const std::vector<graph::NodeId>& negative_pool,
                             int64_t num_nodes, Rng* rng) {
   CPDG_CHECK(rng != nullptr);
+  CPDG_TRACE_SPAN("train/batch_assembly");
+  static obs::Counter& assembled =
+      obs::MetricsRegistry::Global().counter("train.batch_assembly.events");
+  assembled.Add(static_cast<int64_t>(events.size()));
   LinkBatch out;
   out.srcs.reserve(events.size());
   out.dsts.reserve(events.size());

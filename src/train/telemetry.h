@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dgnn/trainer.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace cpdg::train {
@@ -40,6 +41,15 @@ struct EpochTelemetry {
 /// Extends dgnn::TrainLog so existing consumers of epoch_losses /
 /// final_loss() keep working; `epochs` carries the per-epoch wall-clock,
 /// batch-count and gradient-norm telemetry.
+///
+/// The health/checkpoint counters below are backed by the obs metrics
+/// registry: the Count*() methods are the only increment path, and each
+/// bumps the per-run snapshot field and the process-cumulative registry
+/// counter (train.nonfinite_skips / train.rollbacks /
+/// train.checkpoint_saves / train.checkpoint_failures) in one call. The
+/// snapshot fields stay plain ints so checkpointing can serialize and
+/// restore them; the registry counters are monotonic across the process
+/// and are deliberately NOT rewound on rollback/resume.
 struct TrainTelemetry : public dgnn::TrainLog {
   std::vector<EpochTelemetry> epochs;
 
@@ -64,6 +74,31 @@ struct TrainTelemetry : public dgnn::TrainLog {
   /// OK unless the run halted: non-finite loss under kHalt, a failed
   /// resume, or an exhausted rollback budget (Status::Internal).
   Status status;
+
+  void CountNonFiniteSkip() {
+    ++nonfinite_skips;
+    static obs::Counter& counter =
+        obs::MetricsRegistry::Global().counter("train.nonfinite_skips");
+    counter.Add();
+  }
+  void CountRollback() {
+    ++rollbacks;
+    static obs::Counter& counter =
+        obs::MetricsRegistry::Global().counter("train.rollbacks");
+    counter.Add();
+  }
+  void CountCheckpointSave() {
+    ++checkpoint_saves;
+    static obs::Counter& counter =
+        obs::MetricsRegistry::Global().counter("train.checkpoint_saves");
+    counter.Add();
+  }
+  void CountCheckpointFailure() {
+    ++checkpoint_failures;
+    static obs::Counter& counter =
+        obs::MetricsRegistry::Global().counter("train.checkpoint_failures");
+    counter.Add();
+  }
 
   const EpochTelemetry& final_epoch() const { return epochs.back(); }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/serialization.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -70,6 +72,7 @@ TrainLoop::BatchOutcome TrainLoop::StepOnLoss(tensor::Tensor* loss,
   double norm = 0.0;
   bool have_clip_norm = false;
   if (!nonfinite) {
+    CPDG_TRACE_SPAN("train/backward");
     optimizer_.ZeroGrad();
     loss->Backward();
     if (options_.grad_clip > 0.0f) {
@@ -86,7 +89,7 @@ TrainLoop::BatchOutcome TrainLoop::StepOnLoss(tensor::Tensor* loss,
       case NonFinitePolicy::kHalt:
         return BatchOutcome::kHalt;
       case NonFinitePolicy::kSkipBatch:
-        ++telemetry->nonfinite_skips;
+        telemetry->CountNonFiniteSkip();
         CPDG_LOG(Warning) << options_.log_label
                           << " non-finite loss/grad, skipping batch ("
                           << telemetry->nonfinite_skips << " skipped)";
@@ -103,7 +106,10 @@ TrainLoop::BatchOutcome TrainLoop::StepOnLoss(tensor::Tensor* loss,
         std::max(partial->epoch.max_grad_norm_pre_clip, norm);
     partial->epoch.mean_grad_norm_post_clip += clipped;
   }
-  optimizer_.Step();
+  {
+    CPDG_TRACE_SPAN("train/optimizer_step");
+    optimizer_.Step();
+  }
   partial->loss_sum += static_cast<double>(loss_value);
   ++partial->epoch.num_steps;
   return BatchOutcome::kStepped;
@@ -122,6 +128,19 @@ void TrainLoop::FinishEpoch(int64_t epoch_index, double loss_sum,
     epoch.mean_grad_norm_pre_clip /= static_cast<double>(epoch.num_steps);
     epoch.mean_grad_norm_post_clip /= static_cast<double>(epoch.num_steps);
   }
+  // Registry mirror of the per-epoch timing/throughput telemetry; the
+  // EpochTelemetry snapshot above stays the per-run record.
+  {
+    static obs::Histogram& wall = obs::MetricsRegistry::Global().histogram(
+        "train.epoch_wall_seconds");
+    static obs::Counter& batches =
+        obs::MetricsRegistry::Global().counter("train.batches");
+    static obs::Counter& steps =
+        obs::MetricsRegistry::Global().counter("train.steps");
+    wall.Observe(epoch.wall_clock_sec);
+    batches.Add(epoch.num_batches);
+    steps.Add(epoch.num_steps);
+  }
   telemetry->epoch_losses.push_back(epoch.mean_loss);
   CPDG_LOG(Debug) << options_.log_label << " epoch " << epoch_index
                   << " loss=" << epoch.mean_loss
@@ -136,6 +155,7 @@ void TrainLoop::SaveCheckpoint(uint32_t mode, int64_t num_batches,
                                dgnn::DgnnEncoder* encoder,
                                TrainTelemetry* telemetry,
                                const PartialEpoch& partial) {
+  CPDG_TRACE_SPAN("train/checkpoint_save");
   tensor::SectionWriter writer;
   RunProgress progress;
   progress.mode = mode;
@@ -163,14 +183,14 @@ void TrainLoop::SaveCheckpoint(uint32_t mode, int64_t num_batches,
   }
   Status status = writer.WriteAtomic(options_.checkpoint_path);
   if (status.ok()) {
-    ++telemetry->checkpoint_saves;
+    telemetry->CountCheckpointSave();
     CPDG_LOG(Debug) << options_.log_label << " checkpoint -> "
                     << options_.checkpoint_path << " (epoch " << epoch
                     << ", batch " << batches_done << ")";
   } else {
     // A failed publish never aborts training and, thanks to the atomic
     // temp-file path, never corrupts the previous checkpoint either.
-    ++telemetry->checkpoint_failures;
+    telemetry->CountCheckpointFailure();
     CPDG_LOG(Warning) << options_.log_label
                       << " checkpoint save failed: " << status.ToString();
   }
@@ -310,7 +330,7 @@ Status TrainLoop::Rollback(uint32_t mode, int64_t num_batches,
   telemetry->checkpoint_saves = prior_saves;
   telemetry->checkpoint_failures = prior_failures;
   ++rollbacks_this_run_;
-  ++telemetry->rollbacks;
+  telemetry->CountRollback();
   CPDG_LOG(Warning) << options_.log_label
                     << " non-finite loss: rolled back to checkpoint (epoch "
                     << *next_epoch << ", batch " << *next_batch << ")";
@@ -374,7 +394,12 @@ TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
     while (batcher.Next(&batch)) {
       ctx.batch_index = partial.epoch.num_batches;
       if (encoder != nullptr) encoder->BeginBatch();
-      std::optional<tensor::Tensor> loss = batch_fn(ctx, batch);
+      std::optional<tensor::Tensor> loss;
+      {
+        // Covers the client's batch assembly + forward pass.
+        CPDG_TRACE_SPAN("train/forward");
+        loss = batch_fn(ctx, batch);
+      }
       BatchOutcome outcome = BatchOutcome::kNoLoss;
       if (loss.has_value()) {
         outcome = StepOnLoss(&*loss, &partial, &telemetry);
@@ -459,7 +484,11 @@ TrainTelemetry TrainLoop::RunSteps(int64_t steps_per_epoch,
     for (int64_t step = mid_epoch ? start_batch : 0; step < steps_per_epoch;
          ++step) {
       ctx.batch_index = step;
-      std::optional<tensor::Tensor> loss = step_fn(ctx);
+      std::optional<tensor::Tensor> loss;
+      {
+        CPDG_TRACE_SPAN("train/forward");
+        loss = step_fn(ctx);
+      }
       BatchOutcome outcome = BatchOutcome::kNoLoss;
       if (loss.has_value()) {
         outcome = StepOnLoss(&*loss, &partial, &telemetry);

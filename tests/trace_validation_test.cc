@@ -1,0 +1,138 @@
+// End-to-end trace validation: run a small CPDG pre-training job with
+// tracing enabled, export the profiler's Chrome trace-event JSON, and
+// validate it structurally — well-formed JSON, complete ("X") events
+// with sane timestamps, and spans covering the sampler, forward,
+// backward, and optimizer stages. Also checks the metrics registry was
+// fed by the same run (no separate counting path).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pretrainer.h"
+#include "dgnn/trainer.h"
+#include "graph/temporal_graph.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace_export.h"
+#include "train/telemetry.h"
+#include "util/atomic_file.h"
+
+namespace cpdg {
+namespace {
+
+using graph::Event;
+using graph::NodeId;
+using graph::TemporalGraph;
+using obs::ParsedTraceEvent;
+
+// 30-node bipartite graph, as in train_golden_test.
+TemporalGraph MakeGraph(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < 400; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(15));
+    NodeId b = 15 + static_cast<NodeId>(rng.NextBounded(15));
+    events.push_back({a, b, static_cast<double>(i) * 0.002});
+  }
+  return TemporalGraph::Create(30, events).ValueOrDie();
+}
+
+TEST(TraceValidationTest, PretrainEmitsStructurallyValidChromeTrace) {
+  obs::SetTraceEnabled(true);
+  obs::Profiler::Global().Clear();
+  int64_t matmuls_before =
+      obs::MetricsRegistry::Global().counter("tensor.matmul.calls").value();
+  int64_t bfs_calls_before =
+      obs::MetricsRegistry::Global().counter("sampler.eta_bfs.calls").value();
+
+  {
+    TemporalGraph g = MakeGraph(11);
+    Rng rng(13);
+    dgnn::EncoderConfig ec =
+        dgnn::EncoderConfig::Preset(dgnn::EncoderType::kTgn, g.num_nodes());
+    ec.memory_dim = 8;
+    ec.embed_dim = 8;
+    ec.time_dim = 4;
+    ec.num_neighbors = 3;
+    dgnn::DgnnEncoder encoder(ec, &g, &rng);
+    dgnn::LinkPredictor decoder(8, 8, &rng);
+    core::CpdgConfig config;
+    config.epochs = 1;
+    config.batch_size = 100;
+    config.num_checkpoints = 2;
+    config.max_contrast_anchors = 8;
+    core::CpdgPretrainer pretrainer(config, &rng);
+    core::PretrainResult result = pretrainer.Pretrain(&encoder, &decoder, g);
+    EXPECT_EQ(result.log.epoch_losses.size(), 1u);
+  }
+
+  obs::SetTraceEnabled(false);
+  std::string path = ::testing::TempDir() + "/cpdg_pretrain_trace.json";
+  ASSERT_TRUE(obs::Profiler::Global().WriteChromeTrace(path).ok());
+
+  std::string json;
+  ASSERT_TRUE(util::ReadFileToString(path, &json).ok());
+  Result<std::vector<ParsedTraceEvent>> parsed = obs::ParseChromeTrace(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<ParsedTraceEvent>& events = parsed.value();
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::string, int64_t> span_counts;
+  int64_t prev_ts = 0;
+  for (const ParsedTraceEvent& e : events) {
+    // Complete events only, with monotone start order and sane fields.
+    EXPECT_EQ(e.ph, "X") << e.name;
+    EXPECT_GE(e.ts_us, prev_ts);
+    EXPECT_GE(e.dur_us, 0) << e.name;
+    EXPECT_EQ(e.pid, 1);
+    EXPECT_GE(e.tid, 0);
+    prev_ts = e.ts_us;
+    ++span_counts[e.name];
+  }
+
+  // The acceptance-critical stages all appear.
+  for (const char* required :
+       {"sampler/eta_bfs", "sampler/eps_dfs", "train/forward",
+        "train/backward", "train/optimizer_step", "train/batch_assembly",
+        "dgnn/memory_flush"}) {
+    EXPECT_GT(span_counts[required], 0) << "missing span " << required;
+  }
+  // One epoch of 400 events at batch_size 100 → 4 forward/backward pairs.
+  EXPECT_EQ(span_counts["train/forward"], 4);
+  EXPECT_EQ(span_counts["train/backward"], 4);
+  EXPECT_EQ(span_counts["train/optimizer_step"], 4);
+
+  // Metrics were recorded by the same instrumented paths.
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().counter("tensor.matmul.calls").value(),
+      matmuls_before);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().counter("sampler.eta_bfs.calls").value(),
+      bfs_calls_before);
+
+  std::remove(path.c_str());
+  obs::Profiler::Global().Clear();
+}
+
+TEST(TraceValidationTest, TelemetryCountersAreRegistryBacked) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  int64_t skips_before = registry.counter("train.nonfinite_skips").value();
+  int64_t rollbacks_before = registry.counter("train.rollbacks").value();
+  train::TrainTelemetry telemetry;
+  telemetry.CountNonFiniteSkip();
+  telemetry.CountNonFiniteSkip();
+  telemetry.CountRollback();
+  EXPECT_EQ(telemetry.nonfinite_skips, 2);
+  EXPECT_EQ(telemetry.rollbacks, 1);
+  EXPECT_EQ(registry.counter("train.nonfinite_skips").value(),
+            skips_before + 2);
+  EXPECT_EQ(registry.counter("train.rollbacks").value(), rollbacks_before + 1);
+}
+
+}  // namespace
+}  // namespace cpdg
