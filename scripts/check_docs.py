@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Documentation lint, run in CI (docs-lint job).
+
+Two checks keep the operational docs honest as the tree grows:
+
+1. Architecture coverage: every immediate subdirectory of src/ must be
+   mentioned in docs/ARCHITECTURE.md (as ``src/<name>`` or ``<name>/``), so
+   a new subsystem cannot land without a layer-map entry.
+
+2. Env-var table coverage: every ``CPDG_*`` environment variable referenced
+   by the code (any quoted "CPDG_..." literal in src/, bench/, tests/,
+   examples/ — the superset of direct getenv() reads, which also catches
+   names routed through helpers) must appear in a README.md table row.
+   Variables documented in the README but never read by the code are
+   reported as warnings only, since docs may legitimately lead the code by
+   one PR.
+
+Exits nonzero on any hard failure, printing one line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+README = REPO / "README.md"
+CODE_DIRS = ["src", "bench", "tests", "examples"]
+CODE_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
+ENV_VAR_RE = re.compile(r'"(CPDG_[A-Z][A-Z0-9_]*)"')
+
+
+def find_src_subdirs():
+    return sorted(
+        p.name for p in (REPO / "src").iterdir()
+        if p.is_dir() and not p.name.startswith(".")
+    )
+
+
+def find_env_vars():
+    """All quoted CPDG_* literals in the code, mapped to one example use."""
+    found = {}
+    for top in CODE_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in CODE_SUFFIXES:
+                continue
+            text = path.read_text(errors="replace")
+            for match in ENV_VAR_RE.finditer(text):
+                found.setdefault(match.group(1), path.relative_to(REPO))
+    return found
+
+
+def readme_table_vars(readme_text):
+    """CPDG_* names appearing in markdown table rows (lines starting '|')."""
+    documented = set()
+    for line in readme_text.splitlines():
+        if line.lstrip().startswith("|"):
+            documented.update(ENV_VAR_RE.findall(line.replace("`", '"')))
+            documented.update(re.findall(r"`(CPDG_[A-Z][A-Z0-9_]*)`", line))
+    return documented
+
+
+def main():
+    failures = []
+    warnings = []
+
+    if not ARCHITECTURE.is_file():
+        failures.append(f"missing {ARCHITECTURE.relative_to(REPO)}")
+        arch_text = ""
+    else:
+        arch_text = ARCHITECTURE.read_text()
+
+    for subdir in find_src_subdirs():
+        if f"src/{subdir}" not in arch_text and f"{subdir}/" not in arch_text:
+            failures.append(
+                f"docs/ARCHITECTURE.md does not mention src/{subdir} — add "
+                f"it to the layer map"
+            )
+
+    if not README.is_file():
+        failures.append("missing README.md")
+        documented = set()
+    else:
+        documented = readme_table_vars(README.read_text())
+
+    used = find_env_vars()
+    for name in sorted(used):
+        if name not in documented:
+            failures.append(
+                f"env var {name} (read in {used[name]}) is missing from the "
+                f"README.md environment-variable table"
+            )
+    for name in sorted(documented - set(used)):
+        warnings.append(
+            f"warning: {name} is documented in README.md but never "
+            f"referenced by the code"
+        )
+
+    for line in warnings:
+        print(line)
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
+        return 1
+    print(
+        f"docs lint ok: {len(find_src_subdirs())} src/ subdirs covered, "
+        f"{len(used)} env vars documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

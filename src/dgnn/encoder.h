@@ -63,6 +63,18 @@ struct EncoderConfig {
 ///   Tensor z_dst = encoder.ComputeEmbeddings(dsts, ts);
 ///   ... loss.Backward(); optimizer.Step(); ...
 ///   encoder.CommitBatch(batch_events);
+///
+/// \par Read-only (serving) protocol
+/// `BeginBatch()` + `ComputeEmbeddings()` *without* a following
+/// `CommitBatch()` is a pure read of the persistent state: pending
+/// messages are flushed into the per-batch cache only, and nothing is
+/// written back to `memory()` (its `version()` does not change). Given
+/// frozen parameters and a fixed memory version the result is a
+/// deterministic, bit-reproducible function of (nodes, times) — each
+/// output row depends only on its own query — which is what
+/// `serve::ServingEngine` builds its embedding cache and batch coalescing
+/// on. Wrap serving forwards in `tensor::InferenceModeGuard` so no
+/// autograd graph is retained.
 class DgnnEncoder : public tensor::Module {
  public:
   DgnnEncoder(const EncoderConfig& config, const graph::TemporalGraph* graph,

@@ -17,6 +17,7 @@ Memory::Memory(int64_t num_nodes, int64_t dim)
 }
 
 void Memory::Reset() {
+  ++version_;
   std::fill(states_.begin(), states_.end(), 0.0f);
   std::fill(last_update_.begin(), last_update_.end(), 0.0);
   for (auto& p : pending_) p.clear();
@@ -40,6 +41,7 @@ void Memory::SetStates(const std::vector<NodeId>& nodes,
                        const tensor::Tensor& states) {
   CPDG_CHECK_EQ(states.rows(), static_cast<int64_t>(nodes.size()));
   CPDG_CHECK_EQ(states.cols(), dim_);
+  ++version_;
   const float* src = states.data();
   for (size_t i = 0; i < nodes.size(); ++i) {
     NodeId v = nodes[i];
@@ -66,12 +68,14 @@ double Memory::LastUpdate(NodeId node) const {
 void Memory::SetLastUpdate(NodeId node, double time) {
   CPDG_CHECK_GE(node, 0);
   CPDG_CHECK_LT(node, num_nodes_);
+  ++version_;
   last_update_[static_cast<size_t>(node)] = time;
 }
 
 void Memory::EnqueueMessage(NodeId node, RawMessage message) {
   CPDG_CHECK_GE(node, 0);
   CPDG_CHECK_LT(node, num_nodes_);
+  ++version_;
   pending_[static_cast<size_t>(node)].push_back(message);
 }
 
@@ -90,6 +94,7 @@ const std::vector<Memory::RawMessage>& Memory::Pending(NodeId node) const {
 void Memory::ClearPending(NodeId node) {
   CPDG_CHECK_GE(node, 0);
   CPDG_CHECK_LT(node, num_nodes_);
+  ++version_;
   pending_[static_cast<size_t>(node)].clear();
 }
 
@@ -97,6 +102,7 @@ std::vector<float> Memory::SnapshotFlat() const { return states_; }
 
 void Memory::RestoreFlat(const std::vector<float>& snapshot) {
   CPDG_CHECK_EQ(snapshot.size(), states_.size());
+  ++version_;
   states_ = snapshot;
 }
 
@@ -165,6 +171,7 @@ Status Memory::DeserializeFrom(std::string_view bytes) {
     return Status::InvalidArgument("trailing garbage in memory payload");
   }
   // Everything validated; commit (all-or-nothing).
+  ++version_;
   states_ = std::move(states);
   last_update_ = std::move(last_update);
   pending_ = std::move(pending);

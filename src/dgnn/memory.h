@@ -29,6 +29,15 @@ class Memory {
   int64_t num_nodes() const { return num_nodes_; }
   int64_t dim() const { return dim_; }
 
+  /// \brief Monotonic mutation counter: bumped by every state-changing call
+  /// (SetStates, SetLastUpdate, EnqueueMessage, ClearPending, Reset,
+  /// RestoreFlat, DeserializeFrom). Two reads at the same version are
+  /// guaranteed to observe identical memory, so derived artifacts — the
+  /// serving engine's node-embedding cache in particular — can be keyed on
+  /// (node, version) and invalidated by comparing versions instead of
+  /// diffing states. Const accessors never bump it.
+  uint64_t version() const { return version_; }
+
   /// Resets all states to zero and clears timestamps and pending messages.
   void Reset();
 
@@ -83,6 +92,7 @@ class Memory {
  private:
   int64_t num_nodes_;
   int64_t dim_;
+  uint64_t version_ = 0;
   std::vector<float> states_;       // num_nodes * dim
   std::vector<double> last_update_;  // num_nodes
   std::vector<std::vector<RawMessage>> pending_;  // num_nodes

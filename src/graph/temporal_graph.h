@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "util/status.h"
@@ -39,6 +40,16 @@ struct TemporalNeighbor {
 /// are undirected for neighborhood purposes). Supports the core temporal
 /// query of every DGNN: "the neighbors of node i that interacted before
 /// time t" (the N_i^t of Definition 1), answered with binary search.
+///
+/// \par Thread safety
+/// A TemporalGraph is immutable after Create() returns: every public member
+/// is const and touches only storage fixed at construction. Any number of
+/// threads may therefore run const queries (NeighborsBefore, Degree,
+/// EventsInWindow, ...) concurrently on the same instance with no external
+/// locking — the samplers, training loops, and the serving engine all rely
+/// on this. The only unsafe operations are whole-object move/copy
+/// assignment and destruction, which must be externally ordered after all
+/// concurrent readers have finished.
 class TemporalGraph {
  public:
   /// Empty graph (0 nodes); useful as a placeholder before assignment.
@@ -63,10 +74,22 @@ class TemporalGraph {
 
   /// \brief All neighbors of `node` with interaction time strictly before
   /// `time`, in chronological order. Returns a (pointer, count) view into
-  /// internal storage — valid as long as the graph lives.
+  /// internal storage.
   ///
   /// This is N_i^t of Definition 1; T_i^t (the event-time set of Sec. IV-A)
   /// is the `time` field of each entry.
+  ///
+  /// \par Lifetime contract
+  /// A NeighborView is a non-owning borrow of the graph's adjacency
+  /// storage. It stays valid exactly as long as the TemporalGraph it came
+  /// from is alive and is not assigned over or moved from; it is NOT
+  /// invalidated by other const queries, so views may be held across
+  /// further NeighborsBefore calls (the samplers do this). Dereferencing a
+  /// view after the graph is destroyed or reassigned is undefined
+  /// behavior. Callers that need the neighbors beyond the graph's lifetime
+  /// must copy the entries out (`std::vector<TemporalNeighbor>(v.begin(),
+  /// v.end())`). Views are trivially copyable handles — pass them by
+  /// value; copying a view never copies neighbor data.
   struct NeighborView {
     const TemporalNeighbor* data = nullptr;
     int64_t count = 0;
@@ -75,6 +98,9 @@ class TemporalGraph {
     bool empty() const { return count == 0; }
     const TemporalNeighbor& operator[](int64_t i) const { return data[i]; }
   };
+  static_assert(std::is_trivially_copyable_v<NeighborView>,
+                "NeighborView must stay a cheap value-type handle; it is "
+                "passed by value throughout the samplers");
   NeighborView NeighborsBefore(NodeId node, double time) const;
 
   /// Total number of interactions involving `node` (any time).

@@ -1,0 +1,97 @@
+#include "serve/embedding_cache.h"
+
+#include <cstring>
+#include <functional>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace cpdg::serve {
+namespace {
+
+obs::Counter& HitCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.cache.hits");
+  return c;
+}
+
+obs::Counter& MissCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.cache.misses");
+  return c;
+}
+
+obs::Counter& EvictionCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.cache.evictions");
+  return c;
+}
+
+obs::Counter& InvalidationCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.cache.invalidations");
+  return c;
+}
+
+}  // namespace
+
+size_t EmbeddingCache::KeyHash::operator()(const Key& k) const {
+  // Standard hash-combine over the three fields; time is hashed through
+  // its bit pattern so distinct doubles never collide by construction.
+  uint64_t time_bits = 0;
+  static_assert(sizeof(time_bits) == sizeof(k.time));
+  std::memcpy(&time_bits, &k.time, sizeof(time_bits));
+  size_t h = std::hash<int64_t>()(k.node);
+  h ^= std::hash<uint64_t>()(time_bits) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<uint64_t>()(k.version) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+EmbeddingCache::EmbeddingCache(int64_t capacity) : capacity_(capacity) {
+  CPDG_CHECK_GE(capacity, 0);
+}
+
+bool EmbeddingCache::Lookup(const Key& key, std::vector<float>* out) {
+  CPDG_CHECK(out != nullptr);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    MissCounter().Add();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  ++hits_;
+  HitCounter().Add();
+  return true;
+}
+
+void EmbeddingCache::Insert(const Key& key, std::vector<float> embedding) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->second = std::move(embedding);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (static_cast<int64_t>(entries_.size()) >= capacity_) {
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    EvictionCounter().Add();
+  }
+  lru_.emplace_front(key, std::move(embedding));
+  entries_.emplace(key, lru_.begin());
+}
+
+void EmbeddingCache::InvalidateAll() {
+  const int64_t dropped = static_cast<int64_t>(entries_.size());
+  entries_.clear();
+  lru_.clear();
+  invalidations_ += dropped;
+  InvalidationCounter().Add(dropped);
+}
+
+}  // namespace cpdg::serve

@@ -1,0 +1,83 @@
+#ifndef CPDG_SERVE_EMBEDDING_CACHE_H_
+#define CPDG_SERVE_EMBEDDING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace cpdg::serve {
+
+/// \brief LRU cache of computed node embeddings, keyed on
+/// (node, query time, memory version).
+///
+/// The memory version (dgnn::Memory::version()) makes staleness checks
+/// O(1): any mutation of the frozen memory — in serving that is exactly an
+/// Advance() replay — bumps the version, so entries computed against the
+/// old memory can never be returned for a post-advance query. The engine
+/// additionally calls InvalidateAll() on advance to reclaim the dead
+/// entries eagerly instead of waiting for LRU pressure.
+///
+/// The cache is NOT thread-safe; in the serving engine it is owned and
+/// touched exclusively by the single executor thread. Hit/miss/eviction/
+/// invalidation totals are mirrored into the global MetricsRegistry under
+/// serve.cache.* and kept as plain members for tests.
+class EmbeddingCache {
+ public:
+  /// `capacity` is the maximum number of cached rows; 0 disables the cache
+  /// entirely (Lookup always misses, Insert is a no-op).
+  explicit EmbeddingCache(int64_t capacity);
+
+  struct Key {
+    graph::NodeId node = -1;
+    double time = 0.0;
+    uint64_t version = 0;
+
+    bool operator==(const Key& o) const {
+      return node == o.node && time == o.time && version == o.version;
+    }
+  };
+
+  /// Copies the cached embedding row into `out` and refreshes recency;
+  /// returns false (and leaves `out` untouched) on miss.
+  bool Lookup(const Key& key, std::vector<float>* out);
+
+  /// Inserts (or refreshes) a row, evicting the least-recently-used entry
+  /// when at capacity. Overwrites an existing entry for the same key.
+  void Insert(const Key& key, std::vector<float> embedding);
+
+  /// Drops every entry (counted under invalidations, not evictions).
+  void InvalidateAll();
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t capacity() const { return capacity_; }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  using Entry = std::pair<Key, std::vector<float>>;
+
+  int64_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t invalidations_ = 0;
+};
+
+}  // namespace cpdg::serve
+
+#endif  // CPDG_SERVE_EMBEDDING_CACHE_H_

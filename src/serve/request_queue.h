@@ -1,0 +1,130 @@
+#ifndef CPDG_SERVE_REQUEST_QUEUE_H_
+#define CPDG_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace cpdg::serve {
+
+/// \brief One pending client call, parked on a promise until the executor
+/// thread fulfills it. Exactly one of the three promises is used, selected
+/// by `kind`.
+struct Request {
+  enum class Kind { kEmbed, kScoreLinks, kAdvance };
+
+  Kind kind = Kind::kEmbed;
+
+  /// kEmbed: query nodes. kScoreLinks: link sources.
+  std::vector<graph::NodeId> nodes;
+  /// kScoreLinks only: link destinations (same length as `nodes`).
+  std::vector<graph::NodeId> dsts;
+  /// Query time t for kEmbed / kScoreLinks.
+  double time = 0.0;
+  /// kAdvance only: events to replay into the frozen memory.
+  std::vector<graph::Event> events;
+
+  std::promise<Result<tensor::Tensor>> embed_result;
+  std::promise<Result<std::vector<double>>> score_result;
+  std::promise<Status> advance_result;
+
+  /// Enqueue timestamp (obs::Profiler::NowMicros clock) for end-to-end
+  /// latency accounting.
+  int64_t enqueue_us = 0;
+};
+
+/// \brief Thread-safe FIFO that coalesces waiting requests into batches.
+///
+/// Producers (any number of client threads) Push; a single consumer (the
+/// engine's executor thread) drains with PopBatch, which blocks until at
+/// least one request is queued and then keeps absorbing requests — waiting
+/// up to `max_wait` for stragglers — until it holds `max_batch` of them.
+///
+/// kAdvance requests are batch barriers: an advance is only ever returned
+/// alone, and a batch never extends past one. Combined with FIFO order
+/// this guarantees every embed/score request is executed against the
+/// memory version that was current when it was enqueued relative to
+/// surrounding advances — a coalesced batch can never straddle a memory
+/// mutation.
+class RequestQueue {
+ public:
+  /// Enqueues a request. Returns false (request untouched) after Shutdown.
+  bool Push(std::unique_ptr<Request> request) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return false;
+      queue_.push_back(std::move(request));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// \brief Blocks for the next coalesced batch (see class comment).
+  /// Returns an empty vector only when the queue is shut down and fully
+  /// drained — the executor's exit signal.
+  std::vector<std::unique_ptr<Request>> PopBatch(
+      int64_t max_batch, std::chrono::microseconds max_wait) {
+    std::vector<std::unique_ptr<Request>> batch;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return batch;  // shut down and drained
+
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    while (static_cast<int64_t>(batch.size()) < max_batch) {
+      if (!queue_.empty()) {
+        if (queue_.front()->kind == Request::Kind::kAdvance) {
+          // Barrier: pop it alone, never alongside other work.
+          if (batch.empty()) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
+          break;
+        }
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        continue;
+      }
+      if (shutdown_ ||
+          cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    return batch;
+  }
+
+  /// Wakes the consumer; subsequent Push calls fail, queued requests still
+  /// drain through PopBatch.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Instantaneous queue depth (requests waiting, not in-flight batches).
+  int64_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(queue_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Request>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace cpdg::serve
+
+#endif  // CPDG_SERVE_REQUEST_QUEUE_H_

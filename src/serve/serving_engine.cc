@@ -1,0 +1,359 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "tensor/checkpoint_container.h"
+#include "tensor/ops.h"
+#include "tensor/serialization.h"
+#include "train/checkpoint.h"
+#include "util/check.h"
+
+namespace cpdg::serve {
+namespace {
+
+namespace ts = cpdg::tensor;
+
+/// Events replayed per CommitBatch during Advance. Fixed (not an option)
+/// because replay results depend on the batching; a stable constant keeps
+/// Advance reproducible across processes and lets tests build bit-exact
+/// reference encoders.
+constexpr int64_t kAdvanceReplayBatch = 128;
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().gauge("serve.queue.depth");
+  return g;
+}
+
+obs::Histogram& BatchRequestsHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "serve.batch.coalesced_requests");
+  return h;
+}
+
+obs::Histogram& NodesComputedHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().histogram("serve.batch.nodes_computed");
+  return h;
+}
+
+obs::Histogram& LatencyHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "serve.request.latency_seconds");
+  return h;
+}
+
+Status ValidateNodes(const std::vector<graph::NodeId>& nodes,
+                     int64_t num_nodes, const char* what) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument(std::string(what) + " list is empty");
+  }
+  for (graph::NodeId v : nodes) {
+    if (v < 0 || v >= num_nodes) {
+      return Status::InvalidArgument(std::string(what) + " node " +
+                                     std::to_string(v) +
+                                     " out of range [0, " +
+                                     std::to_string(num_nodes) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ServingOptions ServingOptions::FromEnv() {
+  ServingOptions o;
+  o.max_batch = std::max<int64_t>(1, EnvInt64("CPDG_SERVE_MAX_BATCH",
+                                              o.max_batch));
+  o.max_wait_micros = std::max<int64_t>(
+      0, EnvInt64("CPDG_SERVE_MAX_WAIT_MICROS", o.max_wait_micros));
+  o.cache_capacity = std::max<int64_t>(
+      0, EnvInt64("CPDG_SERVE_CACHE_CAPACITY", o.cache_capacity));
+  return o;
+}
+
+ServingEngine::ServingEngine(const dgnn::EncoderConfig& config,
+                             int64_t predictor_hidden,
+                             const graph::TemporalGraph* graph,
+                             const ServingOptions& options)
+    : options_(options),
+      // Parameters are overwritten by the checkpoint restore; the seed only
+      // determines the (discarded) construction-time initialization.
+      rng_(0x5e17f0u),
+      cache_(options.cache_capacity) {
+  CPDG_CHECK(graph != nullptr);
+  CPDG_CHECK_GE(options_.max_batch, 1);
+  CPDG_CHECK_GE(options_.max_wait_micros, 0);
+  encoder_ = std::make_unique<dgnn::DgnnEncoder>(config, graph, &rng_);
+  if (predictor_hidden > 0) {
+    predictor_ = std::make_unique<dgnn::LinkPredictor>(
+        config.embed_dim, predictor_hidden, &rng_);
+  }
+}
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::FromCheckpoint(
+    const dgnn::EncoderConfig& config, int64_t predictor_hidden,
+    const graph::TemporalGraph* graph, const std::string& checkpoint_path,
+    const ServingOptions& options) {
+  CPDG_TRACE_SPAN("serve/load_checkpoint");
+  CPDG_ASSIGN_OR_RETURN(ts::SectionReader reader,
+                        ts::SectionReader::Open(checkpoint_path));
+  CPDG_ASSIGN_OR_RETURN(std::string_view payload,
+                        reader.Find(ts::kParamsSection));
+  CPDG_ASSIGN_OR_RETURN(std::vector<ts::Tensor> loaded,
+                        ts::DecodeTensorList(payload));
+
+  std::unique_ptr<ServingEngine> engine(
+      new ServingEngine(config, predictor_hidden, graph, options));
+
+  // Encoder parameters first, predictor appended — the pre-trainer's save
+  // order. RestoreTensorData validates count and every shape before
+  // copying anything, so a checkpoint from a different architecture is
+  // rejected without a partially-restored engine.
+  std::vector<ts::Tensor> params = engine->encoder_->Parameters();
+  if (engine->predictor_ != nullptr) {
+    std::vector<ts::Tensor> dec = engine->predictor_->Parameters();
+    params.insert(params.end(), dec.begin(), dec.end());
+  }
+  CPDG_RETURN_NOT_OK(ts::RestoreTensorData(params, loaded));
+
+  if (reader.Has(train::kMemorySection)) {
+    CPDG_ASSIGN_OR_RETURN(std::string_view memory_bytes,
+                          reader.Find(train::kMemorySection));
+    CPDG_RETURN_NOT_OK(
+        engine->encoder_->memory().DeserializeFrom(memory_bytes));
+  }
+
+  // Freeze: serving never trains, and inference-mode forwards skip graph
+  // construction entirely, but a frozen flag keeps any accidental
+  // grad-enabled use (e.g. a caller poking encoder()) from training.
+  for (ts::Tensor& p : params) p.set_requires_grad(false);
+
+  engine->executor_ = std::thread(&ServingEngine::ExecutorLoop, engine.get());
+  return engine;
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+void ServingEngine::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+  queue_.Shutdown();
+  if (executor_.joinable()) executor_.join();
+}
+
+uint64_t ServingEngine::memory_version() const {
+  return encoder_->memory().version();
+}
+
+bool ServingEngine::Enqueue(std::unique_ptr<Request> request) {
+  request->enqueue_us = obs::Profiler::Global().NowMicros();
+  return queue_.Push(std::move(request));
+}
+
+Result<tensor::Tensor> ServingEngine::Embed(
+    const std::vector<graph::NodeId>& nodes, double time) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::Global().counter("serve.requests.embed");
+  CPDG_RETURN_NOT_OK(
+      ValidateNodes(nodes, encoder_->config().num_nodes, "embed"));
+  requests.Add();
+  auto request = std::make_unique<Request>();
+  request->kind = Request::Kind::kEmbed;
+  request->nodes = nodes;
+  request->time = time;
+  std::future<Result<tensor::Tensor>> future =
+      request->embed_result.get_future();
+  if (!Enqueue(std::move(request))) {
+    return Status::FailedPrecondition("serving engine is shut down");
+  }
+  return future.get();
+}
+
+Result<std::vector<double>> ServingEngine::ScoreLinks(
+    const std::vector<graph::NodeId>& srcs,
+    const std::vector<graph::NodeId>& dsts, double time) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::Global().counter("serve.requests.score_links");
+  if (predictor_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine was built without a link predictor (predictor_hidden == 0)");
+  }
+  if (srcs.size() != dsts.size()) {
+    return Status::InvalidArgument(
+        "src/dst length mismatch: " + std::to_string(srcs.size()) + " vs " +
+        std::to_string(dsts.size()));
+  }
+  CPDG_RETURN_NOT_OK(
+      ValidateNodes(srcs, encoder_->config().num_nodes, "score src"));
+  CPDG_RETURN_NOT_OK(
+      ValidateNodes(dsts, encoder_->config().num_nodes, "score dst"));
+  requests.Add();
+  auto request = std::make_unique<Request>();
+  request->kind = Request::Kind::kScoreLinks;
+  request->nodes = srcs;
+  request->dsts = dsts;
+  request->time = time;
+  std::future<Result<std::vector<double>>> future =
+      request->score_result.get_future();
+  if (!Enqueue(std::move(request))) {
+    return Status::FailedPrecondition("serving engine is shut down");
+  }
+  return future.get();
+}
+
+Status ServingEngine::Advance(std::vector<graph::Event> events) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::Global().counter("serve.requests.advance");
+  if (events.empty()) return Status::OK();
+  const int64_t num_nodes = encoder_->config().num_nodes;
+  for (const graph::Event& e : events) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      return Status::InvalidArgument(
+          "advance event (" + std::to_string(e.src) + ", " +
+          std::to_string(e.dst) + ") references a node out of range [0, " +
+          std::to_string(num_nodes) + ")");
+    }
+  }
+  requests.Add();
+  auto request = std::make_unique<Request>();
+  request->kind = Request::Kind::kAdvance;
+  request->events = std::move(events);
+  std::future<Status> future = request->advance_result.get_future();
+  if (!Enqueue(std::move(request))) {
+    return Status::FailedPrecondition("serving engine is shut down");
+  }
+  return future.get();
+}
+
+void ServingEngine::ExecutorLoop() {
+  const auto max_wait = std::chrono::microseconds(options_.max_wait_micros);
+  while (true) {
+    std::vector<std::unique_ptr<Request>> batch =
+        queue_.PopBatch(options_.max_batch, max_wait);
+    if (batch.empty()) return;  // shut down and drained
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void ServingEngine::ExecuteAdvance(Request* request) {
+  CPDG_TRACE_SPAN("serve/advance");
+  static obs::Counter& advanced =
+      obs::MetricsRegistry::Global().counter("serve.advance.events");
+  ts::InferenceModeGuard guard;
+  encoder_->ReplayEvents(request->events, kAdvanceReplayBatch);
+  cache_.InvalidateAll();
+  advanced.Add(static_cast<int64_t>(request->events.size()));
+  request->advance_result.set_value(Status::OK());
+}
+
+void ServingEngine::ExecuteBatch(std::vector<std::unique_ptr<Request>> batch) {
+  CPDG_TRACE_SPAN("serve/execute_batch");
+  QueueDepthGauge().Set(static_cast<double>(queue_.depth()));
+  BatchRequestsHistogram().Observe(static_cast<double>(batch.size()));
+
+  const auto finish = [](Request* r) {
+    LatencyHistogram().Observe(
+        static_cast<double>(obs::Profiler::Global().NowMicros() -
+                            r->enqueue_us) *
+        1e-6);
+  };
+
+  if (batch.front()->kind == Request::Kind::kAdvance) {
+    CPDG_CHECK_EQ(batch.size(), 1u);  // queue pops advances alone
+    ExecuteAdvance(batch.front().get());
+    finish(batch.front().get());
+    return;
+  }
+
+  // Collect the distinct (node, time) queries of the whole batch,
+  // resolving each against the cache at the current memory version.
+  const uint64_t version = encoder_->memory().version();
+  const int64_t dim = encoder_->config().embed_dim;
+  std::map<std::pair<graph::NodeId, double>, std::vector<float>> rows;
+  std::vector<graph::NodeId> miss_nodes;
+  std::vector<double> miss_times;
+  for (const auto& request : batch) {
+    auto collect = [&](graph::NodeId node) {
+      auto [it, inserted] = rows.try_emplace({node, request->time});
+      if (!inserted) return;  // already resolved or queued for compute
+      if (!cache_.Lookup({node, request->time, version}, &it->second)) {
+        miss_nodes.push_back(node);
+        miss_times.push_back(request->time);
+      }
+    };
+    for (graph::NodeId v : request->nodes) collect(v);
+    for (graph::NodeId v : request->dsts) collect(v);
+  }
+
+  NodesComputedHistogram().Observe(static_cast<double>(miss_nodes.size()));
+  if (!miss_nodes.empty()) {
+    CPDG_TRACE_SPAN("serve/forward");
+    ts::InferenceModeGuard guard;
+    // Read-only protocol: flush into the per-batch cache, never commit, so
+    // memory (and its version) stay untouched.
+    encoder_->BeginBatch();
+    ts::Tensor z = encoder_->ComputeEmbeddings(miss_nodes, miss_times);
+    CPDG_CHECK_EQ(z.cols(), dim);
+    for (size_t i = 0; i < miss_nodes.size(); ++i) {
+      const float* row = z.data() + static_cast<int64_t>(i) * dim;
+      std::vector<float> values(row, row + dim);
+      cache_.Insert({miss_nodes[i], miss_times[i], version}, values);
+      rows[{miss_nodes[i], miss_times[i]}] = std::move(values);
+    }
+  }
+
+  const auto row_of = [&](graph::NodeId node, double time) {
+    auto it = rows.find({node, time});
+    CPDG_CHECK(it != rows.end());
+    CPDG_CHECK_EQ(it->second.size(), static_cast<size_t>(dim));
+    return it->second;
+  };
+  const auto gather = [&](const std::vector<graph::NodeId>& nodes,
+                          double time) {
+    std::vector<float> data;
+    data.reserve(nodes.size() * static_cast<size_t>(dim));
+    for (graph::NodeId v : nodes) {
+      const std::vector<float>& row = row_of(v, time);
+      data.insert(data.end(), row.begin(), row.end());
+    }
+    return ts::Tensor::FromVector(static_cast<int64_t>(nodes.size()), dim,
+                                  std::move(data));
+  };
+
+  for (auto& request : batch) {
+    if (request->kind == Request::Kind::kEmbed) {
+      request->embed_result.set_value(gather(request->nodes, request->time));
+    } else {
+      CPDG_TRACE_SPAN("serve/score");
+      ts::InferenceModeGuard guard;
+      ts::Tensor logits = predictor_->ForwardLogits(
+          gather(request->nodes, request->time),
+          gather(request->dsts, request->time));
+      ts::Tensor probs = ts::Sigmoid(logits);
+      std::vector<double> out(request->nodes.size());
+      for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<double>(probs.at(static_cast<int64_t>(i), 0));
+      }
+      request->score_result.set_value(std::move(out));
+    }
+    finish(request.get());
+  }
+}
+
+}  // namespace cpdg::serve

@@ -1,0 +1,151 @@
+#ifndef CPDG_SERVE_SERVING_ENGINE_H_
+#define CPDG_SERVE_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dgnn/encoder.h"
+#include "graph/temporal_graph.h"
+#include "serve/embedding_cache.h"
+#include "serve/request_queue.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpdg::serve {
+
+/// \brief Knobs of the serving engine; every field has an environment
+/// override (see FromEnv) documented in the README env-var table.
+struct ServingOptions {
+  /// Maximum requests coalesced into one executor batch.
+  int64_t max_batch = 64;
+  /// How long a non-full batch is held open for stragglers once the queue
+  /// drains. The default 0 is adaptive batching: execute immediately with
+  /// whatever queued while the previous batch ran — the right setting when
+  /// clients block on their results (they cannot produce stragglers while
+  /// a batch is being held). Raise it only for open-loop clients that keep
+  /// submitting without waiting.
+  int64_t max_wait_micros = 0;
+  /// Embedding-cache rows; 0 disables caching.
+  int64_t cache_capacity = 4096;
+
+  /// Defaults overridden by CPDG_SERVE_MAX_BATCH, CPDG_SERVE_MAX_WAIT_MICROS
+  /// and CPDG_SERVE_CACHE_CAPACITY when set.
+  static ServingOptions FromEnv();
+};
+
+/// \brief Frozen-encoder embedding server.
+///
+/// Loads a CPDGCKPT v2 checkpoint (the "params" tensor list, plus the
+/// "memory" DGNN state snapshot when present), freezes the encoder, and
+/// answers embedding and link-scoring queries behind a thread-safe request
+/// queue. A single executor thread drains the queue, coalescing waiting
+/// requests into batches (RequestQueue); the tensor kernels inside each
+/// forward still fan out over util::ThreadPool::Global(), so batching
+/// amortizes per-request overhead without giving up kernel parallelism.
+///
+/// Determinism: forwards run under tensor::InferenceModeGuard on the
+/// read-only encoder protocol (dgnn::DgnnEncoder class comment), whose
+/// output rows depend only on their own (node, time) query. Results are
+/// therefore bit-identical to a direct encoder forward regardless of how
+/// requests were coalesced, how many client threads raced, or whether the
+/// embedding cache was warm.
+///
+/// Advance(events) replays events into the frozen memory (parameters stay
+/// fixed), bumping dgnn::Memory::version() and invalidating the cache. The
+/// temporal graph itself is immutable, so advanced events update node
+/// memory but do not extend the neighborhood structure used by the
+/// embedding module's temporal attention.
+///
+/// All public methods are thread-safe; Embed/ScoreLinks/Advance block the
+/// caller until the executor fulfills the request. Queue depth, batch
+/// sizes, end-to-end latency, and cache traffic are exported through the
+/// serve.* metrics; executor stages are traced as serve/* spans.
+class ServingEngine {
+ public:
+  /// \brief Builds an engine for `config` (plus a LinkPredictor with
+  /// `predictor_hidden` hidden units when > 0) and restores parameters —
+  /// and memory, when the checkpoint carries a "memory" section — from
+  /// `checkpoint_path`.
+  ///
+  /// The checkpoint's tensor list must match the constructed modules
+  /// exactly (count and shapes, encoder parameters first, predictor
+  /// appended — the layout the pre-trainer writes); any mismatch or
+  /// corruption fails without a partially-initialized engine. `graph`
+  /// provides the temporal neighborhoods and must outlive the engine.
+  static Result<std::unique_ptr<ServingEngine>> FromCheckpoint(
+      const dgnn::EncoderConfig& config, int64_t predictor_hidden,
+      const graph::TemporalGraph* graph, const std::string& checkpoint_path,
+      const ServingOptions& options = ServingOptions());
+
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// \brief Temporal embeddings z_i^t for `nodes` at query time `time`,
+  /// [n, embed_dim], detached from any autograd graph.
+  Result<tensor::Tensor> Embed(const std::vector<graph::NodeId>& nodes,
+                               double time);
+
+  /// \brief Link probabilities sigmoid(MLP(z_src || z_dst)) for the pairs
+  /// (srcs[i], dsts[i]) at query time `time`. Requires the engine to have
+  /// been built with a predictor (predictor_hidden > 0).
+  Result<std::vector<double>> ScoreLinks(
+      const std::vector<graph::NodeId>& srcs,
+      const std::vector<graph::NodeId>& dsts, double time);
+
+  /// \brief Replays `events` (chronological) into the frozen memory and
+  /// invalidates the embedding cache. Acts as a barrier: requests enqueued
+  /// before the advance observe pre-advance memory, requests after it the
+  /// post-advance memory.
+  Status Advance(std::vector<graph::Event> events);
+
+  /// Stops accepting requests, drains the queue, joins the executor.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Current dgnn::Memory::version() of the frozen memory.
+  uint64_t memory_version() const;
+
+  const dgnn::DgnnEncoder& encoder() const { return *encoder_; }
+  bool has_predictor() const { return predictor_ != nullptr; }
+  const ServingOptions& options() const { return options_; }
+
+  /// Cache traffic totals (test hooks; mirrored in serve.cache.* metrics).
+  int64_t cache_hits() const { return cache_.hits(); }
+  int64_t cache_misses() const { return cache_.misses(); }
+  int64_t cache_evictions() const { return cache_.evictions(); }
+  int64_t cache_invalidations() const { return cache_.invalidations(); }
+
+ private:
+  ServingEngine(const dgnn::EncoderConfig& config, int64_t predictor_hidden,
+                const graph::TemporalGraph* graph,
+                const ServingOptions& options);
+
+  void ExecutorLoop();
+  void ExecuteBatch(std::vector<std::unique_ptr<Request>> batch);
+  void ExecuteAdvance(Request* request);
+
+  /// Blocks on `request`'s future after enqueueing; factored because all
+  /// three public calls share the push/fail-on-shutdown dance.
+  bool Enqueue(std::unique_ptr<Request> request);
+
+  ServingOptions options_;
+  Rng rng_;
+  std::unique_ptr<dgnn::DgnnEncoder> encoder_;
+  std::unique_ptr<dgnn::LinkPredictor> predictor_;
+
+  RequestQueue queue_;
+  EmbeddingCache cache_;
+  std::thread executor_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace cpdg::serve
+
+#endif  // CPDG_SERVE_SERVING_ENGINE_H_

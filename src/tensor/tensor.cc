@@ -85,6 +85,20 @@ Tensor Tensor::RandomNormal(int64_t rows, int64_t cols, float stddev,
   return Tensor(std::move(impl));
 }
 
+namespace {
+// Thread-local so a serving thread's inference mode never leaks into
+// training batches running on other threads (including pool workers).
+thread_local bool t_inference_mode = false;
+}  // namespace
+
+bool InferenceModeEnabled() { return t_inference_mode; }
+
+InferenceModeGuard::InferenceModeGuard() : prev_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+InferenceModeGuard::~InferenceModeGuard() { t_inference_mode = prev_; }
+
 Tensor Tensor::MakeOpResult(int64_t rows, int64_t cols,
                             std::vector<Tensor> parents,
                             std::function<void(Tensor&)> backward_fn,
@@ -96,6 +110,7 @@ Tensor Tensor::MakeOpResult(int64_t rows, int64_t cols,
     CPDG_CHECK(p.defined());
     any_grad = any_grad || p.requires_grad();
   }
+  if (t_inference_mode) any_grad = false;
   impl->requires_grad = any_grad;
   if (any_grad) {
     impl->parents = std::move(parents);

@@ -143,6 +143,29 @@ struct TensorImpl {
 /// leaks (reference cycles would show up here).
 int64_t LiveTensorCount();
 
+/// \brief True while an InferenceModeGuard is active on the calling thread.
+bool InferenceModeEnabled();
+
+/// \brief Scoped inference mode for forward-only evaluation (serving,
+/// memory replay): while a guard is alive on the current thread, op
+/// results record no parents and no backward function and never require
+/// gradients, so a forward pass allocates exactly its output buffers and
+/// retains no computation graph. The numeric forward path is unchanged —
+/// results are bit-identical to a grad-enabled forward over the same
+/// inputs. Guards nest; the flag is thread-local, so pool workers running
+/// training batches are unaffected by a serving thread's guard.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 }  // namespace cpdg::tensor
 
 #endif  // CPDG_TENSOR_TENSOR_H_
