@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "graph/temporal_graph.h"
 #include "core/evolution.h"
 #include "data/generators.h"
 #include "dgnn/encoder.h"

@@ -1,0 +1,347 @@
+// Graph-store benchmark: build throughput and query latency of the
+// memory-mapped sharded event-log store against the in-memory
+// TemporalGraph, at 1 and 4 shards, with a bitwise cross-backend parity
+// check folded in. Results land in BENCH_graph.json next to the binary.
+//
+// Usage:
+//   bench_graph_store          default: 2*10^5 nodes, 2*10^6 events
+//   bench_graph_store --smoke  CI-sized: 2*10^4 nodes, 2*10^5 events
+//   bench_graph_store --scale  stress:  10^6 nodes, 10^7 events — the
+//                              production-scale profile the storage layer
+//                              exists for (streamed generation, so the
+//                              event set never materializes except inside
+//                              the in-memory reference backend)
+//
+// The store is built under $CPDG_STORE_DIR (default: ./bench_graph_store.d,
+// removed afterwards). Exits nonzero if any mmap-backend query deviates
+// from the in-memory reference by a single bit, so the ctest `bench-smoke`
+// registration doubles as a cross-backend determinism gate.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "graph/graph_store.h"
+#include "graph/temporal_graph.h"
+#include "storage/sharded_store.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cpdg;
+namespace fs = std::filesystem;
+using graph::Event;
+using graph::GraphStore;
+using graph::NodeId;
+using storage::ShardedGraphStore;
+
+struct Record {
+  std::string name;
+  int threads = 1;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  bool bitwise_equal_to_serial = true;
+};
+
+/// Streams generated chunks straight into the event-log builder — the
+/// whole point of the streaming generator + streaming writer pairing: the
+/// 10^7-event profile never exists as one vector on this path.
+class BuilderSink : public data::EventSink {
+ public:
+  explicit BuilderSink(storage::EventLogBuilder* builder)
+      : builder_(builder) {}
+  Status Append(const Event* events, int64_t count) override {
+    return builder_->AddBatch(events, count);
+  }
+
+ private:
+  storage::EventLogBuilder* builder_;
+};
+
+/// Buffers the identical stream for the in-memory reference backend.
+class VectorSink : public data::EventSink {
+ public:
+  Status Append(const Event* events, int64_t count) override {
+    events_.insert(events_.end(), events, events + count);
+    return Status::OK();
+  }
+  std::vector<Event> Take() { return std::move(events_); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+constexpr uint64_t kSeed = 20260808;
+constexpr int64_t kChunk = 1 << 16;
+
+/// Fixed pseudo-random query mix; identical across backends so the timed
+/// work and the parity check cover the same queries.
+struct QueryMix {
+  std::vector<NodeId> nodes;
+  std::vector<double> times;
+};
+
+QueryMix MakeQueries(const data::ScaleStressSpec& spec, int64_t count) {
+  Rng rng(kSeed + 1);
+  QueryMix mix;
+  mix.nodes.reserve(static_cast<size_t>(count));
+  mix.times.reserve(static_cast<size_t>(count));
+  int64_t num_nodes = spec.num_users + spec.num_items;
+  for (int64_t i = 0; i < count; ++i) {
+    mix.nodes.push_back(static_cast<NodeId>(rng.NextBounded(num_nodes)));
+    mix.times.push_back(rng.NextDouble());
+  }
+  return mix;
+}
+
+/// One timed NeighborsBefore sweep; returns a digest so the work cannot be
+/// optimized away and backends can be compared cheaply.
+uint64_t QuerySweep(const GraphStore& g, const QueryMix& mix,
+                    double* seconds_out) {
+  graph::NeighborScratch scratch;
+  uint64_t digest = 0;
+  util::Timer timer;
+  for (size_t i = 0; i < mix.nodes.size(); ++i) {
+    auto span = g.NeighborsBefore(mix.nodes[i], mix.times[i], &scratch);
+    digest = digest * 1099511628211ull + static_cast<uint64_t>(span.count);
+    if (span.count > 0) {
+      digest ^= static_cast<uint64_t>(span[span.count - 1].event_index);
+    }
+  }
+  *seconds_out = timer.ElapsedSeconds();
+  return digest;
+}
+
+/// Timed chronological window scan (the batching access pattern).
+double WindowScan(const GraphStore& g, int64_t num_windows) {
+  double span = g.max_time() - g.min_time();
+  util::Timer timer;
+  int64_t total = 0;
+  for (int64_t w = 0; w < num_windows; ++w) {
+    double lo = g.min_time() + span * static_cast<double>(w) /
+                                   static_cast<double>(num_windows);
+    // Half-open windows: the last one is stretched past max_time so the
+    // final event is not lost to the exclusive upper bound.
+    double hi = w + 1 == num_windows
+                    ? g.max_time() + 1.0
+                    : g.min_time() + span * static_cast<double>(w + 1) /
+                                         static_cast<double>(num_windows);
+    total += static_cast<int64_t>(g.EventsInWindow(lo, hi).size());
+  }
+  double seconds = timer.ElapsedSeconds();
+  if (total != g.num_events()) {
+    std::fprintf(stderr, "window scan lost events: %lld of %lld\n",
+                 static_cast<long long>(total),
+                 static_cast<long long>(g.num_events()));
+    std::exit(1);
+  }
+  return seconds;
+}
+
+/// Bitwise parity of NeighborsBefore across backends on the query mix.
+bool BitwiseParity(const GraphStore& ref, const GraphStore& got,
+                   const QueryMix& mix) {
+  graph::NeighborScratch sa, sb;
+  for (size_t i = 0; i < mix.nodes.size(); ++i) {
+    auto a = ref.NeighborsBefore(mix.nodes[i], mix.times[i], &sa);
+    auto b = got.NeighborsBefore(mix.nodes[i], mix.times[i], &sb);
+    if (a.count != b.count ||
+        (a.count > 0 &&
+         std::memcmp(a.data, b.data,
+                     sizeof(graph::TemporalNeighbor) *
+                         static_cast<size_t>(a.count)) != 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteJson(const std::vector<Record>& records, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"threads\": %d, \"seconds\": %.6g, "
+                 "\"events_per_sec\": %.6g, "
+                 "\"bitwise_equal_to_serial\": %s}%s\n",
+                 r.name.c_str(), r.threads, r.seconds, r.events_per_sec,
+                 r.bitwise_equal_to_serial ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+storage::StoreOptions ShardOpts(uint32_t shards) {
+  storage::StoreOptions opts;
+  opts.shard_count = shards;
+  opts.verify_checksums = true;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  const bool smoke = mode == "--smoke";
+  const bool scale = mode == "--scale";
+
+  data::ScaleStressSpec spec;  // --scale: the 10^6-node / 10^7-event profile
+  if (smoke) {
+    spec.num_users = 10'000;
+    spec.num_items = 10'000;
+    spec.num_events = 200'000;
+  } else if (!scale) {
+    spec.num_users = 100'000;
+    spec.num_items = 100'000;
+    spec.num_events = 2'000'000;
+  }
+  const int64_t num_nodes = spec.num_users + spec.num_items;
+  const int64_t num_queries = smoke ? 50'000 : 200'000;
+  const int64_t num_windows = 16;
+
+  const char* dir_env = std::getenv("CPDG_STORE_DIR");
+  const std::string root = dir_env != nullptr && *dir_env != '\0'
+                               ? std::string(dir_env)
+                               : std::string("bench_graph_store.d");
+
+  std::printf("graph-store bench: %lld nodes, %lld events (%s)\n",
+              static_cast<long long>(num_nodes),
+              static_cast<long long>(spec.num_events),
+              smoke ? "smoke" : scale ? "scale" : "full");
+
+  std::vector<Record> records;
+  bool all_bitwise = true;
+  QueryMix mix = MakeQueries(spec, num_queries);
+
+  // In-memory reference: same stream, bulk-built.
+  std::vector<Event> events;
+  {
+    VectorSink sink;
+    Status status = data::StreamScaleStressEvents(spec, kSeed, kChunk, &sink);
+    if (!status.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   status.message().c_str());
+      return 1;
+    }
+    events = sink.Take();
+  }
+  std::unique_ptr<graph::TemporalGraph> inmem;
+  {
+    util::Timer timer;
+    auto built = graph::TemporalGraph::Create(num_nodes, std::move(events));
+    double seconds = timer.ElapsedSeconds();
+    if (!built.ok()) {
+      std::fprintf(stderr, "in-memory build failed: %s\n",
+                   built.status().message().c_str());
+      return 1;
+    }
+    inmem = std::make_unique<graph::TemporalGraph>(
+        std::move(built).ValueOrDie());
+    records.push_back({"build_inmem", 1, seconds,
+                       static_cast<double>(spec.num_events) / seconds, true});
+    std::printf("  build_inmem            %8.3fs  %10.0f events/s\n",
+                seconds, records.back().events_per_sec);
+  }
+
+  for (uint32_t shards : {1u, 4u}) {
+    const std::string tag = "_s" + std::to_string(shards);
+    const std::string dir = root + "/shards" + std::to_string(shards);
+    fs::remove_all(dir);
+
+    // Build: generator chunks stream straight into the event-log builder.
+    double build_seconds = 0.0;
+    {
+      storage::EventLogBuilder builder(dir, num_nodes, ShardOpts(shards));
+      BuilderSink sink(&builder);
+      util::Timer timer;
+      Status status =
+          data::StreamScaleStressEvents(spec, kSeed, kChunk, &sink);
+      if (status.ok()) status = builder.Finish();
+      build_seconds = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "mmap build failed: %s\n",
+                     status.message().c_str());
+        return 1;
+      }
+    }
+    records.push_back({"build_mmap" + tag, 1, build_seconds,
+                       static_cast<double>(spec.num_events) / build_seconds,
+                       true});
+    std::printf("  build_mmap%s         %8.3fs  %10.0f events/s\n",
+                tag.c_str(), build_seconds, records.back().events_per_sec);
+
+    // Cold: fresh Open, first sweep pays the mmap page faults.
+    auto store = ShardedGraphStore::Open(dir, ShardOpts(shards));
+    if (!store.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   store.status().message().c_str());
+      return 1;
+    }
+    double cold_seconds = 0.0, warm_seconds = 0.0;
+    uint64_t cold_digest = QuerySweep(*store.value(), mix, &cold_seconds);
+    uint64_t warm_digest = QuerySweep(*store.value(), mix, &warm_seconds);
+    bool parity = cold_digest == warm_digest &&
+                  BitwiseParity(*inmem, *store.value(), mix);
+    all_bitwise = all_bitwise && parity;
+    double qps = static_cast<double>(num_queries);
+    records.push_back(
+        {"query_cold_mmap" + tag, 1, cold_seconds, qps / cold_seconds,
+         parity});
+    records.push_back(
+        {"query_warm_mmap" + tag, 1, warm_seconds, qps / warm_seconds,
+         parity});
+    std::printf("  query_cold_mmap%s    %8.3fs  query_warm_mmap%s %8.3fs"
+                "  parity=%s\n",
+                tag.c_str(), cold_seconds, tag.c_str(), warm_seconds,
+                parity ? "true" : "FALSE");
+
+    double scan_seconds = WindowScan(*store.value(), num_windows);
+    records.push_back({"window_scan_mmap" + tag, 1, scan_seconds,
+                       static_cast<double>(spec.num_events) / scan_seconds,
+                       parity});
+    fs::remove_all(dir);
+  }
+
+  // In-memory query sweeps for the latency comparison.
+  {
+    double seconds = 0.0;
+    QuerySweep(*inmem, mix, &seconds);  // warm-up / first touch
+    uint64_t d1 = QuerySweep(*inmem, mix, &seconds);
+    uint64_t d2 = QuerySweep(*inmem, mix, &seconds);
+    bool stable = d1 == d2;
+    all_bitwise = all_bitwise && stable;
+    records.push_back({"query_warm_inmem", 1, seconds,
+                       static_cast<double>(num_queries) / seconds, stable});
+    std::printf("  query_warm_inmem       %8.3fs\n", seconds);
+    double scan_seconds = WindowScan(*inmem, num_windows);
+    records.push_back({"window_scan_inmem", 1, scan_seconds,
+                       static_cast<double>(spec.num_events) / scan_seconds,
+                       stable});
+  }
+
+  fs::remove_all(root);
+  WriteJson(records, "BENCH_graph.json");
+  if (!all_bitwise) {
+    std::fprintf(stderr,
+                 "FAIL: mmap backend deviated from the in-memory "
+                 "reference\n");
+    return 1;
+  }
+  std::printf("all backends bitwise-identical over %lld queries\n",
+              static_cast<long long>(num_queries));
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "graph/temporal_graph.h"
 #include "core/pretrainer.h"
 #include "data/generators.h"
 #include "graph/io.h"

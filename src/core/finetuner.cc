@@ -50,7 +50,7 @@ std::vector<tensor::Tensor> FineTunedModel::Parameters() const {
 }
 
 FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
-                                      const graph::TemporalGraph& graph,
+                                      const graph::GraphStore& graph,
                                       const FineTuneConfig& config,
                                       const EvolutionCheckpoints* checkpoints,
                                       Rng* rng,

@@ -7,7 +7,7 @@
 #include "core/evolution.h"
 #include "dgnn/encoder.h"
 #include "dgnn/trainer.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "train/telemetry.h"
 #include "util/rng.h"
 
@@ -73,7 +73,7 @@ class FineTunedModel {
 /// receive the per-epoch training diagnostics (losses, wall-clock,
 /// gradient norms) of the fine-tuning run.
 FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
-                                      const graph::TemporalGraph& graph,
+                                      const graph::GraphStore& graph,
                                       const FineTuneConfig& config,
                                       const EvolutionCheckpoints* checkpoints,
                                       Rng* rng,

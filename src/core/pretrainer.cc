@@ -127,7 +127,7 @@ tensor::Tensor CpdgPretrainer::ContrastiveLoss(
 
 PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
                                         dgnn::LinkPredictor* decoder,
-                                        const graph::TemporalGraph& graph) {
+                                        const graph::GraphStore& graph) {
   CPDG_CHECK(encoder != nullptr);
   CPDG_CHECK(decoder != nullptr);
   CPDG_CHECK_EQ(encoder->config().embed_dim, encoder->config().memory_dim)

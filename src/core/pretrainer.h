@@ -7,7 +7,7 @@
 
 #include "core/evolution.h"
 #include "dgnn/encoder.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "sampler/samplers.h"
 #include "train/link_batch.h"
 #include "train/telemetry.h"
@@ -89,7 +89,7 @@ class CpdgPretrainer {
   /// epoch's batches.
   PretrainResult Pretrain(dgnn::DgnnEncoder* encoder,
                           dgnn::LinkPredictor* decoder,
-                          const graph::TemporalGraph& graph);
+                          const graph::GraphStore& graph);
 
   const CpdgConfig& config() const { return config_; }
 

@@ -116,12 +116,45 @@ int64_t DynamicGraphUniverse::ItemCommunity(NodeId item,
       static_cast<uint64_t>(f.num_communities));
 }
 
+namespace {
+
+/// Sink that collects the stream back into a vector — the compatibility
+/// path GenerateEvents wraps around StreamEvents.
+class CollectingSink : public EventSink {
+ public:
+  explicit CollectingSink(std::vector<Event>* out) : out_(out) {}
+  Status Append(const Event* events, int64_t count) override {
+    out_->insert(out_->end(), events, events + count);
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Event>* out_;
+};
+
+}  // namespace
+
 std::vector<Event> DynamicGraphUniverse::GenerateEvents(
     int64_t field, double t_lo, double t_hi, int64_t num_events) const {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(std::max<int64_t>(num_events, 0)));
+  CollectingSink sink(&events);
+  Status st =
+      StreamEvents(field, t_lo, t_hi, num_events, num_events, &sink);
+  CPDG_CHECK(st.ok()) << st.ToString();
+  return events;
+}
+
+Status DynamicGraphUniverse::StreamEvents(int64_t field, double t_lo,
+                                          double t_hi, int64_t num_events,
+                                          int64_t chunk_size,
+                                          EventSink* sink) const {
   CPDG_CHECK_GE(field, 0);
   CPDG_CHECK_LT(field, num_fields());
   CPDG_CHECK_LT(t_lo, t_hi);
   CPDG_CHECK_GT(num_events, 0);
+  CPDG_CHECK_GT(chunk_size, 0);
+  CPDG_CHECK(sink != nullptr);
   const FieldSpec& f = spec_.fields[static_cast<size_t>(field)];
 
   // The per-window RNG stream is seeded by (field, t_lo bucket) so calls
@@ -143,8 +176,8 @@ std::vector<Event> DynamicGraphUniverse::GenerateEvents(
     return members[idx];
   };
 
-  std::vector<Event> events;
-  events.reserve(static_cast<size_t>(num_events));
+  std::vector<Event> chunk;
+  chunk.reserve(static_cast<size_t>(std::min(chunk_size, num_events)));
   double dt = (t_hi - t_lo) / static_cast<double>(num_events);
   NodeId prev_user = -1;
   bool prev_flipped = false;
@@ -197,9 +230,70 @@ std::vector<Event> DynamicGraphUniverse::GenerateEvents(
     ev.time = t;
     ev.edge_type = 0;
     ev.label = f.labeled ? (flipped ? 1 : 0) : -1;
-    events.push_back(ev);
+    chunk.push_back(ev);
+    if (static_cast<int64_t>(chunk.size()) >= chunk_size) {
+      CPDG_RETURN_NOT_OK(
+          sink->Append(chunk.data(), static_cast<int64_t>(chunk.size())));
+      chunk.clear();
+    }
   }
-  return events;
+  if (!chunk.empty()) {
+    CPDG_RETURN_NOT_OK(
+        sink->Append(chunk.data(), static_cast<int64_t>(chunk.size())));
+  }
+  return Status::OK();
+}
+
+Status StreamScaleStressEvents(const ScaleStressSpec& spec, uint64_t seed,
+                               int64_t chunk_size, EventSink* sink) {
+  CPDG_CHECK_GT(spec.num_users, 0);
+  CPDG_CHECK_GT(spec.num_items, 0);
+  CPDG_CHECK_GT(spec.num_events, 0);
+  CPDG_CHECK_GT(chunk_size, 0);
+  CPDG_CHECK(sink != nullptr);
+
+  Rng rng(seed);
+  std::vector<Event> chunk;
+  chunk.reserve(static_cast<size_t>(std::min(chunk_size, spec.num_events)));
+  const double dt = 1.0 / static_cast<double>(spec.num_events);
+  NodeId prev_user = -1;
+  for (int64_t e = 0; e < spec.num_events; ++e) {
+    // Strictly increasing times: one slot per event, jittered inside it.
+    const double t = dt * (static_cast<double>(e) + 0.5 * rng.NextDouble());
+
+    // Power-law popularity via inverse transform — O(1) per draw, unlike
+    // the Zipf machinery of DynamicGraphUniverse.
+    NodeId user;
+    if (prev_user >= 0 && rng.NextBernoulli(spec.burstiness)) {
+      user = prev_user;
+    } else {
+      user = static_cast<NodeId>(
+          static_cast<double>(spec.num_users) *
+          std::pow(rng.NextDouble(), spec.skew));
+      user = std::min(user, spec.num_users - 1);
+    }
+    prev_user = user;
+    NodeId item = static_cast<NodeId>(
+        static_cast<double>(spec.num_items) *
+        std::pow(rng.NextDouble(), spec.skew));
+    item = std::min(item, spec.num_items - 1);
+
+    Event ev;
+    ev.src = user;
+    ev.dst = spec.num_users + item;
+    ev.time = t;
+    chunk.push_back(ev);
+    if (static_cast<int64_t>(chunk.size()) >= chunk_size) {
+      CPDG_RETURN_NOT_OK(
+          sink->Append(chunk.data(), static_cast<int64_t>(chunk.size())));
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    CPDG_RETURN_NOT_OK(
+        sink->Append(chunk.data(), static_cast<int64_t>(chunk.size())));
+  }
+  return Status::OK();
 }
 
 std::vector<Event> DynamicGraphUniverse::EarlyEvents(int64_t field) const {

@@ -5,13 +5,24 @@
 #include <string>
 #include <vector>
 
-#include "graph/temporal_graph.h"
+#include "graph/event.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace cpdg::data {
 
 using graph::Event;
 using graph::NodeId;
+
+/// \brief Receiver for streamed event generation: generators hand over
+/// chronological chunks instead of materializing one giant vector, so a
+/// 10^7-event stress graph can flow straight into the storage event-log
+/// builder. A failing Append aborts the generation with that status.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual Status Append(const Event* events, int64_t count) = 0;
+};
 
 /// \brief Generative knobs for one "field" (item universe) of a synthetic
 /// bipartite user-item dynamic graph.
@@ -97,6 +108,13 @@ class DynamicGraphUniverse {
   std::vector<Event> GenerateEvents(int64_t field, double t_lo, double t_hi,
                                     int64_t num_events) const;
 
+  /// \brief Streaming form of GenerateEvents: emits the identical event
+  /// sequence (same RNG stream) in chunks of `chunk_size` to `sink`, so
+  /// peak memory is O(chunk_size) regardless of num_events.
+  Status StreamEvents(int64_t field, double t_lo, double t_hi,
+                      int64_t num_events, int64_t chunk_size,
+                      EventSink* sink) const;
+
   /// Early-period events of field `f` ([0, split_time)).
   std::vector<Event> EarlyEvents(int64_t field) const;
   /// Late-period events of field `f` ([split_time, 1)).
@@ -141,6 +159,28 @@ UniverseSpec MakeMoocLike();
 /// Reddit-like: single labeled field, bursty with strong label signal.
 UniverseSpec MakeRedditLike();
 /// @}
+
+/// \brief Shape of the storage stress graph: a bipartite user-item stream
+/// at production scale (defaults: 10^6 nodes, 10^7 events), generated with
+/// O(1) work per event so the whole stream can be produced in one pass.
+struct ScaleStressSpec {
+  int64_t num_users = 500'000;
+  int64_t num_items = 500'000;
+  int64_t num_events = 10'000'000;
+  /// Popularity skew: larger pushes more mass onto low item/user ids.
+  double skew = 3.0;
+  /// Session burstiness (probability of repeating the previous user).
+  double burstiness = 0.3;
+};
+
+/// \brief Streams a deterministic power-law user-item event sequence with
+/// strictly increasing times over [0, 1) into `sink`, `chunk_size` events
+/// at a time. Unlike DynamicGraphUniverse this deliberately has no
+/// per-node latent state, so memory stays O(chunk_size) at any scale —
+/// it exists to stress the storage layer, not to model the paper's
+/// transfer settings.
+Status StreamScaleStressEvents(const ScaleStressSpec& spec, uint64_t seed,
+                               int64_t chunk_size, EventSink* sink);
 
 }  // namespace cpdg::data
 

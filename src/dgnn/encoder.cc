@@ -62,7 +62,7 @@ int64_t DgnnEncoder::message_dim() const {
 }
 
 DgnnEncoder::DgnnEncoder(const EncoderConfig& config,
-                         const graph::TemporalGraph* graph, Rng* rng)
+                         const graph::GraphStore* graph, Rng* rng)
     : config_(config),
       graph_(graph),
       memory_(config.num_nodes, config.memory_dim),
@@ -132,7 +132,7 @@ DgnnEncoder::DgnnEncoder(const EncoderConfig& config,
   }
 }
 
-void DgnnEncoder::AttachGraph(const graph::TemporalGraph* graph) {
+void DgnnEncoder::AttachGraph(const graph::GraphStore* graph) {
   CPDG_CHECK(graph != nullptr);
   CPDG_CHECK_LE(graph->num_nodes(), config_.num_nodes);
   graph_ = graph;

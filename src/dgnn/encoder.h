@@ -8,7 +8,7 @@
 
 #include "dgnn/memory.h"
 #include "graph/batching.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "sampler/samplers.h"
 #include "tensor/nn.h"
 #include "util/rng.h"
@@ -77,7 +77,7 @@ struct EncoderConfig {
 /// autograd graph is retained.
 class DgnnEncoder : public tensor::Module {
  public:
-  DgnnEncoder(const EncoderConfig& config, const graph::TemporalGraph* graph,
+  DgnnEncoder(const EncoderConfig& config, const graph::GraphStore* graph,
               Rng* rng);
 
   const EncoderConfig& config() const { return config_; }
@@ -87,7 +87,7 @@ class DgnnEncoder : public tensor::Module {
   /// \brief Points the encoder at a different temporal graph (e.g. the
   /// downstream graph during fine-tuning) and resets the memory. The graph
   /// must have num_nodes <= config.num_nodes.
-  void AttachGraph(const graph::TemporalGraph* graph);
+  void AttachGraph(const graph::GraphStore* graph);
 
   /// \brief Clears per-batch caches; call before the first
   /// ComputeEmbeddings of each batch.
@@ -148,7 +148,7 @@ class DgnnEncoder : public tensor::Module {
   int64_t message_dim() const;
 
   EncoderConfig config_;
-  const graph::TemporalGraph* graph_;
+  const graph::GraphStore* graph_;
   Memory memory_;
   Rng* rng_;
 

@@ -25,7 +25,7 @@ NodeId SampleNegative(const std::vector<NodeId>& pool, int64_t num_nodes,
 }
 
 TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
-                             const graph::TemporalGraph& graph,
+                             const graph::GraphStore& graph,
                              const TlpTrainOptions& options, Rng* rng,
                              train::TrainTelemetry* telemetry) {
   CPDG_CHECK(encoder != nullptr);

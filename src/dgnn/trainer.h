@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "dgnn/encoder.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "util/rng.h"
 
 namespace cpdg::train {
@@ -49,7 +49,7 @@ NodeId SampleNegative(const std::vector<NodeId>& pool, int64_t num_nodes,
 /// receive the enriched per-epoch diagnostics (wall-clock, batch counts,
 /// gradient norms).
 TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
-                             const graph::TemporalGraph& graph,
+                             const graph::GraphStore& graph,
                              const TlpTrainOptions& options, Rng* rng,
                              train::TrainTelemetry* telemetry = nullptr);
 

@@ -6,7 +6,7 @@
 
 namespace cpdg::graph {
 
-ChronologicalBatcher::ChronologicalBatcher(const TemporalGraph* graph,
+ChronologicalBatcher::ChronologicalBatcher(const GraphStore* graph,
                                            int64_t batch_size)
     : graph_(graph), batch_size_(batch_size) {
   CPDG_CHECK(graph != nullptr);
@@ -20,8 +20,7 @@ bool ChronologicalBatcher::Next(EventBatch* batch) {
   if (cursor_ >= graph_->num_events()) return false;
   int64_t end = std::min(cursor_ + batch_size_, graph_->num_events());
   batch->first_event_index = cursor_;
-  batch->events.assign(graph_->events().begin() + cursor_,
-                       graph_->events().begin() + end);
+  graph_->ReadEvents(cursor_, end, &batch->events);
   cursor_ = end;
   return true;
 }

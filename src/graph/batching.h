@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 
 namespace cpdg::graph {
 
@@ -17,12 +17,13 @@ struct EventBatch {
   int64_t size() const { return static_cast<int64_t>(events.size()); }
 };
 
-/// \brief Iterates a temporal graph's events in fixed-size chronological
+/// \brief Iterates a graph store's events in fixed-size chronological
 /// batches. DGNN training processes batches in order so that memory states
-/// only ever see the past.
+/// only ever see the past. Works against any GraphStore backend via its
+/// bulk ReadEvents primitive.
 class ChronologicalBatcher {
  public:
-  ChronologicalBatcher(const TemporalGraph* graph, int64_t batch_size);
+  ChronologicalBatcher(const GraphStore* graph, int64_t batch_size);
 
   /// Resets iteration to the first event.
   void Reset();
@@ -33,7 +34,7 @@ class ChronologicalBatcher {
   int64_t num_batches() const;
 
  private:
-  const TemporalGraph* graph_;
+  const GraphStore* graph_;
   int64_t batch_size_;
   int64_t cursor_ = 0;
 };

@@ -1,0 +1,47 @@
+#ifndef CPDG_GRAPH_EVENT_H_
+#define CPDG_GRAPH_EVENT_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace cpdg::graph {
+
+using NodeId = int64_t;
+
+/// \brief One interaction event (i, j, t) of a continuous-time dynamic
+/// graph (Definition 1 of the paper), with an optional edge type and a
+/// dynamic label on the source node (used by node-classification datasets,
+/// where labels mark state changes such as a user being banned).
+struct Event {
+  NodeId src = -1;
+  NodeId dst = -1;
+  double time = 0.0;
+  int32_t edge_type = 0;
+  /// Dynamic label of `src` as of this event; -1 when unlabeled.
+  int32_t label = -1;
+};
+
+/// \brief A temporal neighbor as seen from some node: the neighbor id, the
+/// interaction time, and the index of the originating event.
+struct TemporalNeighbor {
+  NodeId node = -1;
+  double time = 0.0;
+  int64_t event_index = -1;
+};
+
+// The on-disk event-log format (src/storage) stores Event and
+// TemporalNeighbor records verbatim so a memory-mapped file can be read in
+// place; these asserts pin the byte layout that format relies on.
+static_assert(std::is_trivially_copyable_v<Event> &&
+                  std::is_standard_layout_v<Event> && sizeof(Event) == 32,
+              "Event is persisted raw by the storage event-log format; "
+              "adding or reordering fields requires a format version bump");
+static_assert(std::is_trivially_copyable_v<TemporalNeighbor> &&
+                  std::is_standard_layout_v<TemporalNeighbor> &&
+                  sizeof(TemporalNeighbor) == 24,
+              "TemporalNeighbor is persisted raw by the storage event-log "
+              "format; changing it requires a format version bump");
+
+}  // namespace cpdg::graph
+
+#endif  // CPDG_GRAPH_EVENT_H_

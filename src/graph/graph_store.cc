@@ -1,0 +1,58 @@
+#include "graph/graph_store.h"
+
+#include <sstream>
+
+namespace cpdg::graph {
+
+std::vector<Event> GraphStore::EventsInWindow(double t_lo, double t_hi) const {
+  std::vector<Event> out;
+  const int64_t n = num_events();
+  for (int64_t i = LowerBoundEvent(t_lo); i < n; ++i) {
+    Event e = EventAt(i);
+    if (e.time >= t_hi) break;
+    out.push_back(e);
+  }
+  return out;
+}
+
+int64_t GraphStore::LowerBoundEvent(double t) const {
+  // Binary search over chronological indices via EventAt.
+  int64_t lo = 0;
+  int64_t hi = num_events();
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (EventAt(mid).time < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<NodeId> GraphStore::NodesBefore(double time) const {
+  std::vector<NodeId> out;
+  NeighborScratch scratch;
+  const int64_t n = num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!NeighborsBefore(v, time, &scratch).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+double GraphStore::Density() const {
+  const int64_t n = num_nodes();
+  if (n == 0) return 0.0;
+  return static_cast<double>(num_events()) /
+         (static_cast<double>(n) * static_cast<double>(n));
+}
+
+std::string GraphStore::StatsString() const {
+  std::ostringstream os;
+  os << store_name() << "{nodes=" << num_nodes() << ", events=" << num_events()
+     << ", span=[" << min_time() << ", " << max_time() << "]"
+     << ", density=" << Density() << "}";
+  return os.str();
+}
+
+}  // namespace cpdg::graph

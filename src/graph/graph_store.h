@@ -1,0 +1,136 @@
+#ifndef CPDG_GRAPH_GRAPH_STORE_H_
+#define CPDG_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "graph/event.h"
+
+namespace cpdg::graph {
+
+/// \brief A borrowed, chronologically sorted run of temporal neighbors —
+/// the result type of GraphStore::NeighborsBefore.
+///
+/// \par Lifetime contract
+/// A span is a non-owning view. It stays valid until (a) the GraphStore it
+/// came from is destroyed, reassigned, moved from or compacted, or (b) the
+/// NeighborScratch passed to the producing query is reused by another query
+/// or destroyed — whichever comes first. Backends whose per-node storage is
+/// contiguous (the in-memory TemporalGraph, mmap-backed nodes with no
+/// pending delta) return pointers straight into that storage and never
+/// touch the scratch; backends that must merge (mmap base + appended delta)
+/// materialize into the scratch and return a view of it. Callers that need
+/// the neighbors beyond these bounds must copy the entries out. Spans are
+/// trivially copyable handles — pass them by value.
+struct NeighborSpan {
+  const TemporalNeighbor* data = nullptr;
+  int64_t count = 0;
+  const TemporalNeighbor* begin() const { return data; }
+  const TemporalNeighbor* end() const { return data + count; }
+  bool empty() const { return count == 0; }
+  const TemporalNeighbor& operator[](int64_t i) const { return data[i]; }
+};
+static_assert(std::is_trivially_copyable_v<NeighborSpan>,
+              "NeighborSpan must stay a cheap value-type handle; it is "
+              "passed by value throughout the samplers");
+
+/// \brief Caller-provided staging buffer for neighbor queries. Purely an
+/// allocation-reuse vehicle: a query fills it only when the backend cannot
+/// answer with a direct borrow (see NeighborSpan). Reusing one scratch
+/// across the sequential queries of a traversal amortizes the allocation;
+/// concurrent queries need one scratch each (scratches are not
+/// thread-safe, stores are).
+class NeighborScratch {
+ public:
+  std::vector<TemporalNeighbor>& buffer() { return buffer_; }
+
+ private:
+  std::vector<TemporalNeighbor> buffer_;
+};
+
+/// \brief Abstract temporal-graph storage: the query surface every layer
+/// above the storage substrate (samplers, batch assembly, the training
+/// runtime, the serving engine) programs against.
+///
+/// Two families of implementations exist:
+///  - graph::TemporalGraph — the in-memory CSR store (laptop scale,
+///    zero-copy everywhere);
+///  - storage::ShardedGraphStore — the memory-mapped, hash-partitioned
+///    event-log store (production scale, supports concurrent append).
+///
+/// \par Determinism contract
+/// Every query is a pure function of the logical event set: two stores
+/// holding the same events return identical results for every method,
+/// regardless of backend, shard count, or whether events arrived via bulk
+/// build or streaming append. The samplers inherit bit-identical behavior
+/// from this (pinned by tests/storage_test.cc and the golden suites).
+///
+/// \par Thread safety
+/// All const queries on one store may run concurrently with each other
+/// without external locking. Mutating operations (where a backend has any)
+/// define their own interleaving guarantees; see the backend's class
+/// comment.
+class GraphStore {
+ public:
+  virtual ~GraphStore() = default;
+
+  /// Size of the node-id space; every event endpoint is in [0, num_nodes).
+  virtual int64_t num_nodes() const = 0;
+  /// Total number of events, in chronological index order.
+  virtual int64_t num_events() const = 0;
+
+  /// Earliest / latest event time (0 if empty).
+  virtual double min_time() const = 0;
+  virtual double max_time() const = 0;
+
+  /// \brief The event at chronological index `index` (checked).
+  virtual Event EventAt(int64_t index) const = 0;
+
+  /// \brief Copies the chronological event range [begin, end) into `*out`
+  /// (replacing its contents). Checked: 0 <= begin <= end <= num_events().
+  /// This is the bulk event-iteration primitive chronological batching is
+  /// built on.
+  virtual void ReadEvents(int64_t begin, int64_t end,
+                          std::vector<Event>* out) const = 0;
+
+  /// \brief All neighbors of `node` with interaction time strictly before
+  /// `time`, in chronological order (N_i^t of Definition 1; T_i^t is the
+  /// `time` field of each entry). `scratch` may back the returned span —
+  /// see the NeighborSpan lifetime contract. Backends that never need the
+  /// scratch accept nullptr; portable callers always pass one.
+  virtual NeighborSpan NeighborsBefore(NodeId node, double time,
+                                       NeighborScratch* scratch) const = 0;
+
+  /// Total number of interactions involving `node` (any time).
+  virtual int64_t Degree(NodeId node) const = 0;
+
+  /// \brief Events with time in [t_lo, t_hi).
+  virtual std::vector<Event> EventsInWindow(double t_lo, double t_hi) const;
+
+  /// \brief Index of the first event with time >= t.
+  virtual int64_t LowerBoundEvent(double t) const;
+
+  /// \brief Whether `node` appears in at least one event.
+  bool HasInteractions(NodeId node) const { return Degree(node) > 0; }
+
+  /// \brief Ids of all nodes with at least one event before `time`
+  /// (V^t of Definition 1).
+  std::vector<NodeId> NodesBefore(double time) const;
+
+  /// Graph density |E| / (|V|^2), mirroring Table IV's statistics column.
+  double Density() const;
+
+  /// Human-readable summary (nodes/edges/time span/density).
+  std::string StatsString() const;
+
+ protected:
+  /// Backend tag used by StatsString ("TemporalGraph", "ShardedGraphStore").
+  virtual std::string_view store_name() const { return "GraphStore"; }
+};
+
+}  // namespace cpdg::graph
+
+#endif  // CPDG_GRAPH_GRAPH_STORE_H_

@@ -1,40 +1,85 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
+#include <string_view>
 
 #include "util/atomic_file.h"
 
 namespace cpdg::graph {
 namespace {
 
-/// Splits a CSV line on commas (the formats here never quote fields).
-std::vector<std::string> SplitCsvLine(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, ',')) fields.push_back(field);
-  return fields;
+/// Splits a CSV line on commas into borrowed views (the formats here never
+/// quote fields). Allocation-free so multi-million-row loads don't churn.
+std::vector<std::string_view> SplitCsvLine(std::string_view line,
+                                           std::vector<std::string_view>* out) {
+  out->clear();
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out->push_back(line.substr(start));
+      return *out;
+    }
+    out->push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
 }
 
-bool ParseInt(const std::string& s, int64_t* out) {
-  errno = 0;
-  char* end = nullptr;
-  long long v = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
-  *out = v;
-  return true;
+bool ParseInt(std::string_view s, int64_t* out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end && !s.empty();
 }
 
-bool ParseDouble(const std::string& s, double* out) {
-  errno = 0;
-  char* end = nullptr;
-  double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
-  *out = v;
-  return true;
+bool ParseDouble(std::string_view s, double* out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end && !s.empty();
+}
+
+Status RowError(int64_t line_no, const std::string& reason,
+                std::string_view field) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 reason + " '" + std::string(field) + "'");
+}
+
+/// Parses one native-CSV data row with reason-specific diagnostics.
+Status ParseEventRow(std::string_view line, int64_t line_no,
+                     std::vector<std::string_view>* fields, Event* e) {
+  SplitCsvLine(line, fields);
+  if (fields->size() != 5) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line_no) + ": expected 5 fields, got " +
+        std::to_string(fields->size()));
+  }
+  int64_t edge_type = 0, label = 0;
+  if (!ParseInt((*fields)[0], &e->src)) {
+    return RowError(line_no, "non-numeric src id", (*fields)[0]);
+  }
+  if (!ParseInt((*fields)[1], &e->dst)) {
+    return RowError(line_no, "non-numeric dst id", (*fields)[1]);
+  }
+  if (e->src < 0 || e->dst < 0) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": node id out of range (negative)");
+  }
+  if (!ParseDouble((*fields)[2], &e->time)) {
+    return RowError(line_no, "non-numeric time", (*fields)[2]);
+  }
+  if (!ParseInt((*fields)[3], &edge_type)) {
+    return RowError(line_no, "non-numeric edge_type", (*fields)[3]);
+  }
+  if (!ParseInt((*fields)[4], &label)) {
+    return RowError(line_no, "non-numeric label", (*fields)[4]);
+  }
+  e->edge_type = static_cast<int32_t>(edge_type);
+  e->label = static_cast<int32_t>(label);
+  return Status::OK();
 }
 
 }  // namespace
@@ -55,7 +100,8 @@ Status WriteEventsCsv(const std::string& path,
   return util::AtomicWriteFile(path, out);
 }
 
-Result<std::vector<Event>> ReadEventsCsv(const std::string& path) {
+Status StreamEventsCsv(const std::string& path,
+                       const std::function<Status(const Event&)>& row_fn) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
@@ -67,28 +113,25 @@ Result<std::vector<Event>> ReadEventsCsv(const std::string& path) {
   if (line.rfind("src,", 0) != 0) {
     return Status::InvalidArgument("missing native CSV header in " + path);
   }
-  std::vector<Event> events;
+  std::vector<std::string_view> fields;
   int64_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::vector<std::string> f = SplitCsvLine(line);
-    if (f.size() != 5) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": expected 5 fields");
-    }
     Event e;
-    int64_t edge_type = 0, label = 0;
-    if (!ParseInt(f[0], &e.src) || !ParseInt(f[1], &e.dst) ||
-        !ParseDouble(f[2], &e.time) || !ParseInt(f[3], &edge_type) ||
-        !ParseInt(f[4], &label)) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": parse error");
-    }
-    e.edge_type = static_cast<int32_t>(edge_type);
-    e.label = static_cast<int32_t>(label);
-    events.push_back(e);
+    CPDG_RETURN_NOT_OK(ParseEventRow(line, line_no, &fields, &e));
+    CPDG_RETURN_NOT_OK(row_fn(e));
   }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path) {
+  std::vector<Event> events;
+  CPDG_RETURN_NOT_OK(StreamEventsCsv(path, [&events](const Event& e) {
+    events.push_back(e);
+    return Status::OK();
+  }));
   return events;
 }
 
@@ -105,53 +148,54 @@ Result<JodieDataset> ReadJodieCsv(const std::string& path) {
   // comma_separated_list_of_features"); it is not validated strictly
   // because published files vary slightly.
 
+  // Rows stream directly into the event vector with dst holding the raw
+  // item id; the single re-base fix-up below runs once num_users is known.
+  // No second row buffer, so peak memory is one Event per row.
   JodieDataset ds;
-  struct RawRow {
-    int64_t user;
-    int64_t item;
-    double time;
-    int32_t label;
-  };
-  std::vector<RawRow> rows;
+  std::vector<std::string_view> fields;
   int64_t max_user = -1, max_item = -1;
   int64_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::vector<std::string> f = SplitCsvLine(line);
-    if (f.size() < 4) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": expected >= 4 fields");
+    SplitCsvLine(line, &fields);
+    if (fields.size() < 4) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected >= 4 fields, got " +
+          std::to_string(fields.size()));
     }
-    RawRow r;
-    int64_t label = 0;
-    if (!ParseInt(f[0], &r.user) || !ParseInt(f[1], &r.item) ||
-        !ParseDouble(f[2], &r.time) || !ParseInt(f[3], &label)) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": parse error");
+    Event e;
+    int64_t item = 0, label = 0;
+    if (!ParseInt(fields[0], &e.src)) {
+      return RowError(line_no, "non-numeric user id", fields[0]);
     }
-    if (r.user < 0 || r.item < 0) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": negative id");
+    if (!ParseInt(fields[1], &item)) {
+      return RowError(line_no, "non-numeric item id", fields[1]);
     }
-    r.label = static_cast<int32_t>(label);
-    max_user = std::max(max_user, r.user);
-    max_item = std::max(max_item, r.item);
-    rows.push_back(r);
+    if (e.src < 0 || item < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": node id out of range (negative)");
+    }
+    if (!ParseDouble(fields[2], &e.time)) {
+      return RowError(line_no, "non-numeric timestamp", fields[2]);
+    }
+    if (!ParseInt(fields[3], &label)) {
+      return RowError(line_no, "non-numeric state label", fields[3]);
+    }
+    e.dst = item;
+    e.label = static_cast<int32_t>(label);
+    max_user = std::max(max_user, e.src);
+    max_item = std::max(max_item, item);
+    ds.events.push_back(e);
   }
-  if (rows.empty()) {
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  if (ds.events.empty()) {
     return Status::InvalidArgument("no data rows in " + path);
   }
   ds.num_users = max_user + 1;
   ds.num_items = max_item + 1;
-  ds.events.reserve(rows.size());
-  for (const RawRow& r : rows) {
-    Event e;
-    e.src = r.user;
-    e.dst = ds.num_users + r.item;  // re-base items after users
-    e.time = r.time;
-    e.label = r.label;
-    ds.events.push_back(e);
+  for (Event& e : ds.events) {
+    e.dst += ds.num_users;  // re-base items after users
   }
   return ds;
 }

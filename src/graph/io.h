@@ -1,6 +1,7 @@
 #ifndef CPDG_GRAPH_IO_H_
 #define CPDG_GRAPH_IO_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,17 @@ Status WriteEventsCsv(const std::string& path,
 
 /// \brief Reads events from native CSV (as written by WriteEventsCsv).
 Result<std::vector<Event>> ReadEventsCsv(const std::string& path);
+
+/// \brief Streaming form of ReadEventsCsv: rows are parsed one at a time
+/// and handed to `row_fn` in file order, so arbitrarily large CSVs load in
+/// O(1) memory (e.g. straight into the storage event-log builder).
+///
+/// Malformed rows fail the load with a line-numbered, reason-specific
+/// InvalidArgument error (wrong field count, non-numeric id/time, negative
+/// node id) rather than being skipped. A non-OK status from `row_fn`
+/// aborts the read and is returned as-is.
+Status StreamEventsCsv(const std::string& path,
+                       const std::function<Status(const Event&)>& row_fn);
 
 /// \brief Parsed JODIE-format dataset: events plus the id-space layout.
 struct JodieDataset {

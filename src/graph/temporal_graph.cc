@@ -1,7 +1,6 @@
 #include "graph/temporal_graph.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "util/check.h"
 
@@ -63,6 +62,14 @@ const Event& TemporalGraph::event(int64_t index) const {
   return events_[static_cast<size_t>(index)];
 }
 
+void TemporalGraph::ReadEvents(int64_t begin, int64_t end,
+                               std::vector<Event>* out) const {
+  CPDG_CHECK_GE(begin, 0);
+  CPDG_CHECK_LE(begin, end);
+  CPDG_CHECK_LE(end, num_events());
+  out->assign(events_.begin() + begin, events_.begin() + end);
+}
+
 TemporalGraph::NeighborView TemporalGraph::NeighborsBefore(NodeId node,
                                                            double time) const {
   CPDG_CHECK_GE(node, 0);
@@ -87,14 +94,6 @@ int64_t TemporalGraph::Degree(NodeId node) const {
          adj_offsets_[static_cast<size_t>(node)];
 }
 
-std::vector<NodeId> TemporalGraph::NodesBefore(double time) const {
-  std::vector<NodeId> out;
-  for (NodeId v = 0; v < num_nodes_; ++v) {
-    if (!NeighborsBefore(v, time).empty()) out.push_back(v);
-  }
-  return out;
-}
-
 std::vector<Event> TemporalGraph::EventsInWindow(double t_lo,
                                                  double t_hi) const {
   std::vector<Event> out;
@@ -113,28 +112,25 @@ int64_t TemporalGraph::LowerBoundEvent(double t) const {
   return it - events_.begin();
 }
 
-double TemporalGraph::Density() const {
-  if (num_nodes_ == 0) return 0.0;
-  return static_cast<double>(num_events()) /
-         (static_cast<double>(num_nodes_) * static_cast<double>(num_nodes_));
-}
-
-std::string TemporalGraph::StatsString() const {
-  std::ostringstream os;
-  os << "TemporalGraph{nodes=" << num_nodes_ << ", events=" << num_events()
-     << ", span=[" << min_time_ << ", " << max_time_ << "]"
-     << ", density=" << Density() << "}";
-  return os.str();
-}
-
-StaticSnapshot StaticSnapshot::FromTemporalGraph(const TemporalGraph& graph,
+StaticSnapshot StaticSnapshot::FromTemporalGraph(const GraphStore& graph,
                                                  double time) {
   int64_t n = graph.num_nodes();
   std::vector<std::vector<NodeId>> adj(static_cast<size_t>(n));
-  for (const Event& e : graph.events()) {
-    if (e.time >= time) break;  // events are sorted
-    adj[static_cast<size_t>(e.src)].push_back(e.dst);
-    adj[static_cast<size_t>(e.dst)].push_back(e.src);
+  // Stream events in chunks so mmap-backed stores never materialize the
+  // whole log; events are chronological, so we can stop at the cut time.
+  constexpr int64_t kChunk = 1 << 16;
+  std::vector<Event> chunk;
+  bool done = false;
+  for (int64_t at = 0; at < graph.num_events() && !done; at += kChunk) {
+    graph.ReadEvents(at, std::min(at + kChunk, graph.num_events()), &chunk);
+    for (const Event& e : chunk) {
+      if (e.time >= time) {
+        done = true;
+        break;
+      }
+      adj[static_cast<size_t>(e.src)].push_back(e.dst);
+      adj[static_cast<size_t>(e.dst)].push_back(e.src);
+    }
   }
   StaticSnapshot snap;
   snap.offsets_.assign(static_cast<size_t>(n) + 1, 0);

@@ -3,43 +3,24 @@
 
 #include <cstdint>
 #include <string>
-#include <type_traits>
 #include <vector>
 
+#include "graph/event.h"
+#include "graph/graph_store.h"
 #include "util/status.h"
 
 namespace cpdg::graph {
 
-using NodeId = int64_t;
-
-/// \brief One interaction event (i, j, t) of a continuous-time dynamic
-/// graph (Definition 1 of the paper), with an optional edge type and a
-/// dynamic label on the source node (used by node-classification datasets,
-/// where labels mark state changes such as a user being banned).
-struct Event {
-  NodeId src = -1;
-  NodeId dst = -1;
-  double time = 0.0;
-  int32_t edge_type = 0;
-  /// Dynamic label of `src` as of this event; -1 when unlabeled.
-  int32_t label = -1;
-};
-
-/// \brief A temporal neighbor as seen from some node: the neighbor id, the
-/// interaction time, and the index of the originating event.
-struct TemporalNeighbor {
-  NodeId node = -1;
-  double time = 0.0;
-  int64_t event_index = -1;
-};
-
-/// \brief Immutable continuous-time dynamic graph (CTDG).
+/// \brief Immutable in-memory continuous-time dynamic graph (CTDG): the
+/// reference GraphStore backend.
 ///
 /// Stores the chronological event list plus, per node, the time-sorted list
 /// of its interactions (both directions of each event, since interactions
 /// are undirected for neighborhood purposes). Supports the core temporal
 /// query of every DGNN: "the neighbors of node i that interacted before
-/// time t" (the N_i^t of Definition 1), answered with binary search.
+/// time t" (the N_i^t of Definition 1), answered with binary search. The
+/// memory-mapped, sharded storage::ShardedGraphStore answers the same
+/// GraphStore interface with bit-identical results at production scale.
 ///
 /// \par Thread safety
 /// A TemporalGraph is immutable after Create() returns: every public member
@@ -50,7 +31,7 @@ struct TemporalNeighbor {
 /// on this. The only unsafe operations are whole-object move/copy
 /// assignment and destruction, which must be externally ordered after all
 /// concurrent readers have finished.
-class TemporalGraph {
+class TemporalGraph : public GraphStore {
  public:
   /// Empty graph (0 nodes); useful as a placeholder before assignment.
   TemporalGraph() = default;
@@ -61,69 +42,49 @@ class TemporalGraph {
   static Result<TemporalGraph> Create(int64_t num_nodes,
                                       std::vector<Event> events);
 
-  int64_t num_nodes() const { return num_nodes_; }
-  int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
+  int64_t num_nodes() const override { return num_nodes_; }
+  int64_t num_events() const override {
+    return static_cast<int64_t>(events_.size());
+  }
 
   /// Chronologically sorted events.
   const std::vector<Event>& events() const { return events_; }
   const Event& event(int64_t index) const;
 
   /// Earliest / latest event time (0 if empty).
-  double min_time() const { return min_time_; }
-  double max_time() const { return max_time_; }
+  double min_time() const override { return min_time_; }
+  double max_time() const override { return max_time_; }
 
-  /// \brief All neighbors of `node` with interaction time strictly before
-  /// `time`, in chronological order. Returns a (pointer, count) view into
-  /// internal storage.
-  ///
-  /// This is N_i^t of Definition 1; T_i^t (the event-time set of Sec. IV-A)
-  /// is the `time` field of each entry.
-  ///
-  /// \par Lifetime contract
-  /// A NeighborView is a non-owning borrow of the graph's adjacency
-  /// storage. It stays valid exactly as long as the TemporalGraph it came
-  /// from is alive and is not assigned over or moved from; it is NOT
-  /// invalidated by other const queries, so views may be held across
-  /// further NeighborsBefore calls (the samplers do this). Dereferencing a
-  /// view after the graph is destroyed or reassigned is undefined
-  /// behavior. Callers that need the neighbors beyond the graph's lifetime
-  /// must copy the entries out (`std::vector<TemporalNeighbor>(v.begin(),
-  /// v.end())`). Views are trivially copyable handles — pass them by
-  /// value; copying a view never copies neighbor data.
-  struct NeighborView {
-    const TemporalNeighbor* data = nullptr;
-    int64_t count = 0;
-    const TemporalNeighbor* begin() const { return data; }
-    const TemporalNeighbor* end() const { return data + count; }
-    bool empty() const { return count == 0; }
-    const TemporalNeighbor& operator[](int64_t i) const { return data[i]; }
-  };
-  static_assert(std::is_trivially_copyable_v<NeighborView>,
-                "NeighborView must stay a cheap value-type handle; it is "
-                "passed by value throughout the samplers");
+  Event EventAt(int64_t index) const override { return event(index); }
+  void ReadEvents(int64_t begin, int64_t end,
+                  std::vector<Event>* out) const override;
+
+  /// \brief Legacy name for the borrowed neighbor run; see the
+  /// graph::NeighborSpan lifetime contract. For this backend a view stays
+  /// valid exactly as long as the TemporalGraph it came from is alive and
+  /// is not assigned over or moved from; it is NOT invalidated by other
+  /// const queries, so views may be held across further NeighborsBefore
+  /// calls (the samplers do this).
+  using NeighborView = NeighborSpan;
+
+  /// \brief Zero-copy convenience overload: this backend's adjacency is
+  /// always contiguous, so no scratch is ever needed.
   NeighborView NeighborsBefore(NodeId node, double time) const;
 
-  /// Total number of interactions involving `node` (any time).
-  int64_t Degree(NodeId node) const;
+  /// GraphStore query; `scratch` is accepted but never used (nullptr ok).
+  NeighborSpan NeighborsBefore(NodeId node, double time,
+                               NeighborScratch* scratch) const override {
+    (void)scratch;
+    return NeighborsBefore(node, time);
+  }
 
-  /// \brief Whether `node` appears in at least one event.
-  bool HasInteractions(NodeId node) const { return Degree(node) > 0; }
+  int64_t Degree(NodeId node) const override;
 
-  /// \brief Ids of all nodes with at least one event before `time`
-  /// (V^t of Definition 1).
-  std::vector<NodeId> NodesBefore(double time) const;
+  std::vector<Event> EventsInWindow(double t_lo, double t_hi) const override;
+  int64_t LowerBoundEvent(double t) const override;
 
-  /// \brief Events with time in [t_lo, t_hi).
-  std::vector<Event> EventsInWindow(double t_lo, double t_hi) const;
-
-  /// \brief Index of the first event with time >= t.
-  int64_t LowerBoundEvent(double t) const;
-
-  /// Graph density |E| / (|V|^2), mirroring Table IV's statistics column.
-  double Density() const;
-
-  /// Human-readable summary (nodes/edges/time span/density).
-  std::string StatsString() const;
+ protected:
+  std::string_view store_name() const override { return "TemporalGraph"; }
 
  private:
   int64_t num_nodes_ = 0;
@@ -142,7 +103,8 @@ class TemporalGraph {
 class StaticSnapshot {
  public:
   /// Snapshot of all events strictly before `time` (use +inf for "all").
-  static StaticSnapshot FromTemporalGraph(const TemporalGraph& graph,
+  /// Works against any GraphStore backend (events are streamed in chunks).
+  static StaticSnapshot FromTemporalGraph(const GraphStore& graph,
                                           double time);
 
   int64_t num_nodes() const {

@@ -70,8 +70,7 @@ std::vector<double> TemporalProbabilities(
   return probs;
 }
 
-StructuralTemporalSampler::StructuralTemporalSampler(
-    const TemporalGraph* graph)
+StructuralTemporalSampler::StructuralTemporalSampler(const GraphStore* graph)
     : graph_(graph) {
   CPDG_CHECK(graph != nullptr);
 }
@@ -88,12 +87,13 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
   std::unordered_set<NodeId> seen;
   seen.insert(root);
 
+  graph::NeighborScratch scratch;
   std::vector<std::pair<NodeId, double>> frontier = {{root, time}};
   for (int64_t hop = 0; hop < options.depth && !frontier.empty(); ++hop) {
     std::vector<std::pair<NodeId, double>> next;
     for (const auto& [u, ut] : frontier) {
       ++out.frontier_expansions;
-      auto view = graph_->NeighborsBefore(u, ut);
+      auto view = graph_->NeighborsBefore(u, ut, &scratch);
       if (view.empty()) continue;
 
       std::vector<double> times(static_cast<size_t>(view.count));
@@ -168,13 +168,14 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
     double time;
     int64_t depth_left;
   };
+  graph::NeighborScratch scratch;
   std::vector<Frame> stack = {{root, time, options.depth}};
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
     ++out.frontier_expansions;
     if (f.depth_left == 0) continue;
-    auto view = graph_->NeighborsBefore(f.node, f.time);
+    auto view = graph_->NeighborsBefore(f.node, f.time, &scratch);
     if (view.empty()) continue;
     int64_t take = std::min(options.width, view.count);
     // Most recent `take` entries, pushed oldest first so the newest sampled
@@ -196,7 +197,7 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
   return out;
 }
 
-NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
+NeighborBatch SampleNeighborBatch(const GraphStore& graph,
                                   const std::vector<NodeId>& roots,
                                   const std::vector<double>& times,
                                   int64_t group, NeighborStrategy strategy,
@@ -216,9 +217,10 @@ NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
   batch.times.assign(static_cast<size_t>(n * group), 0.0);
   batch.valid.assign(static_cast<size_t>(n * group), 0);
 
+  graph::NeighborScratch scratch;
   for (int64_t i = 0; i < n; ++i) {
     auto view = graph.NeighborsBefore(roots[static_cast<size_t>(i)],
-                                      times[static_cast<size_t>(i)]);
+                                      times[static_cast<size_t>(i)], &scratch);
     if (view.empty()) continue;
     int64_t take = std::min(group, view.count);
     for (int64_t j = 0; j < take; ++j) {
@@ -238,15 +240,16 @@ NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
   return batch;
 }
 
-std::vector<NodeId> TemporalRandomWalk(const TemporalGraph& graph, NodeId root,
+std::vector<NodeId> TemporalRandomWalk(const GraphStore& graph, NodeId root,
                                        double time, int64_t length, Rng* rng) {
   CPDG_CHECK(rng != nullptr);
   CPDG_CHECK_GE(length, 0);
   std::vector<NodeId> walk = {root};
   NodeId cur = root;
   double cur_time = time;
+  graph::NeighborScratch scratch;
   for (int64_t step = 0; step < length; ++step) {
-    auto view = graph.NeighborsBefore(cur, cur_time);
+    auto view = graph.NeighborsBefore(cur, cur_time, &scratch);
     if (view.empty()) break;
     int64_t pick = static_cast<int64_t>(
         rng->NextBounded(static_cast<uint64_t>(view.count)));

@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "util/rng.h"
 
 namespace cpdg::sampler {
 
+using graph::GraphStore;
 using graph::NodeId;
-using graph::TemporalGraph;
 
 /// \brief Temporal-aware sampling probability f_{t->p} for the η-BFS
 /// strategy (Sec. IV-A / IV-B of the paper).
@@ -67,7 +67,7 @@ class StructuralTemporalSampler {
     double temperature = 0.2;
   };
 
-  explicit StructuralTemporalSampler(const TemporalGraph* graph);
+  explicit StructuralTemporalSampler(const GraphStore* graph);
 
   /// \brief η-BFS sampling rooted at `root` as of `time`.
   ///
@@ -83,10 +83,10 @@ class StructuralTemporalSampler {
   SubgraphSample SampleEpsilonDfs(NodeId root, double time,
                                   const Options& options) const;
 
-  const TemporalGraph& graph() const { return *graph_; }
+  const GraphStore& graph() const { return *graph_; }
 
  private:
-  const TemporalGraph* graph_;
+  const GraphStore* graph_;
 };
 
 /// \brief Fixed-width temporal neighbor batch used by DGNN embedding
@@ -104,7 +104,7 @@ enum class NeighborStrategy { kMostRecent, kUniform };
 
 /// \brief Samples fixed-width temporal neighborhoods for a batch of
 /// (root, time) queries. `rng` may be null for kMostRecent.
-NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
+NeighborBatch SampleNeighborBatch(const GraphStore& graph,
                                   const std::vector<NodeId>& roots,
                                   const std::vector<double>& times,
                                   int64_t group, NeighborStrategy strategy,
@@ -114,7 +114,7 @@ NeighborBatch SampleNeighborBatch(const TemporalGraph& graph,
 /// (each step moves to a uniformly sampled neighbor that interacted before
 /// `time`). Used by DeepWalk-style baselines; returns visited nodes
 /// including the root.
-std::vector<NodeId> TemporalRandomWalk(const TemporalGraph& graph, NodeId root,
+std::vector<NodeId> TemporalRandomWalk(const GraphStore& graph, NodeId root,
                                        double time, int64_t length, Rng* rng);
 
 }  // namespace cpdg::sampler

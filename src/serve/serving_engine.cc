@@ -89,7 +89,7 @@ ServingOptions ServingOptions::FromEnv() {
 
 ServingEngine::ServingEngine(const dgnn::EncoderConfig& config,
                              int64_t predictor_hidden,
-                             const graph::TemporalGraph* graph,
+                             const graph::GraphStore* graph,
                              const ServingOptions& options)
     : options_(options),
       // Parameters are overwritten by the checkpoint restore; the seed only
@@ -108,7 +108,7 @@ ServingEngine::ServingEngine(const dgnn::EncoderConfig& config,
 
 Result<std::unique_ptr<ServingEngine>> ServingEngine::FromCheckpoint(
     const dgnn::EncoderConfig& config, int64_t predictor_hidden,
-    const graph::TemporalGraph* graph, const std::string& checkpoint_path,
+    const graph::GraphStore* graph, const std::string& checkpoint_path,
     const ServingOptions& options) {
   CPDG_TRACE_SPAN("serve/load_checkpoint");
   CPDG_ASSIGN_OR_RETURN(ts::SectionReader reader,

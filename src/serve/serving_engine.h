@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "dgnn/encoder.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "serve/embedding_cache.h"
 #include "serve/request_queue.h"
 #include "tensor/tensor.h"
@@ -79,7 +79,7 @@ class ServingEngine {
   /// provides the temporal neighborhoods and must outlive the engine.
   static Result<std::unique_ptr<ServingEngine>> FromCheckpoint(
       const dgnn::EncoderConfig& config, int64_t predictor_hidden,
-      const graph::TemporalGraph* graph, const std::string& checkpoint_path,
+      const graph::GraphStore* graph, const std::string& checkpoint_path,
       const ServingOptions& options = ServingOptions());
 
   ~ServingEngine();
@@ -124,7 +124,7 @@ class ServingEngine {
 
  private:
   ServingEngine(const dgnn::EncoderConfig& config, int64_t predictor_hidden,
-                const graph::TemporalGraph* graph,
+                const graph::GraphStore* graph,
                 const ServingOptions& options);
 
   void ExecutorLoop();

@@ -16,10 +16,11 @@ using graph::NodeId;
 namespace {
 
 /// Neighbors of `node` with interaction time in [t_lo, t_hi).
-std::vector<NodeId> NeighborsInWindow(const graph::TemporalGraph& graph,
+std::vector<NodeId> NeighborsInWindow(const graph::GraphStore& graph,
                                       NodeId node, double t_lo, double t_hi) {
   std::vector<NodeId> out;
-  auto view = graph.NeighborsBefore(node, t_hi);
+  graph::NeighborScratch scratch;
+  auto view = graph.NeighborsBefore(node, t_hi, &scratch);
   for (int64_t i = view.count - 1; i >= 0; --i) {
     if (view[i].time < t_lo) break;  // chronologically sorted
     out.push_back(view[i].node);
@@ -53,7 +54,7 @@ train::TrainLoopOptions MakeLoopOptions(const SslTrainOptions& options,
 }  // namespace
 
 train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
-                                    const graph::TemporalGraph& graph,
+                                    const graph::GraphStore& graph,
                                     const SslTrainOptions& options,
                                     Rng* rng) {
   CPDG_CHECK(encoder != nullptr);
@@ -138,7 +139,7 @@ train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
 }
 
 train::TrainTelemetry PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
-                                       const graph::TemporalGraph& graph,
+                                       const graph::GraphStore& graph,
                                        const SslTrainOptions& options,
                                        Rng* rng) {
   CPDG_CHECK(encoder != nullptr);
@@ -161,11 +162,12 @@ train::TrainTelemetry PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
           -> std::optional<ts::Tensor> {
         std::vector<NodeId> anchors;
         std::vector<double> anchor_times;
+        graph::NeighborScratch scratch;
         for (const graph::Event& e : batch.events) {
           if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
             break;
           }
-          if (graph.NeighborsBefore(e.src, e.time).empty()) continue;
+          if (graph.NeighborsBefore(e.src, e.time, &scratch).empty()) continue;
           anchors.push_back(e.src);
           anchor_times.push_back(e.time);
         }

@@ -2,7 +2,7 @@
 #define CPDG_SSL_SSL_BASELINES_H_
 
 #include "dgnn/encoder.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "train/telemetry.h"
 #include "util/rng.h"
 
@@ -31,7 +31,7 @@ struct SslTrainOptions {
 /// self-supervised dynamic objectives underperform task-supervised
 /// pre-training.
 train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
-                                    const graph::TemporalGraph& graph,
+                                    const graph::GraphStore& graph,
                                     const SslTrainOptions& options, Rng* rng);
 
 /// \brief SelfRGNN (Sun et al., CIKM'22), simplified: Riemannian
@@ -45,7 +45,7 @@ train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
 /// family is weak/unstable for pre-training, which the simplification
 /// reproduces.
 train::TrainTelemetry PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
-                                       const graph::TemporalGraph& graph,
+                                       const graph::GraphStore& graph,
                                        const SslTrainOptions& options,
                                        Rng* rng);
 

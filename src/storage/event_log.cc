@@ -1,0 +1,256 @@
+#include "storage/event_log.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/byte_codec.h"
+
+namespace cpdg::storage {
+namespace {
+
+constexpr int64_t kFramingSize =
+    static_cast<int64_t>(sizeof(FileHeader) + sizeof(FileFooter));
+
+// Manifest serialization preamble ("CPDGMANI" + version).
+constexpr uint64_t kManifestMagic = 0x494E414D47445043ull;
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, static_cast<size_t>(size_));
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, static_cast<size_t>(size_));
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status err = Status::IoError(ErrnoMessage("fstat", path));
+    ::close(fd);
+    return err;
+  }
+  MappedFile f;
+  f.size_ = static_cast<int64_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* p = ::mmap(nullptr, static_cast<size_t>(f.size_), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      Status err = Status::IoError(ErrnoMessage("mmap", path));
+      ::close(fd);
+      return err;
+    }
+    f.data_ = p;
+  }
+  ::close(fd);
+  return f;
+}
+
+MappedTempFile::~MappedTempFile() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<size_t>(size_));
+    ::unlink(tmp_.c_str());
+  }
+}
+
+MappedTempFile::MappedTempFile(MappedTempFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_(std::move(other.tmp_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedTempFile& MappedTempFile::operator=(MappedTempFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(data_, static_cast<size_t>(size_));
+      ::unlink(tmp_.c_str());
+    }
+    path_ = std::move(other.path_);
+    tmp_ = std::move(other.tmp_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MappedTempFile> MappedTempFile::Create(const std::string& path,
+                                              int64_t size) {
+  if (size <= 0) return Status::InvalidArgument("mapped file size must be > 0");
+  MappedTempFile f;
+  f.path_ = path;
+  f.tmp_ = path + ".tmp";
+  f.size_ = size;
+  int fd = ::open(f.tmp_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", f.tmp_));
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    Status err = Status::IoError(ErrnoMessage("ftruncate", f.tmp_));
+    ::close(fd);
+    ::unlink(f.tmp_.c_str());
+    return err;
+  }
+  void* p = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ | PROT_WRITE,
+                   MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    Status err = Status::IoError(ErrnoMessage("mmap", f.tmp_));
+    ::unlink(f.tmp_.c_str());
+    return err;
+  }
+  f.data_ = p;
+  return f;
+}
+
+Status MappedTempFile::Publish() {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("mapped temp file not open");
+  }
+  int rc = ::msync(data_, static_cast<size_t>(size_), MS_SYNC);
+  ::munmap(data_, static_cast<size_t>(size_));
+  data_ = nullptr;
+  if (rc != 0) {
+    Status err = Status::IoError(ErrnoMessage("msync", tmp_));
+    ::unlink(tmp_.c_str());
+    return err;
+  }
+  return util::AtomicPublishTempFile(path_, tmp_);
+}
+
+Result<ParsedFile> ParseStoreFile(const MappedFile& file, FileKind expected,
+                                  const std::string& path, bool verify_crc) {
+  if (file.size() < kFramingSize) {
+    return Status::IoError("store file truncated (" +
+                           std::to_string(file.size()) + " bytes): " + path);
+  }
+  ParsedFile parsed;
+  parsed.header = reinterpret_cast<const FileHeader*>(file.data());
+  parsed.payload = file.data() + sizeof(FileHeader);
+  parsed.payload_size = file.size() - kFramingSize;
+  parsed.footer = reinterpret_cast<const FileFooter*>(
+      file.data() + file.size() - static_cast<int64_t>(sizeof(FileFooter)));
+
+  if (parsed.header->magic != kFileMagic) {
+    return Status::IoError("bad store file magic: " + path);
+  }
+  if (parsed.header->version != kFormatVersion) {
+    return Status::IoError("unsupported store format version " +
+                           std::to_string(parsed.header->version) + ": " +
+                           path);
+  }
+  if (parsed.header->kind != static_cast<uint32_t>(expected)) {
+    return Status::IoError("store file kind mismatch (got " +
+                           std::to_string(parsed.header->kind) + "): " + path);
+  }
+  if (parsed.footer->footer_magic != kFooterMagic) {
+    return Status::IoError("bad store file footer (truncated write?): " +
+                           path);
+  }
+  if (parsed.footer->record_count < 0 || parsed.footer->aux_count < 0) {
+    return Status::IoError("negative record count in store footer: " + path);
+  }
+  if (verify_crc) {
+    uint32_t crc = util::Crc32(parsed.payload,
+                               static_cast<size_t>(parsed.payload_size));
+    if (crc != parsed.footer->payload_crc) {
+      return Status::IoError("payload CRC mismatch (corrupted file): " + path);
+    }
+  }
+  return parsed;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.bin";
+}
+
+std::string EventsPath(const std::string& dir, int64_t generation) {
+  return dir + "/events.g" + std::to_string(generation) + ".bin";
+}
+
+std::string AdjacencyPath(const std::string& dir, int64_t generation,
+                          uint32_t shard) {
+  return dir + "/adj.g" + std::to_string(generation) + ".s" +
+         std::to_string(shard) + ".bin";
+}
+
+std::string DeltaPath(const std::string& dir, int64_t seq) {
+  return dir + "/delta." + std::to_string(seq) + ".bin";
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::string body;
+  util::ByteWriter w(&body);
+  w.Pod(kManifestMagic);
+  w.Pod(kFormatVersion);
+  w.Pod(manifest.generation);
+  w.Pod(manifest.shard_count);
+  w.Pod(manifest.num_nodes);
+  w.Pod(manifest.delta_start);
+  w.Pod(manifest.delta_count);
+  uint32_t crc = util::Crc32(body.data(), body.size());
+  util::ByteWriter(&body).Pod(crc);
+  return util::AtomicWriteFile(ManifestPath(dir), body);
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  std::string body;
+  CPDG_RETURN_NOT_OK(util::ReadFileToString(path, &body));
+  if (body.size() < sizeof(uint32_t)) {
+    return Status::IoError("manifest truncated: " + path);
+  }
+  const size_t crc_pos = body.size() - sizeof(uint32_t);
+  uint32_t want_crc = 0;
+  std::memcpy(&want_crc, body.data() + crc_pos, sizeof(uint32_t));
+  if (util::Crc32(body.data(), crc_pos) != want_crc) {
+    return Status::IoError("manifest CRC mismatch: " + path);
+  }
+
+  util::ByteReader r(std::string_view(body).substr(0, crc_pos));
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  Manifest m;
+  bool ok = r.Pod(&magic) && r.Pod(&version) && r.Pod(&m.generation) &&
+            r.Pod(&m.shard_count) && r.Pod(&m.num_nodes) &&
+            r.Pod(&m.delta_start) && r.Pod(&m.delta_count);
+  if (!ok || !r.AtEnd() || magic != kManifestMagic ||
+      version != kFormatVersion) {
+    return Status::IoError("malformed manifest: " + path);
+  }
+  if (m.shard_count == 0 || m.num_nodes <= 0 || m.generation < 0 ||
+      m.delta_start < 0 || m.delta_count < 0) {
+    return Status::IoError("manifest fields out of range: " + path);
+  }
+  return m;
+}
+
+int64_t LocalNodeCount(int64_t num_nodes, uint32_t shard_count, uint32_t k) {
+  const int64_t K = static_cast<int64_t>(shard_count);
+  const int64_t kk = static_cast<int64_t>(k);
+  if (kk >= num_nodes) return 0;
+  return (num_nodes - kk + K - 1) / K;
+}
+
+}  // namespace cpdg::storage

@@ -1,0 +1,174 @@
+#ifndef CPDG_STORAGE_EVENT_LOG_H_
+#define CPDG_STORAGE_EVENT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "util/status.h"
+
+namespace cpdg::storage {
+
+/// \file On-disk event-log format shared by the sharded graph store.
+///
+/// Every store file is
+///
+///     FileHeader (64 B) | payload | FileFooter (40 B)
+///
+/// with the counts, time span and payload CRC32 in the *footer* so that
+/// streaming writers (util::AtomicFileSink) never have to seek back — a
+/// 10^7-event log is written in one forward pass. Files are published via
+/// the util/atomic_file temp+rename path, so readers only ever observe
+/// complete files; torn or corrupted files are rejected by header/footer
+/// validation plus an optional full-payload CRC check.
+///
+/// Payloads by kind:
+///  - kEvents / kDelta: `record_count` raw graph::Event records (32 B each)
+///    in chronological order. A delta file is an events file that holds an
+///    appended suffix of the log.
+///  - kAdjacency (shard k of K): `aux_count + 1` int64 CSR offsets followed
+///    by `record_count` raw graph::TemporalNeighbor records (24 B each),
+///    time-sorted within each node. Shard k owns the nodes with
+///    id % K == k; node id maps to local slot id / K.
+
+inline constexpr uint64_t kFileMagic = 0x524F545347445043ull;  // "CPDGSTOR"
+inline constexpr uint32_t kFooterMagic = 0x52544630u;          // "0FTR"
+inline constexpr uint32_t kFormatVersion = 1;
+
+enum class FileKind : uint32_t {
+  kEvents = 1,
+  kAdjacency = 2,
+  kDelta = 3,
+};
+
+struct FileHeader {
+  uint64_t magic = kFileMagic;
+  uint32_t version = kFormatVersion;
+  uint32_t kind = 0;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  int64_t num_nodes = 0;
+  uint8_t reserved[32] = {};
+};
+
+struct FileFooter {
+  /// Events/delta: event records. Adjacency: neighbor entries.
+  int64_t record_count = 0;
+  /// Adjacency: number of node slots local to the shard; 0 otherwise.
+  int64_t aux_count = 0;
+  double min_time = 0.0;
+  double max_time = 0.0;
+  /// CRC32 (util::Crc32) of the payload bytes between header and footer.
+  uint32_t payload_crc = 0;
+  uint32_t footer_magic = kFooterMagic;
+};
+
+static_assert(std::is_trivially_copyable_v<FileHeader> &&
+                  sizeof(FileHeader) == 64,
+              "FileHeader is the on-disk preamble; changing it requires a "
+              "format version bump");
+static_assert(std::is_trivially_copyable_v<FileFooter> &&
+                  sizeof(FileFooter) == 40,
+              "FileFooter is the on-disk trailer; changing it requires a "
+              "format version bump");
+
+/// \brief Read-only memory mapping of a whole file. Movable, non-copyable;
+/// unmaps on destruction. Pointers into the mapping stay valid for the
+/// lifetime of the MappedFile.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static Result<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  int64_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+/// \brief A fixed-size temp file mapped read-write, for writers that fill
+/// their payload by random access (the adjacency builder's CSR scatter)
+/// and then publish atomically. If never published, the destructor
+/// discards the temp file.
+class MappedTempFile {
+ public:
+  MappedTempFile() = default;
+  ~MappedTempFile();
+  MappedTempFile(MappedTempFile&& other) noexcept;
+  MappedTempFile& operator=(MappedTempFile&& other) noexcept;
+  MappedTempFile(const MappedTempFile&) = delete;
+  MappedTempFile& operator=(const MappedTempFile&) = delete;
+
+  /// Creates `path` + ".tmp" of exactly `size` bytes, mapped read-write.
+  static Result<MappedTempFile> Create(const std::string& path, int64_t size);
+
+  uint8_t* data() { return static_cast<uint8_t*>(data_); }
+  int64_t size() const { return size_; }
+
+  /// msync + util::AtomicPublishTempFile (fault-injection aware) over the
+  /// target path. The mapping is released regardless of the outcome.
+  Status Publish();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  void* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+/// \brief Borrowed view of a validated store file: header / payload /
+/// footer pointers into a MappedFile's mapping.
+struct ParsedFile {
+  const FileHeader* header = nullptr;
+  const uint8_t* payload = nullptr;
+  int64_t payload_size = 0;
+  const FileFooter* footer = nullptr;
+};
+
+/// \brief Validates framing: minimum size, header magic/version/kind,
+/// footer magic, and (when `verify_crc`) the payload CRC32. Kind-specific
+/// payload-size consistency is the caller's job. Returns IoError with the
+/// offending detail on any mismatch.
+Result<ParsedFile> ParseStoreFile(const MappedFile& file, FileKind expected,
+                                  const std::string& path, bool verify_crc);
+
+/// Store directory layout. Generation G is the compaction epoch; delta
+/// files use a monotonic sequence number that survives compaction so stale
+/// files can never be mistaken for live ones.
+std::string ManifestPath(const std::string& dir);
+std::string EventsPath(const std::string& dir, int64_t generation);
+std::string AdjacencyPath(const std::string& dir, int64_t generation,
+                          uint32_t shard);
+std::string DeltaPath(const std::string& dir, int64_t seq);
+
+/// \brief The store's root metadata, published last (atomically) so it is
+/// the commit point of every build / append / compaction.
+struct Manifest {
+  int64_t generation = 0;
+  uint32_t shard_count = 1;
+  int64_t num_nodes = 0;
+  /// Live delta files are DeltaPath(dir, s) for
+  /// s in [delta_start, delta_start + delta_count).
+  int64_t delta_start = 0;
+  int64_t delta_count = 0;
+};
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Number of node slots shard `k` of `K` owns out of `num_nodes` ids
+/// (the ids congruent to k mod K).
+int64_t LocalNodeCount(int64_t num_nodes, uint32_t shard_count, uint32_t k);
+
+}  // namespace cpdg::storage
+
+#endif  // CPDG_STORAGE_EVENT_LOG_H_

@@ -1,0 +1,627 @@
+#include "storage/sharded_store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/byte_codec.h"
+#include "util/check.h"
+
+namespace cpdg::storage {
+namespace {
+
+using graph::Event;
+using graph::NeighborScratch;
+using graph::NeighborSpan;
+using graph::NodeId;
+using graph::TemporalNeighbor;
+
+// Flush threshold for the builder's event buffer: large enough to amortize
+// write() syscalls, small enough to keep streaming memory bounded.
+constexpr size_t kBuilderFlushBytes = 256 * 1024;
+
+const TemporalNeighbor* LowerBoundByTime(const TemporalNeighbor* begin,
+                                         const TemporalNeighbor* end,
+                                         double time) {
+  return std::lower_bound(begin, end, time,
+                          [](const TemporalNeighbor& n, double t) {
+                            return n.time < t;
+                          });
+}
+
+Status ValidateEvent(const Event& e, int64_t num_nodes) {
+  if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+    return Status::InvalidArgument(
+        "event references node id outside [0, num_nodes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StoreOptions StoreOptions::FromEnv() {
+  StoreOptions opts;
+  if (const char* v = std::getenv("CPDG_STORE_SHARDS")) {
+    long n = std::strtol(v, nullptr, 10);
+    if (n >= 1 && n <= 1024) opts.shard_count = static_cast<uint32_t>(n);
+  }
+  if (const char* v = std::getenv("CPDG_STORE_VERIFY")) {
+    opts.verify_checksums = std::strtol(v, nullptr, 10) != 0;
+  }
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// EventLogBuilder
+// ---------------------------------------------------------------------------
+
+EventLogBuilder::EventLogBuilder(std::string dir, int64_t num_nodes,
+                                 StoreOptions options)
+    : EventLogBuilder(std::move(dir), num_nodes, options, /*generation=*/0,
+                      /*next_delta_seq=*/0) {}
+
+EventLogBuilder::EventLogBuilder(std::string dir, int64_t num_nodes,
+                                 StoreOptions options, int64_t generation,
+                                 int64_t next_delta_seq)
+    : dir_(std::move(dir)),
+      num_nodes_(num_nodes),
+      options_(options),
+      generation_(generation),
+      next_delta_seq_(next_delta_seq) {
+  if (num_nodes_ <= 0) {
+    open_status_ = Status::InvalidArgument("num_nodes must be positive");
+    return;
+  }
+  if (options_.shard_count == 0) {
+    open_status_ = Status::InvalidArgument("shard_count must be >= 1");
+    return;
+  }
+  std::error_code ec;  // best effort; Open below reports failures
+  std::filesystem::create_directories(dir_, ec);
+  open_status_ = events_sink_.Open(EventsPath(dir_, generation_));
+  if (!open_status_.ok()) return;
+
+  FileHeader header;
+  header.kind = static_cast<uint32_t>(FileKind::kEvents);
+  header.shard_index = 0;
+  header.shard_count = options_.shard_count;
+  header.num_nodes = num_nodes_;
+  open_status_ = events_sink_.Append(&header, sizeof(header));
+  if (!open_status_.ok()) return;
+
+  degree_counts_.assign(static_cast<size_t>(num_nodes_), 0);
+  buffer_.reserve(kBuilderFlushBytes + sizeof(Event));
+}
+
+EventLogBuilder::~EventLogBuilder() = default;
+
+Status EventLogBuilder::Add(const Event& event) {
+  return AddBatch(&event, 1);
+}
+
+Status EventLogBuilder::AddBatch(const Event* events, int64_t count) {
+  CPDG_RETURN_NOT_OK(open_status_);
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    const Event& e = events[i];
+    CPDG_RETURN_NOT_OK(ValidateEvent(e, num_nodes_));
+    if (count_ > 0 && e.time < last_time_) {
+      return Status::InvalidArgument(
+          "streamed events must have non-decreasing time (got " +
+          std::to_string(e.time) + " after " + std::to_string(last_time_) +
+          ")");
+    }
+    if (count_ == 0) min_time_ = e.time;
+    last_time_ = e.time;
+    max_time_ = e.time;
+    ++degree_counts_[static_cast<size_t>(e.src)];
+    ++degree_counts_[static_cast<size_t>(e.dst)];
+    buffer_.append(reinterpret_cast<const char*>(&e), sizeof(Event));
+    ++count_;
+    if (buffer_.size() >= kBuilderFlushBytes) {
+      CPDG_RETURN_NOT_OK(FlushBuffer());
+    }
+  }
+  return Status::OK();
+}
+
+Status EventLogBuilder::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  payload_crc_ = util::Crc32(buffer_.data(), buffer_.size(), payload_crc_);
+  Status st = events_sink_.Append(buffer_.data(), buffer_.size());
+  if (!st.ok()) open_status_ = st;
+  buffer_.clear();
+  return st;
+}
+
+Status EventLogBuilder::Finish() {
+  CPDG_RETURN_NOT_OK(open_status_);
+  if (finished_) {
+    return Status::FailedPrecondition("builder already finished");
+  }
+  finished_ = true;
+  CPDG_RETURN_NOT_OK(FlushBuffer());
+
+  FileFooter footer;
+  footer.record_count = count_;
+  footer.aux_count = 0;
+  footer.min_time = min_time_;
+  footer.max_time = max_time_;
+  footer.payload_crc = payload_crc_;
+  CPDG_RETURN_NOT_OK(events_sink_.Append(&footer, sizeof(footer)));
+  CPDG_RETURN_NOT_OK(events_sink_.Commit());
+
+  CPDG_RETURN_NOT_OK(BuildAdjacencyShards());
+
+  Manifest manifest;
+  manifest.generation = generation_;
+  manifest.shard_count = options_.shard_count;
+  manifest.num_nodes = num_nodes_;
+  manifest.delta_start = next_delta_seq_;
+  manifest.delta_count = 0;
+  return WriteManifest(dir_, manifest);
+}
+
+Status EventLogBuilder::BuildAdjacencyShards() {
+  // Re-read the just-committed events file through the page cache instead
+  // of holding 10^7 events in memory: the adjacency scatter is the only
+  // second pass the format needs.
+  CPDG_ASSIGN_OR_RETURN(MappedFile events_file,
+                        MappedFile::Open(EventsPath(dir_, generation_)));
+  const int64_t expect_size =
+      static_cast<int64_t>(sizeof(FileHeader) + sizeof(FileFooter)) +
+      count_ * static_cast<int64_t>(sizeof(Event));
+  if (events_file.size() != expect_size) {
+    return Status::IoError("events file size mismatch after commit");
+  }
+  const Event* events =
+      reinterpret_cast<const Event*>(events_file.data() + sizeof(FileHeader));
+
+  const uint32_t K = options_.shard_count;
+  struct ShardBuild {
+    MappedTempFile file;
+    int64_t* offsets = nullptr;
+    TemporalNeighbor* neighbors = nullptr;
+    int64_t local_nodes = 0;
+    int64_t payload_size = 0;
+  };
+  std::vector<ShardBuild> builds(K);
+
+  for (uint32_t k = 0; k < K; ++k) {
+    ShardBuild& b = builds[k];
+    b.local_nodes = LocalNodeCount(num_nodes_, K, k);
+    int64_t entries = 0;
+    for (int64_t local = 0; local < b.local_nodes; ++local) {
+      entries += degree_counts_[static_cast<size_t>(
+          local * static_cast<int64_t>(K) + k)];
+    }
+    b.payload_size =
+        (b.local_nodes + 1) * static_cast<int64_t>(sizeof(int64_t)) +
+        entries * static_cast<int64_t>(sizeof(TemporalNeighbor));
+    const int64_t file_size =
+        static_cast<int64_t>(sizeof(FileHeader) + sizeof(FileFooter)) +
+        b.payload_size;
+    CPDG_ASSIGN_OR_RETURN(
+        b.file, MappedTempFile::Create(AdjacencyPath(dir_, generation_, k),
+                                       file_size));
+
+    FileHeader header;
+    header.kind = static_cast<uint32_t>(FileKind::kAdjacency);
+    header.shard_index = k;
+    header.shard_count = K;
+    header.num_nodes = num_nodes_;
+    std::memcpy(b.file.data(), &header, sizeof(header));
+
+    b.offsets = reinterpret_cast<int64_t*>(b.file.data() + sizeof(FileHeader));
+    b.neighbors = reinterpret_cast<TemporalNeighbor*>(
+        b.file.data() + sizeof(FileHeader) +
+        (b.local_nodes + 1) * static_cast<int64_t>(sizeof(int64_t)));
+    b.offsets[0] = 0;
+    for (int64_t local = 0; local < b.local_nodes; ++local) {
+      b.offsets[local + 1] =
+          b.offsets[local] + degree_counts_[static_cast<size_t>(
+                                 local * static_cast<int64_t>(K) + k)];
+    }
+  }
+
+  // CSR scatter in one chronological pass — the same construction order as
+  // TemporalGraph::Create, which is what makes per-node runs bit-identical
+  // across backends and shard counts.
+  std::vector<int64_t> cursor(static_cast<size_t>(num_nodes_));
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    const uint32_t k = static_cast<uint32_t>(v % static_cast<int64_t>(K));
+    cursor[static_cast<size_t>(v)] =
+        builds[k].offsets[v / static_cast<int64_t>(K)];
+  }
+  for (int64_t idx = 0; idx < count_; ++idx) {
+    const Event& e = events[idx];
+    ShardBuild& bs = builds[static_cast<uint32_t>(
+        e.src % static_cast<int64_t>(K))];
+    bs.neighbors[cursor[static_cast<size_t>(e.src)]++] =
+        TemporalNeighbor{e.dst, e.time, idx};
+    ShardBuild& bd = builds[static_cast<uint32_t>(
+        e.dst % static_cast<int64_t>(K))];
+    bd.neighbors[cursor[static_cast<size_t>(e.dst)]++] =
+        TemporalNeighbor{e.src, e.time, idx};
+  }
+
+  for (uint32_t k = 0; k < K; ++k) {
+    ShardBuild& b = builds[k];
+    FileFooter footer;
+    footer.record_count = b.offsets[b.local_nodes];
+    footer.aux_count = b.local_nodes;
+    footer.min_time = min_time_;
+    footer.max_time = max_time_;
+    footer.payload_crc = util::Crc32(b.file.data() + sizeof(FileHeader),
+                                     static_cast<size_t>(b.payload_size));
+    std::memcpy(b.file.data() + b.file.size() - sizeof(FileFooter), &footer,
+                sizeof(footer));
+    CPDG_RETURN_NOT_OK(b.file.Publish());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedGraphStore
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ShardedGraphStore>> ShardedGraphStore::Open(
+    const std::string& dir, StoreOptions options) {
+  std::unique_ptr<ShardedGraphStore> store(new ShardedGraphStore());
+  store->dir_ = dir;
+  store->options_ = options;
+  CPDG_RETURN_NOT_OK(store->LoadFromDisk());
+  return store;
+}
+
+Result<std::unique_ptr<ShardedGraphStore>> ShardedGraphStore::Build(
+    const std::string& dir, int64_t num_nodes, std::vector<Event> events,
+    StoreOptions options) {
+  // Same stable chronological sort as TemporalGraph::Create.
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const Event& a, const Event& b) { return a.time < b.time; });
+  EventLogBuilder builder(dir, num_nodes, options);
+  CPDG_RETURN_NOT_OK(
+      builder.AddBatch(events.data(), static_cast<int64_t>(events.size())));
+  CPDG_RETURN_NOT_OK(builder.Finish());
+  return Open(dir, options);
+}
+
+Status ShardedGraphStore::LoadFromDisk() {
+  CPDG_ASSIGN_OR_RETURN(manifest_, ReadManifest(dir_));
+  num_nodes_ = manifest_.num_nodes;
+
+  const std::string events_path = EventsPath(dir_, manifest_.generation);
+  CPDG_ASSIGN_OR_RETURN(events_file_, MappedFile::Open(events_path));
+  CPDG_ASSIGN_OR_RETURN(
+      ParsedFile events,
+      ParseStoreFile(events_file_, FileKind::kEvents, events_path,
+                     options_.verify_checksums));
+  if (events.header->num_nodes != num_nodes_ ||
+      events.header->shard_count != manifest_.shard_count) {
+    return Status::IoError("events file metadata disagrees with manifest: " +
+                           events_path);
+  }
+  if (events.payload_size !=
+      events.footer->record_count * static_cast<int64_t>(sizeof(Event))) {
+    return Status::IoError("events file truncated: " + events_path);
+  }
+  base_events_ = reinterpret_cast<const Event*>(events.payload);
+  base_count_ = events.footer->record_count;
+  base_min_time_ = events.footer->min_time;
+  base_max_time_ = events.footer->max_time;
+
+  shards_.clear();
+  shards_.resize(manifest_.shard_count);
+  int64_t total_entries = 0;
+  for (uint32_t k = 0; k < manifest_.shard_count; ++k) {
+    const std::string path = AdjacencyPath(dir_, manifest_.generation, k);
+    Shard& shard = shards_[k];
+    CPDG_ASSIGN_OR_RETURN(shard.file, MappedFile::Open(path));
+    CPDG_ASSIGN_OR_RETURN(
+        ParsedFile adj,
+        ParseStoreFile(shard.file, FileKind::kAdjacency, path,
+                       options_.verify_checksums));
+    shard.local_nodes = LocalNodeCount(num_nodes_, manifest_.shard_count, k);
+    if (adj.header->shard_index != k ||
+        adj.header->shard_count != manifest_.shard_count ||
+        adj.header->num_nodes != num_nodes_ ||
+        adj.footer->aux_count != shard.local_nodes) {
+      return Status::IoError("adjacency shard metadata mismatch: " + path);
+    }
+    const int64_t offsets_bytes =
+        (shard.local_nodes + 1) * static_cast<int64_t>(sizeof(int64_t));
+    if (adj.payload_size !=
+        offsets_bytes + adj.footer->record_count *
+                            static_cast<int64_t>(sizeof(TemporalNeighbor))) {
+      return Status::IoError("adjacency shard truncated: " + path);
+    }
+    shard.offsets = reinterpret_cast<const int64_t*>(adj.payload);
+    shard.neighbors =
+        reinterpret_cast<const TemporalNeighbor*>(adj.payload + offsets_bytes);
+    if (shard.offsets[0] != 0 ||
+        shard.offsets[shard.local_nodes] != adj.footer->record_count) {
+      return Status::IoError("adjacency shard offsets corrupt: " + path);
+    }
+    total_entries += adj.footer->record_count;
+  }
+  if (total_entries != 2 * base_count_) {
+    return Status::IoError(
+        "adjacency shards disagree with event count in " + dir_);
+  }
+
+  delta_events_.clear();
+  delta_adj_.clear();
+  live_max_time_ = base_max_time_;
+  for (int64_t seq = manifest_.delta_start;
+       seq < manifest_.delta_start + manifest_.delta_count; ++seq) {
+    CPDG_RETURN_NOT_OK(LoadDeltaFile(seq));
+  }
+  has_delta_.store(!delta_events_.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status ShardedGraphStore::LoadDeltaFile(int64_t seq) {
+  const std::string path = DeltaPath(dir_, seq);
+  CPDG_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  // Deltas are small; always CRC them regardless of verify_checksums.
+  CPDG_ASSIGN_OR_RETURN(
+      ParsedFile parsed,
+      ParseStoreFile(file, FileKind::kDelta, path, /*verify_crc=*/true));
+  if (parsed.header->num_nodes != num_nodes_) {
+    return Status::IoError("delta file metadata mismatch: " + path);
+  }
+  if (parsed.payload_size !=
+      parsed.footer->record_count * static_cast<int64_t>(sizeof(Event))) {
+    return Status::IoError("delta file truncated: " + path);
+  }
+  const Event* events = reinterpret_cast<const Event*>(parsed.payload);
+  for (int64_t i = 0; i < parsed.footer->record_count; ++i) {
+    const Event& e = events[i];
+    CPDG_RETURN_NOT_OK(ValidateEvent(e, num_nodes_));
+    if (e.time < live_max_time_) {
+      return Status::IoError("delta file breaks chronological order: " + path);
+    }
+    const int64_t idx = base_count_ + static_cast<int64_t>(delta_events_.size());
+    delta_events_.push_back(e);
+    delta_adj_[e.src].push_back(TemporalNeighbor{e.dst, e.time, idx});
+    delta_adj_[e.dst].push_back(TemporalNeighbor{e.src, e.time, idx});
+    live_max_time_ = e.time;
+  }
+  return Status::OK();
+}
+
+int64_t ShardedGraphStore::num_events() const {
+  if (!has_delta_.load(std::memory_order_acquire)) return base_count_;
+  std::shared_lock lock(mu_);
+  return base_count_ + static_cast<int64_t>(delta_events_.size());
+}
+
+int64_t ShardedGraphStore::delta_event_count() const {
+  std::shared_lock lock(mu_);
+  return static_cast<int64_t>(delta_events_.size());
+}
+
+double ShardedGraphStore::min_time() const {
+  if (base_count_ > 0) return base_min_time_;
+  if (!has_delta_.load(std::memory_order_acquire)) return 0.0;
+  std::shared_lock lock(mu_);
+  return delta_events_.empty() ? 0.0 : delta_events_.front().time;
+}
+
+double ShardedGraphStore::max_time() const {
+  if (!has_delta_.load(std::memory_order_acquire)) return base_max_time_;
+  std::shared_lock lock(mu_);
+  return live_max_time_;
+}
+
+Event ShardedGraphStore::EventAt(int64_t index) const {
+  CPDG_CHECK_GE(index, 0);
+  if (index < base_count_) return base_events_[index];
+  std::shared_lock lock(mu_);
+  CPDG_CHECK_LT(index,
+                base_count_ + static_cast<int64_t>(delta_events_.size()));
+  return delta_events_[static_cast<size_t>(index - base_count_)];
+}
+
+void ShardedGraphStore::ReadEvents(int64_t begin, int64_t end,
+                                   std::vector<Event>* out) const {
+  CPDG_CHECK_GE(begin, 0);
+  CPDG_CHECK_LE(begin, end);
+  out->clear();
+  out->reserve(static_cast<size_t>(end - begin));
+  const int64_t base_end = std::min(end, base_count_);
+  if (begin < base_end) {
+    out->insert(out->end(), base_events_ + begin, base_events_ + base_end);
+  }
+  if (end > base_count_) {
+    std::shared_lock lock(mu_);
+    CPDG_CHECK_LE(end,
+                  base_count_ + static_cast<int64_t>(delta_events_.size()));
+    const int64_t d_begin = std::max<int64_t>(0, begin - base_count_);
+    out->insert(out->end(), delta_events_.begin() + d_begin,
+                delta_events_.begin() + (end - base_count_));
+  } else {
+    CPDG_CHECK_LE(end, base_count_);
+  }
+}
+
+NeighborSpan ShardedGraphStore::BaseNeighbors(NodeId node, double time) const {
+  const Shard& shard = shards_[static_cast<size_t>(
+      node % static_cast<int64_t>(manifest_.shard_count))];
+  const int64_t local = node / static_cast<int64_t>(manifest_.shard_count);
+  const TemporalNeighbor* begin = shard.neighbors + shard.offsets[local];
+  const TemporalNeighbor* end = shard.neighbors + shard.offsets[local + 1];
+  const TemporalNeighbor* cut = LowerBoundByTime(begin, end, time);
+  return NeighborSpan{begin, cut - begin};
+}
+
+NeighborSpan ShardedGraphStore::NeighborsBefore(NodeId node, double time,
+                                                NeighborScratch* scratch) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  NeighborSpan base = BaseNeighbors(node, time);
+  if (!has_delta_.load(std::memory_order_acquire)) return base;
+
+  std::shared_lock lock(mu_);
+  auto it = delta_adj_.find(node);
+  if (it == delta_adj_.end()) return base;
+  const std::vector<TemporalNeighbor>& delta = it->second;
+  const TemporalNeighbor* cut =
+      LowerBoundByTime(delta.data(), delta.data() + delta.size(), time);
+  const int64_t extra = cut - delta.data();
+  if (extra == 0) return base;
+
+  // Delta times are >= every base time, so concatenation preserves the
+  // chronological order the contract requires.
+  CPDG_CHECK(scratch != nullptr)
+      << "NeighborScratch required to merge appended events";
+  std::vector<TemporalNeighbor>& buf = scratch->buffer();
+  buf.assign(base.begin(), base.end());
+  buf.insert(buf.end(), delta.data(), cut);
+  return NeighborSpan{buf.data(), static_cast<int64_t>(buf.size())};
+}
+
+int64_t ShardedGraphStore::Degree(NodeId node) const {
+  CPDG_CHECK_GE(node, 0);
+  CPDG_CHECK_LT(node, num_nodes_);
+  const Shard& shard = shards_[static_cast<size_t>(
+      node % static_cast<int64_t>(manifest_.shard_count))];
+  const int64_t local = node / static_cast<int64_t>(manifest_.shard_count);
+  int64_t degree = shard.offsets[local + 1] - shard.offsets[local];
+  if (has_delta_.load(std::memory_order_acquire)) {
+    std::shared_lock lock(mu_);
+    auto it = delta_adj_.find(node);
+    if (it != delta_adj_.end()) {
+      degree += static_cast<int64_t>(it->second.size());
+    }
+  }
+  return degree;
+}
+
+int64_t ShardedGraphStore::LowerBoundEvent(double t) const {
+  const Event* cut = std::lower_bound(
+      base_events_, base_events_ + base_count_, t,
+      [](const Event& e, double time) { return e.time < time; });
+  int64_t index = cut - base_events_;
+  if (index < base_count_ || !has_delta_.load(std::memory_order_acquire)) {
+    return index;
+  }
+  std::shared_lock lock(mu_);
+  auto it = std::lower_bound(
+      delta_events_.begin(), delta_events_.end(), t,
+      [](const Event& e, double time) { return e.time < time; });
+  return base_count_ + (it - delta_events_.begin());
+}
+
+Status ShardedGraphStore::Append(const std::vector<Event>& events) {
+  if (events.empty()) return Status::OK();
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+
+  // Writers are serialized by append_mu_, so reading the delta tail state
+  // without mu_ is safe here.
+  double tail_time = live_max_time_;
+  if (base_count_ == 0 && delta_events_.empty()) {
+    tail_time = events.front().time;
+  }
+  for (const Event& e : events) {
+    CPDG_RETURN_NOT_OK(ValidateEvent(e, num_nodes_));
+    if (e.time < tail_time) {
+      return Status::InvalidArgument(
+          "appended events must be chronological and >= max_time()");
+    }
+    tail_time = e.time;
+  }
+
+  // Durability point: the delta file is published before it becomes
+  // visible, so a crash after this block replays the same state on Open.
+  const int64_t seq = manifest_.delta_start + manifest_.delta_count;
+  util::AtomicFileSink sink;
+  CPDG_RETURN_NOT_OK(sink.Open(DeltaPath(dir_, seq)));
+  FileHeader header;
+  header.kind = static_cast<uint32_t>(FileKind::kDelta);
+  header.shard_index = 0;
+  header.shard_count = manifest_.shard_count;
+  header.num_nodes = num_nodes_;
+  CPDG_RETURN_NOT_OK(sink.Append(&header, sizeof(header)));
+  CPDG_RETURN_NOT_OK(
+      sink.Append(events.data(), events.size() * sizeof(Event)));
+  FileFooter footer;
+  footer.record_count = static_cast<int64_t>(events.size());
+  footer.min_time = events.front().time;
+  footer.max_time = events.back().time;
+  footer.payload_crc =
+      util::Crc32(events.data(), events.size() * sizeof(Event));
+  CPDG_RETURN_NOT_OK(sink.Append(&footer, sizeof(footer)));
+  CPDG_RETURN_NOT_OK(sink.Commit());
+
+  Manifest updated = manifest_;
+  updated.delta_count += 1;
+  CPDG_RETURN_NOT_OK(WriteManifest(dir_, updated));
+
+  // Visibility point: in-flight readers drain against the old state, new
+  // reads see the appended suffix.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  manifest_ = updated;
+  for (const Event& e : events) {
+    const int64_t idx =
+        base_count_ + static_cast<int64_t>(delta_events_.size());
+    delta_events_.push_back(e);
+    delta_adj_[e.src].push_back(TemporalNeighbor{e.dst, e.time, idx});
+    delta_adj_[e.dst].push_back(TemporalNeighbor{e.src, e.time, idx});
+    live_max_time_ = std::max(live_max_time_, e.time);
+  }
+  if (base_count_ == 0 && delta_events_.size() == events.size()) {
+    live_max_time_ = events.back().time;
+  }
+  has_delta_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ShardedGraphStore::Compact() {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  const Manifest old = manifest_;
+  const int64_t new_generation = old.generation + 1;
+  const int64_t new_delta_start = old.delta_start + old.delta_count;
+
+  // Rebuild runs against stable state: base files are immutable and the
+  // delta tail only changes under append_mu_, which we hold. Readers keep
+  // querying the old state until the swap below.
+  EventLogBuilder builder(dir_, num_nodes_, options_, new_generation,
+                          new_delta_start);
+  constexpr int64_t kChunk = 1 << 16;
+  for (int64_t at = 0; at < base_count_; at += kChunk) {
+    CPDG_RETURN_NOT_OK(builder.AddBatch(
+        base_events_ + at, std::min(kChunk, base_count_ - at)));
+  }
+  CPDG_RETURN_NOT_OK(builder.AddBatch(
+      delta_events_.data(), static_cast<int64_t>(delta_events_.size())));
+  CPDG_RETURN_NOT_OK(builder.Finish());  // publishes the new manifest
+
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    CPDG_RETURN_NOT_OK(LoadFromDisk());
+  }
+
+  // The old generation is unreferenced now; removal is best effort (a
+  // crash here just leaves garbage files a later compaction ignores).
+  ::unlink(EventsPath(dir_, old.generation).c_str());
+  for (uint32_t k = 0; k < old.shard_count; ++k) {
+    ::unlink(AdjacencyPath(dir_, old.generation, k).c_str());
+  }
+  for (int64_t seq = old.delta_start;
+       seq < old.delta_start + old.delta_count; ++seq) {
+    ::unlink(DeltaPath(dir_, seq).c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace cpdg::storage

@@ -1,0 +1,196 @@
+#ifndef CPDG_STORAGE_SHARDED_STORE_H_
+#define CPDG_STORAGE_SHARDED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_store.h"
+#include "storage/event_log.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace cpdg::storage {
+
+/// \brief Store-wide configuration, overridable from the environment:
+///   CPDG_STORE_SHARDS  number of hash partitions a build produces (>= 1)
+///   CPDG_STORE_VERIFY  0 disables the full payload CRC check on open
+///                      (structural validation always runs)
+struct StoreOptions {
+  uint32_t shard_count = 1;
+  bool verify_checksums = true;
+
+  static StoreOptions FromEnv();
+};
+
+/// \brief Streaming writer that turns a chronological event stream into a
+/// complete on-disk store: one events log (streamed through
+/// util::AtomicFileSink in a single forward pass), K CSR adjacency shards
+/// (built by mmap scatter, identical ordering to TemporalGraph::Create),
+/// and the manifest, which is published last and atomically — the commit
+/// point. A crash anywhere before Finish() returns leaves either no store
+/// or the previous complete store.
+///
+/// Events must arrive with non-decreasing time; ties keep arrival order
+/// (exactly the stable sort the in-memory backend applies), which is what
+/// makes the two backends bit-identical.
+class EventLogBuilder {
+ public:
+  /// Prepares a build of generation 0 in `dir` (created if missing).
+  EventLogBuilder(std::string dir, int64_t num_nodes, StoreOptions options);
+  ~EventLogBuilder();
+  EventLogBuilder(const EventLogBuilder&) = delete;
+  EventLogBuilder& operator=(const EventLogBuilder&) = delete;
+
+  Status Add(const graph::Event& event);
+  Status AddBatch(const graph::Event* events, int64_t count);
+
+  /// Writes adjacency shards + manifest. No Add() calls may follow.
+  Status Finish();
+
+  int64_t events_written() const { return count_; }
+
+ private:
+  friend class ShardedGraphStore;
+
+  /// Compaction rebuilds into a later generation with the delta sequence
+  /// preserved; the public constructor pins generation 0.
+  EventLogBuilder(std::string dir, int64_t num_nodes, StoreOptions options,
+                  int64_t generation, int64_t next_delta_seq);
+
+  Status FlushBuffer();
+  Status BuildAdjacencyShards();
+
+  std::string dir_;
+  int64_t num_nodes_;
+  StoreOptions options_;
+  int64_t generation_;
+  int64_t next_delta_seq_;
+
+  util::AtomicFileSink events_sink_;
+  Status open_status_;
+  std::string buffer_;
+  std::vector<int64_t> degree_counts_;
+  int64_t count_ = 0;
+  double min_time_ = 0.0;
+  double max_time_ = 0.0;
+  double last_time_ = 0.0;
+  uint32_t payload_crc_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief Memory-mapped, hash-partitioned graph store: the
+/// production-scale GraphStore backend.
+///
+/// Node id `v` is owned by shard `v % shard_count` at local slot
+/// `v / shard_count`, so routing is O(1) and deterministic; the event log
+/// itself is global and chronological, so event indices are identical
+/// across shard counts. All queries return results bit-identical to an
+/// in-memory TemporalGraph over the same events (pinned by
+/// tests/storage_test.cc), which is what lets samplers, training, and
+/// serving switch backends freely.
+///
+/// \par Concurrency
+/// Readers never block each other. Append() publishes a durable delta file
+/// and then makes the new events visible under a writer lock; in-flight
+/// reads continue against the pre-append state. Compact() folds base +
+/// deltas into a new generation and swaps mappings under the writer lock —
+/// the one operation that invalidates outstanding NeighborSpans (callers
+/// must not hold spans across Compact()).
+class ShardedGraphStore : public graph::GraphStore {
+ public:
+  /// Opens the store persisted in `dir` (manifest + current generation +
+  /// live delta files). Fails with IoError on any torn, truncated, or
+  /// corrupt file.
+  static Result<std::unique_ptr<ShardedGraphStore>> Open(
+      const std::string& dir, StoreOptions options = StoreOptions::FromEnv());
+
+  /// Builds a store in `dir` from an (unsorted) event vector and opens it.
+  /// Sorting matches TemporalGraph::Create exactly (stable on time ties).
+  static Result<std::unique_ptr<ShardedGraphStore>> Build(
+      const std::string& dir, int64_t num_nodes, std::vector<graph::Event> events,
+      StoreOptions options = StoreOptions::FromEnv());
+
+  // GraphStore interface.
+  int64_t num_nodes() const override { return num_nodes_; }
+  int64_t num_events() const override;
+  double min_time() const override;
+  double max_time() const override;
+  graph::Event EventAt(int64_t index) const override;
+  void ReadEvents(int64_t begin, int64_t end,
+                  std::vector<graph::Event>* out) const override;
+  graph::NeighborSpan NeighborsBefore(
+      graph::NodeId node, double time,
+      graph::NeighborScratch* scratch) const override;
+  int64_t Degree(graph::NodeId node) const override;
+  int64_t LowerBoundEvent(double t) const override;
+
+  /// \brief Appends events to the log. Times must be non-decreasing and
+  /// >= max_time(). The batch is first persisted as a delta file (the
+  /// durability point), then made visible to queries atomically.
+  Status Append(const std::vector<graph::Event>& events);
+
+  /// \brief Folds the base generation and all deltas into a new generation
+  /// and drops the delta files. Blocks queries for the duration and
+  /// invalidates outstanding NeighborSpans.
+  Status Compact();
+
+  uint32_t shard_count() const { return manifest_.shard_count; }
+  int64_t generation() const { return manifest_.generation; }
+  /// Events in the compacted base / in not-yet-compacted deltas.
+  int64_t base_event_count() const { return base_count_; }
+  int64_t delta_event_count() const;
+
+ protected:
+  std::string_view store_name() const override { return "ShardedGraphStore"; }
+
+ private:
+  ShardedGraphStore() = default;
+
+  /// (Re)loads manifest, base mappings, and delta files from dir_.
+  Status LoadFromDisk();
+  Status LoadDeltaFile(int64_t seq);
+
+  graph::NeighborSpan BaseNeighbors(graph::NodeId node, double time) const;
+
+  std::string dir_;
+  StoreOptions options_;
+  Manifest manifest_;
+  int64_t num_nodes_ = 0;
+
+  // Base generation, immutable between Compact() calls.
+  MappedFile events_file_;
+  const graph::Event* base_events_ = nullptr;
+  int64_t base_count_ = 0;
+  double base_min_time_ = 0.0;
+  double base_max_time_ = 0.0;
+  struct Shard {
+    MappedFile file;
+    const int64_t* offsets = nullptr;  // local slot count + 1 entries
+    const graph::TemporalNeighbor* neighbors = nullptr;
+    int64_t local_nodes = 0;
+  };
+  std::vector<Shard> shards_;
+
+  // Delta state: events appended since the last compaction, mirrored into
+  // a per-node index. Guarded by mu_; has_delta_ lets the hot read path
+  // skip the lock entirely while the store has no pending delta.
+  // append_mu_ serializes writers (Append/Compact) so the slow disk work
+  // happens outside mu_ and readers only wait for the in-memory swap.
+  mutable std::mutex append_mu_;
+  mutable std::shared_mutex mu_;
+  std::atomic<bool> has_delta_{false};
+  std::vector<graph::Event> delta_events_;
+  std::unordered_map<graph::NodeId, std::vector<graph::TemporalNeighbor>>
+      delta_adj_;
+  double live_max_time_ = 0.0;
+};
+
+}  // namespace cpdg::storage
+
+#endif  // CPDG_STORAGE_SHARDED_STORE_H_

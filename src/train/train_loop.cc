@@ -338,7 +338,7 @@ Status TrainLoop::Rollback(uint32_t mode, int64_t num_batches,
 }
 
 TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
-                                           const graph::TemporalGraph& graph,
+                                           const graph::GraphStore& graph,
                                            int64_t batch_size,
                                            const ChronoBatchFn& batch_fn) {
   CPDG_CHECK(batch_fn != nullptr);

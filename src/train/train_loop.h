@@ -10,7 +10,7 @@
 
 #include "dgnn/encoder.h"
 #include "graph/batching.h"
-#include "graph/temporal_graph.h"
+#include "graph/graph_store.h"
 #include "tensor/checkpoint_container.h"
 #include "tensor/optim.h"
 #include "train/checkpoint.h"
@@ -158,7 +158,7 @@ class TrainLoop {
   /// and every batch is wrapped in BeginBatch / CommitBatch (the TGN
   /// within-batch protocol).
   TrainTelemetry RunChronological(dgnn::DgnnEncoder* encoder,
-                                  const graph::TemporalGraph& graph,
+                                  const graph::GraphStore& graph,
                                   int64_t batch_size,
                                   const ChronoBatchFn& batch_fn);
 

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -108,6 +109,167 @@ Status AtomicWriteFile(const std::string& path, std::string_view payload) {
 
   // Make the rename durable. Best effort: some filesystems refuse to open
   // directories for fsync; the data itself is already synced.
+  int dfd = ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+AtomicFileSink::~AtomicFileSink() { Abort(); }
+
+Status AtomicFileSink::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("sink already open");
+  path_ = path;
+  tmp_ = path + ".tmp";
+  written_ = 0;
+  failed_ = false;
+
+  std::optional<FaultInjector::Config> fault =
+      FaultInjector::Instance().active();
+  has_fault_ = fault.has_value();
+  if (has_fault_) {
+    fault_crash_after_bytes_ = fault->crash_after_bytes;
+    fault_bitflip_byte_ = fault->bitflip_byte;
+    fault_bitflip_mask_ = static_cast<uint8_t>(fault->bitflip_mask);
+    fault_fail_rename_ = fault->fail_rename;
+  }
+
+  fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Status::IoError(ErrnoMessage("open", tmp_));
+  return Status::OK();
+}
+
+Status AtomicFileSink::Append(const void* data, size_t size) {
+  if (fd_ < 0 || failed_) {
+    return Status::FailedPrecondition("sink not open or already failed");
+  }
+  const char* bytes = static_cast<const char*>(data);
+
+  // A bit-flip fault corrupts the byte at the configured absolute file
+  // offset on its way to disk; the append still "succeeds", as real silent
+  // corruption would.
+  std::string flipped;
+  if (has_fault_ && fault_bitflip_byte_ >= written_ &&
+      fault_bitflip_byte_ < written_ + static_cast<int64_t>(size)) {
+    flipped.assign(bytes, size);
+    flipped[static_cast<size_t>(fault_bitflip_byte_ - written_)] ^=
+        static_cast<char>(fault_bitflip_mask_);
+    bytes = flipped.data();
+  }
+
+  if (has_fault_ && fault_crash_after_bytes_ >= 0 &&
+      fault_crash_after_bytes_ < written_ + static_cast<int64_t>(size)) {
+    // Simulated mid-write crash: persist only the prefix and fail, leaving
+    // the partial temp file behind exactly as a dead process would.
+    const size_t prefix =
+        static_cast<size_t>(std::max<int64_t>(0, fault_crash_after_bytes_ -
+                                                     written_));
+    Status st = WriteAll(fd_, bytes, prefix, tmp_);
+    ::close(fd_);
+    fd_ = -1;
+    failed_ = true;
+    if (!st.ok()) return st;
+    return Status::IoError("injected crash after " +
+                           std::to_string(fault_crash_after_bytes_) +
+                           " bytes writing " + tmp_);
+  }
+
+  Status st = WriteAll(fd_, bytes, size, tmp_);
+  if (!st.ok()) {
+    failed_ = true;
+    return st;
+  }
+  written_ += static_cast<int64_t>(size);
+  return Status::OK();
+}
+
+Status AtomicFileSink::Commit() {
+  if (fd_ < 0 || failed_) {
+    return Status::FailedPrecondition("sink not open or already failed");
+  }
+  if (::fsync(fd_) != 0) {
+    Status err = Status::IoError(ErrnoMessage("fsync", tmp_));
+    Abort();
+    return err;
+  }
+  if (::close(fd_) != 0) {
+    Status err = Status::IoError(ErrnoMessage("close", tmp_));
+    fd_ = -1;
+    ::unlink(tmp_.c_str());
+    return err;
+  }
+  fd_ = -1;
+
+  if (has_fault_ && fault_fail_rename_) {
+    ::unlink(tmp_.c_str());
+    return Status::IoError("injected rename failure publishing " + path_);
+  }
+  if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    Status err = Status::IoError(ErrnoMessage("rename", tmp_));
+    ::unlink(tmp_.c_str());
+    return err;
+  }
+  int dfd = ::open(DirName(path_).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+void AtomicFileSink::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(tmp_.c_str());
+  }
+}
+
+Status AtomicPublishTempFile(const std::string& path, const std::string& tmp) {
+  std::optional<FaultInjector::Config> fault =
+      FaultInjector::Instance().active();
+
+  int fd = ::open(tmp.c_str(), O_RDWR);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+
+  // Mirror AtomicWriteFile's silent-corruption fault: flip one byte of the
+  // already-written payload before it is published.
+  if (fault.has_value() && fault->bitflip_byte >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      off_t off = static_cast<off_t>(fault->bitflip_byte %
+                                     static_cast<int64_t>(st.st_size));
+      unsigned char b = 0;
+      if (::pread(fd, &b, 1, off) == 1) {
+        b ^= static_cast<unsigned char>(fault->bitflip_mask);
+        (void)!::pwrite(fd, &b, 1, off);
+      }
+    }
+  }
+
+  if (::fsync(fd) != 0) {
+    Status err = Status::IoError(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  if (::close(fd) != 0) {
+    Status err = Status::IoError(ErrnoMessage("close", tmp));
+    ::unlink(tmp.c_str());
+    return err;
+  }
+
+  if (fault.has_value() && fault->fail_rename) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("injected rename failure publishing " + path);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status err = Status::IoError(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return err;
+  }
   int dfd = ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
     ::fsync(dfd);

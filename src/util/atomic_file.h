@@ -1,6 +1,7 @@
 #ifndef CPDG_UTIL_ATOMIC_FILE_H_
 #define CPDG_UTIL_ATOMIC_FILE_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -20,6 +21,64 @@ namespace cpdg::util {
 /// crash-after-N-bytes, failed renames and silent bit flips for the
 /// fault-tolerance suite.
 Status AtomicWriteFile(const std::string& path, std::string_view payload);
+
+/// \brief Streaming variant of AtomicWriteFile for payloads too large to
+/// materialize in memory (the storage event logs stream 10^7 events through
+/// this). Bytes are appended to `path` + ".tmp"; Commit() fsyncs and
+/// renames over the target, so readers still only ever observe a complete
+/// file. Abort() (implicit in the destructor if never committed) discards
+/// the temp file.
+///
+/// The same util::FaultInjector hooks as AtomicWriteFile apply:
+/// crash-after-N-bytes (cumulative across Append calls, leaves a partial
+/// temp file and fails), bit flips (the byte at the configured absolute
+/// file offset is flipped in transit; the write still "succeeds"), and
+/// failed renames at Commit().
+class AtomicFileSink {
+ public:
+  AtomicFileSink() = default;
+  ~AtomicFileSink();
+  AtomicFileSink(const AtomicFileSink&) = delete;
+  AtomicFileSink& operator=(const AtomicFileSink&) = delete;
+
+  /// Creates/truncates the temp file. The fault configuration is captured
+  /// here, once, like AtomicWriteFile does.
+  Status Open(const std::string& path);
+
+  /// Appends raw bytes; fails if not open or after a failed Append.
+  Status Append(const void* data, size_t size);
+
+  /// Total bytes appended so far (the offset the next Append writes at).
+  int64_t bytes_written() const { return written_; }
+
+  /// Fsync + rename + directory fsync. The sink is closed afterwards
+  /// regardless of the outcome.
+  Status Commit();
+
+  /// Closes and unlinks the temp file; no-op if not open.
+  void Abort();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  int fd_ = -1;
+  int64_t written_ = 0;
+  bool failed_ = false;
+  // Captured fault config (empty string state encoded via fd_ < 0).
+  bool has_fault_ = false;
+  int64_t fault_crash_after_bytes_ = -1;
+  int64_t fault_bitflip_byte_ = -1;
+  uint8_t fault_bitflip_mask_ = 0;
+  bool fault_fail_rename_ = false;
+};
+
+/// \brief Publishes an existing fully-written temp file over `path` with
+/// the same durability and fault-injection semantics as the tail of
+/// AtomicWriteFile: fsync(tmp), optional injected bit flip / rename
+/// failure, rename, directory fsync. Used by writers that build their
+/// payload in place via mmap (the storage adjacency shards) and therefore
+/// cannot stream through AtomicFileSink.
+Status AtomicPublishTempFile(const std::string& path, const std::string& tmp);
 
 /// \brief Reads a whole file into `out`. Returns IoError if the file
 /// cannot be opened or read.

@@ -74,6 +74,100 @@ TEST(GeneratorTest, DeterministicForSameSeed) {
   }
 }
 
+/// Test sink buffering streamed chunks, with optional failure injection.
+class VectorSink : public EventSink {
+ public:
+  explicit VectorSink(int64_t fail_after_appends = -1)
+      : fail_after_(fail_after_appends) {}
+
+  Status Append(const Event* events, int64_t count) override {
+    if (fail_after_ >= 0 && appends_ >= fail_after_) {
+      return Status::Internal("sink full");
+    }
+    ++appends_;
+    events_.insert(events_.end(), events, events + count);
+    return Status::OK();
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  int64_t appends() const { return appends_; }
+
+ private:
+  std::vector<Event> events_;
+  int64_t appends_ = 0;
+  int64_t fail_after_;
+};
+
+TEST(GeneratorTest, StreamEventsMatchesGenerateEventsExactly) {
+  DynamicGraphUniverse u(TinySpec(), 21);
+  std::vector<Event> bulk = u.GenerateEvents(0, 0.1, 0.5, 500);
+  // The streamed form must emit the identical sequence (same RNG stream)
+  // for any chunking.
+  for (int64_t chunk : {1, 7, 64, 500, 1000}) {
+    VectorSink sink;
+    ASSERT_TRUE(u.StreamEvents(0, 0.1, 0.5, 500, chunk, &sink).ok());
+    ASSERT_EQ(sink.events().size(), bulk.size()) << "chunk " << chunk;
+    for (size_t i = 0; i < bulk.size(); ++i) {
+      EXPECT_EQ(sink.events()[i].src, bulk[i].src);
+      EXPECT_EQ(sink.events()[i].dst, bulk[i].dst);
+      EXPECT_EQ(sink.events()[i].time, bulk[i].time);
+      EXPECT_EQ(sink.events()[i].label, bulk[i].label);
+    }
+  }
+}
+
+TEST(GeneratorTest, StreamEventsPropagatesSinkFailure) {
+  DynamicGraphUniverse u(TinySpec(), 21);
+  VectorSink sink(/*fail_after_appends=*/2);
+  auto status = u.StreamEvents(0, 0.1, 0.5, 500, 100, &sink);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(sink.appends(), 2);  // aborted at the failing chunk
+}
+
+TEST(ScaleStressTest, StreamIsChronologicalDeterministicAndInRange) {
+  ScaleStressSpec spec;
+  spec.num_users = 200;
+  spec.num_items = 100;
+  spec.num_events = 5000;
+  VectorSink a, b;
+  ASSERT_TRUE(StreamScaleStressEvents(spec, 5, 512, &a).ok());
+  ASSERT_TRUE(StreamScaleStressEvents(spec, 5, 999, &b).ok());
+  ASSERT_EQ(a.events().size(), 5000u);
+  // Chunk size must not affect the stream.
+  ASSERT_EQ(b.events().size(), a.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    const Event& e = a.events()[i];
+    EXPECT_EQ(e.src, b.events()[i].src);
+    EXPECT_EQ(e.dst, b.events()[i].dst);
+    EXPECT_EQ(e.time, b.events()[i].time);
+    // Bipartite layout: users then items, strictly increasing times
+    // (exactly what the storage event-log builder requires).
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, spec.num_users);
+    EXPECT_GE(e.dst, spec.num_users);
+    EXPECT_LT(e.dst, spec.num_users + spec.num_items);
+    if (i > 0) {
+      EXPECT_GT(e.time, a.events()[i - 1].time);
+    }
+  }
+}
+
+TEST(ScaleStressTest, PopularitySkewIsVisible) {
+  ScaleStressSpec spec;
+  spec.num_users = 200;
+  spec.num_items = 100;
+  spec.num_events = 5000;
+  VectorSink sink;
+  ASSERT_TRUE(StreamScaleStressEvents(spec, 9, 1024, &sink).ok());
+  // With skew 3.0 the bottom decile of item ids absorbs several times its
+  // uniform share (10% of 5000 = 500) of all interactions.
+  int64_t low_decile = 0;
+  for (const Event& e : sink.events()) {
+    if (e.dst - spec.num_users < spec.num_items / 10) ++low_decile;
+  }
+  EXPECT_GT(low_decile, 2000);
+}
+
 TEST(GeneratorTest, SeedsChangeTheGraph) {
   DynamicGraphUniverse u1(TinySpec(), 7);
   DynamicGraphUniverse u2(TinySpec(), 8);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/temporal_graph.h"
 #include "dgnn/encoder.h"
 #include "tensor/losses.h"
 #include "tensor/ops.h"

@@ -63,6 +63,67 @@ TEST(EventsCsvTest, MalformedRowRejectedWithLineNumber) {
   auto r = graph::ReadEventsCsv(path);
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("non-numeric time"),
+            std::string::npos);
+}
+
+TEST(EventsCsvTest, WrongFieldCountRejectedWithLineNumber) {
+  std::string path = TempPath("bad_fields.csv");
+  WriteFile(path,
+            "src,dst,time,edge_type,label\n1,2,0.5,0,0\n1,2,0.75,0\n");
+  auto r = graph::ReadEventsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(r.status().message().find("expected 5 fields, got 4"),
+            std::string::npos);
+}
+
+TEST(EventsCsvTest, NegativeNodeIdRejectedWithLineNumber) {
+  std::string path = TempPath("bad_id.csv");
+  WriteFile(path, "src,dst,time,edge_type,label\n1,-2,0.5,0,0\n");
+  auto r = graph::ReadEventsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(EventsCsvTest, NonNumericIdRejectedWithOffendingField) {
+  std::string path = TempPath("bad_src.csv");
+  WriteFile(path, "src,dst,time,edge_type,label\nuser7,2,0.5,0,0\n");
+  auto r = graph::ReadEventsCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("non-numeric src id"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find("'user7'"), std::string::npos);
+}
+
+TEST(EventsCsvTest, StreamingStopsAtFirstBadRowAfterGoodOnes) {
+  std::string path = TempPath("stream_stop.csv");
+  WriteFile(path,
+            "src,dst,time,edge_type,label\n"
+            "1,2,0.5,0,0\n"
+            "3,4,0.75,1,0\n"
+            "oops\n");
+  int64_t rows_seen = 0;
+  auto status = graph::StreamEventsCsv(path, [&](const Event&) {
+    ++rows_seen;
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(rows_seen, 2);  // valid prefix was delivered before the error
+  EXPECT_NE(status.message().find("line 4"), std::string::npos);
+}
+
+TEST(EventsCsvTest, CallbackErrorAbortsStream) {
+  std::string path = TempPath("stream_abort.csv");
+  WriteFile(path,
+            "src,dst,time,edge_type,label\n1,2,0.5,0,0\n3,4,0.75,0,0\n");
+  auto status = graph::StreamEventsCsv(path, [](const Event&) {
+    return Status::Internal("sink full");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
 }
 
 TEST(JodieCsvTest, ParsesAndRebasesItems) {

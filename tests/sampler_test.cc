@@ -1,3 +1,4 @@
+#include "graph/temporal_graph.h"
 #include "sampler/samplers.h"
 
 #include <algorithm>

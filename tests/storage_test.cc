@@ -1,0 +1,553 @@
+// Backend-parity and durability tests for the sharded, memory-mapped
+// graph store.
+//
+// The GraphStore determinism contract says two stores over the same
+// logical event set answer every query identically, regardless of backend,
+// shard count, or whether events arrived by bulk build or streaming
+// append. These tests pin that contract bit-for-bit against the in-memory
+// TemporalGraph — first on the raw query surface (EventsInWindow /
+// NeighborsBefore boundary semantics), then through the samplers, a full
+// pre-training epoch, and the serving engine. Corruption sweeps
+// (FaultInjector bitflips, direct truncation) verify that torn or silently
+// corrupted store files are rejected cleanly at Open.
+
+#include "storage/sharded_store.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pretrainer.h"
+#include "dgnn/encoder.h"
+#include "graph/graph_store.h"
+#include "graph/temporal_graph.h"
+#include "gtest/gtest.h"
+#include "sampler/samplers.h"
+#include "serve/serving_engine.h"
+#include "storage/event_log.h"
+#include "tensor/checkpoint_container.h"
+#include "tensor/ops.h"
+#include "tensor/serialization.h"
+#include "tensor/tensor.h"
+#include "train/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace cpdg {
+namespace {
+
+namespace fs = std::filesystem;
+namespace ts = tensor;
+using graph::Event;
+using graph::GraphStore;
+using graph::NodeId;
+using graph::TemporalGraph;
+using storage::ShardedGraphStore;
+using storage::StoreOptions;
+
+constexpr int64_t kNumNodes = 24;
+
+/// Fresh per-test store directory under the gtest temp root.
+std::string StoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/storage_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+StoreOptions Opts(uint32_t shards, bool verify = true) {
+  StoreOptions opts;
+  opts.shard_count = shards;
+  opts.verify_checksums = verify;
+  return opts;
+}
+
+/// Random events with deliberate timestamp ties (groups of three share one
+/// time) so the stable-sort / strictly-before boundary semantics are
+/// actually exercised, not just the generic sorted path.
+std::vector<Event> MakeEvents(uint64_t seed, int64_t count) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    Event e;
+    e.src = static_cast<NodeId>(rng.NextBounded(kNumNodes));
+    e.dst = static_cast<NodeId>(rng.NextBounded(kNumNodes));
+    if (e.dst == e.src) e.dst = (e.src + 1) % kNumNodes;
+    e.time = 0.5 * static_cast<double>(i / 3);  // ties in groups of 3
+    e.edge_type = static_cast<int32_t>(rng.NextBounded(4));
+    e.label = static_cast<int32_t>(rng.NextBounded(3)) - 1;
+    events.push_back(e);
+  }
+  return events;
+}
+
+void ExpectSpanIdentical(graph::NeighborSpan ref, graph::NeighborSpan got,
+                         const std::string& context) {
+  ASSERT_EQ(ref.count, got.count) << context;
+  if (ref.count > 0) {
+    EXPECT_EQ(std::memcmp(ref.data, got.data,
+                          sizeof(graph::TemporalNeighbor) *
+                              static_cast<size_t>(ref.count)),
+              0)
+        << context;
+  }
+}
+
+void ExpectEventsIdentical(const std::vector<Event>& ref,
+                           const std::vector<Event>& got,
+                           const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  if (!ref.empty()) {
+    EXPECT_EQ(std::memcmp(ref.data(), got.data(),
+                          sizeof(Event) * ref.size()),
+              0)
+        << context;
+  }
+}
+
+/// Full query-surface sweep: every GraphStore method compared bit-for-bit
+/// at every boundary-relevant time (before the first event, exactly on
+/// each distinct event time, between ties, past the last event).
+void ExpectBackendParity(const GraphStore& ref, const GraphStore& got) {
+  ASSERT_EQ(ref.num_nodes(), got.num_nodes());
+  ASSERT_EQ(ref.num_events(), got.num_events());
+  EXPECT_EQ(ref.min_time(), got.min_time());
+  EXPECT_EQ(ref.max_time(), got.max_time());
+
+  const int64_t n = ref.num_events();
+  for (int64_t i = 0; i < n; ++i) {
+    Event a = ref.EventAt(i);
+    Event b = got.EventAt(i);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(Event)), 0) << "event " << i;
+  }
+
+  std::vector<Event> ra, rb;
+  ref.ReadEvents(0, n, &ra);
+  got.ReadEvents(0, n, &rb);
+  ExpectEventsIdentical(ra, rb, "ReadEvents full");
+  ref.ReadEvents(n / 3, 2 * n / 3, &ra);
+  got.ReadEvents(n / 3, 2 * n / 3, &rb);
+  ExpectEventsIdentical(ra, rb, "ReadEvents middle");
+
+  // Probe times: distinct event times themselves (strictly-before
+  // boundaries), their midpoints, and both outsides.
+  std::vector<double> probes = {ref.min_time() - 1.0, ref.max_time() + 1.0};
+  for (int64_t i = 0; i < n; ++i) {
+    double t = ref.EventAt(i).time;
+    if (probes.size() < 2 || probes.back() != t) probes.push_back(t);
+    probes.push_back(t + 0.25);
+  }
+
+  graph::NeighborScratch scratch_ref, scratch_got;
+  for (NodeId v = 0; v < ref.num_nodes(); ++v) {
+    ASSERT_EQ(ref.Degree(v), got.Degree(v)) << "node " << v;
+    for (double t : probes) {
+      ExpectSpanIdentical(ref.NeighborsBefore(v, t, &scratch_ref),
+                          got.NeighborsBefore(v, t, &scratch_got),
+                          "NeighborsBefore node " + std::to_string(v) +
+                              " t " + std::to_string(t));
+    }
+  }
+
+  for (double t : probes) {
+    EXPECT_EQ(ref.LowerBoundEvent(t), got.LowerBoundEvent(t)) << "t " << t;
+  }
+  for (size_t i = 0; i + 1 < probes.size(); i += 2) {
+    ExpectEventsIdentical(
+        ref.EventsInWindow(probes[i], probes[i + 1]),
+        got.EventsInWindow(probes[i], probes[i + 1]),
+        "EventsInWindow [" + std::to_string(probes[i]) + ", " +
+            std::to_string(probes[i + 1]) + ")");
+  }
+  EXPECT_EQ(ref.NodesBefore(ref.max_time()), got.NodesBefore(got.max_time()));
+}
+
+TEST(EventLogFormatTest, LocalNodeCountPartitionsExactly) {
+  for (int64_t n : {0, 1, 7, 24, 100}) {
+    for (uint32_t k : {1u, 3u, 4u, 7u}) {
+      int64_t total = 0;
+      for (uint32_t s = 0; s < k; ++s) {
+        total += storage::LocalNodeCount(n, k, s);
+      }
+      EXPECT_EQ(total, n) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BackendParityTest, BuildMatchesTemporalGraphAcrossShardCounts) {
+  std::vector<Event> events = MakeEvents(7, 240);
+  TemporalGraph ref = TemporalGraph::Create(kNumNodes, events).ValueOrDie();
+  for (uint32_t shards : {1u, 4u}) {
+    auto store = ShardedGraphStore::Build(
+        StoreDir("parity_s" + std::to_string(shards)), kNumNodes, events,
+        Opts(shards));
+    ASSERT_TRUE(store.ok()) << store.status().message();
+    EXPECT_EQ(store.value()->shard_count(), shards);
+    ExpectBackendParity(ref, *store.value());
+  }
+}
+
+TEST(BackendParityTest, StrictlyBeforeSemanticsAtTiedTimestamps) {
+  // Node 0 interacts at t=1 (twice, a tie), t=2 and t=3.
+  std::vector<Event> events = {
+      {0, 1, 1.0}, {2, 0, 1.0}, {0, 3, 2.0}, {4, 0, 3.0}, {5, 6, 4.0}};
+  TemporalGraph ref = TemporalGraph::Create(8, events).ValueOrDie();
+  auto store = ShardedGraphStore::Build(StoreDir("boundary"), 8, events,
+                                        Opts(4));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  graph::NeighborScratch scratch;
+  for (const GraphStore* g :
+       {static_cast<const GraphStore*>(&ref),
+        static_cast<const GraphStore*>(store.value().get())}) {
+    // Strictly before: a query exactly at an event time excludes every
+    // event at that time, including all members of a tie group.
+    EXPECT_EQ(g->NeighborsBefore(0, 1.0, &scratch).count, 0);
+    EXPECT_EQ(g->NeighborsBefore(0, 1.0 + 1e-9, &scratch).count, 2);
+    EXPECT_EQ(g->NeighborsBefore(0, 2.0, &scratch).count, 2);
+    EXPECT_EQ(g->NeighborsBefore(0, 3.0, &scratch).count, 3);
+    EXPECT_EQ(g->NeighborsBefore(0, 100.0, &scratch).count, 4);
+    // Tie group keeps event order.
+    auto span = g->NeighborsBefore(0, 2.0, &scratch);
+    EXPECT_EQ(span[0].node, 1);
+    EXPECT_EQ(span[1].node, 2);
+    EXPECT_EQ(span[0].event_index, 0);
+    EXPECT_EQ(span[1].event_index, 1);
+
+    // EventsInWindow is [t_lo, t_hi): empty window, exact-hit lower bound,
+    // exclusive upper bound.
+    EXPECT_TRUE(g->EventsInWindow(1.0, 1.0).empty());
+    EXPECT_EQ(g->EventsInWindow(1.0, 2.0).size(), 2u);
+    EXPECT_EQ(g->EventsInWindow(2.0, 4.0).size(), 2u);
+    EXPECT_EQ(g->EventsInWindow(0.0, 100.0).size(), 5u);
+    EXPECT_EQ(g->LowerBoundEvent(1.0), 0);
+    EXPECT_EQ(g->LowerBoundEvent(1.5), 2);
+    EXPECT_EQ(g->LowerBoundEvent(100.0), 5);
+  }
+}
+
+TEST(BackendParityTest, StreamedAppendMatchesBulkBuild) {
+  std::vector<Event> events = MakeEvents(11, 240);
+  std::vector<Event> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time < b.time;
+                   });
+  std::vector<Event> base(sorted.begin(), sorted.begin() + 120);
+  std::vector<Event> delta1(sorted.begin() + 120, sorted.begin() + 180);
+  std::vector<Event> delta2(sorted.begin() + 180, sorted.end());
+
+  TemporalGraph ref = TemporalGraph::Create(kNumNodes, events).ValueOrDie();
+  const std::string dir = StoreDir("append");
+  auto store =
+      ShardedGraphStore::Build(dir, kNumNodes, base, Opts(4));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  ASSERT_TRUE(store.value()->Append(delta1).ok());
+  ASSERT_TRUE(store.value()->Append(delta2).ok());
+  EXPECT_EQ(store.value()->delta_event_count(), 120);
+  EXPECT_EQ(store.value()->base_event_count(), 120);
+  // The delta path answers through the scratch merge; must still be
+  // bit-identical to the bulk-built reference.
+  ExpectBackendParity(ref, *store.value());
+
+  // Durability: a fresh Open over the same directory sees the appends.
+  auto reopened = ShardedGraphStore::Open(dir, Opts(4));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value()->delta_event_count(), 120);
+  ExpectBackendParity(ref, *reopened.value());
+
+  // Compaction folds deltas into generation 1 without changing any answer.
+  ASSERT_TRUE(store.value()->Compact().ok());
+  EXPECT_EQ(store.value()->delta_event_count(), 0);
+  EXPECT_EQ(store.value()->base_event_count(), 240);
+  EXPECT_EQ(store.value()->generation(), 1);
+  ExpectBackendParity(ref, *store.value());
+
+  // And the compacted store reopens identically.
+  auto after = ShardedGraphStore::Open(dir, Opts(4));
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  EXPECT_EQ(after.value()->generation(), 1);
+  ExpectBackendParity(ref, *after.value());
+}
+
+TEST(BackendParityTest, AppendValidatesInput) {
+  std::vector<Event> events = MakeEvents(13, 60);
+  auto store = ShardedGraphStore::Build(StoreDir("append_validate"),
+                                        kNumNodes, events, Opts(2));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  double t_max = store.value()->max_time();
+
+  // Out-of-order (before the live maximum) is refused.
+  EXPECT_FALSE(store.value()->Append({{1, 2, t_max - 1.0}}).ok());
+  // Out-of-range node ids are refused.
+  EXPECT_FALSE(store.value()->Append({{kNumNodes, 2, t_max + 1.0}}).ok());
+  EXPECT_FALSE(store.value()->Append({{-1, 2, t_max + 1.0}}).ok());
+  // A failed append leaves the store unchanged.
+  EXPECT_EQ(store.value()->num_events(), 60);
+  EXPECT_EQ(store.value()->delta_event_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption sweeps: every torn/corrupted artifact must fail Open cleanly
+// with an error, never a crash or a silently wrong graph.
+
+TEST(CorruptionTest, BitflipDuringBuildIsRejected) {
+  std::vector<Event> events = MakeEvents(17, 90);
+  util::FaultInjector::Config fault;
+  fault.bitflip_byte = 80;  // a payload byte past the 64 B header
+  util::FaultInjector::Scope scope(fault);
+  auto store = ShardedGraphStore::Build(StoreDir("bitflip_build"),
+                                        kNumNodes, events, Opts(1));
+  EXPECT_FALSE(store.ok());
+}
+
+TEST(CorruptionTest, RenameFailureLeavesNoOpenableStore) {
+  std::vector<Event> events = MakeEvents(19, 90);
+  const std::string dir = StoreDir("rename_fail");
+  {
+    util::FaultInjector::Config fault;
+    fault.fail_rename = true;
+    util::FaultInjector::Scope scope(fault);
+    auto store =
+        ShardedGraphStore::Build(dir, kNumNodes, events, Opts(1));
+    EXPECT_FALSE(store.ok());
+  }
+  // Nothing was published, so there is no manifest to open.
+  auto reopened = ShardedGraphStore::Open(dir, Opts(1));
+  EXPECT_FALSE(reopened.ok());
+}
+
+TEST(CorruptionTest, TruncatedEventsFileRejected) {
+  std::vector<Event> events = MakeEvents(23, 90);
+  const std::string dir = StoreDir("truncate_events");
+  ASSERT_TRUE(
+      ShardedGraphStore::Build(dir, kNumNodes, events, Opts(1)).ok());
+
+  const std::string path = storage::EventsPath(dir, 0);
+  fs::resize_file(path, fs::file_size(path) - 8);
+  auto reopened = ShardedGraphStore::Open(dir, Opts(1));
+  EXPECT_FALSE(reopened.ok());
+}
+
+TEST(CorruptionTest, TruncatedManifestRejected) {
+  std::vector<Event> events = MakeEvents(29, 60);
+  const std::string dir = StoreDir("truncate_manifest");
+  ASSERT_TRUE(
+      ShardedGraphStore::Build(dir, kNumNodes, events, Opts(1)).ok());
+
+  const std::string path = storage::ManifestPath(dir);
+  fs::resize_file(path, fs::file_size(path) / 2);
+  auto reopened = ShardedGraphStore::Open(dir, Opts(1));
+  EXPECT_FALSE(reopened.ok());
+}
+
+/// XORs one byte of `path` in place (silent on-disk corruption).
+void FlipByteAt(const std::string& path, int64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(offset);
+  char c = 0;
+  f.read(&c, 1);
+  c ^= 0x10;
+  f.seekp(offset);
+  f.write(&c, 1);
+}
+
+TEST(CorruptionTest, AdjacencyBitflipCaughtByChecksum) {
+  std::vector<Event> events = MakeEvents(31, 90);
+  const std::string dir = StoreDir("bitflip_adj");
+  ASSERT_TRUE(
+      ShardedGraphStore::Build(dir, kNumNodes, events, Opts(1)).ok());
+
+  // Flip a byte in the neighbor-record region (just before the footer), so
+  // structural validation alone cannot notice — only the CRC can.
+  const std::string path = storage::AdjacencyPath(dir, 0, 0);
+  int64_t size = static_cast<int64_t>(fs::file_size(path));
+  FlipByteAt(path, size - static_cast<int64_t>(sizeof(storage::FileFooter)) -
+                       10);
+
+  auto verified = ShardedGraphStore::Open(dir, Opts(1, /*verify=*/true));
+  EXPECT_FALSE(verified.ok());
+  // CPDG_STORE_VERIFY=0 trades the full-payload CRC for open latency;
+  // structural validation still passes here, so the open succeeds.
+  auto unverified = ShardedGraphStore::Open(dir, Opts(1, /*verify=*/false));
+  EXPECT_TRUE(unverified.ok()) << unverified.status().message();
+}
+
+TEST(CorruptionTest, DeltaBitflipAlwaysCaught) {
+  std::vector<Event> events = MakeEvents(37, 60);
+  const std::string dir = StoreDir("bitflip_delta");
+  auto store =
+      ShardedGraphStore::Build(dir, kNumNodes, events, Opts(1));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  double t = store.value()->max_time();
+  ASSERT_TRUE(store.value()->Append({{1, 2, t + 1.0}, {3, 4, t + 2.0}}).ok());
+  store.value().reset();
+
+  // Deltas are CRC-verified unconditionally — even with verification
+  // disabled the corrupted suffix must be rejected.
+  FlipByteAt(storage::DeltaPath(dir, 0), 70);
+  EXPECT_FALSE(ShardedGraphStore::Open(dir, Opts(1, /*verify=*/true)).ok());
+  EXPECT_FALSE(ShardedGraphStore::Open(dir, Opts(1, /*verify=*/false)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parity: the layers refactored onto GraphStore must be unable
+// to tell the backends apart, bit for bit.
+
+TEST(SamplerParityTest, SubgraphSamplesIdenticalAcrossBackends) {
+  std::vector<Event> events = MakeEvents(41, 240);
+  TemporalGraph ref = TemporalGraph::Create(kNumNodes, events).ValueOrDie();
+  auto store = ShardedGraphStore::Build(StoreDir("sampler"), kNumNodes,
+                                        events, Opts(4));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  sampler::StructuralTemporalSampler s_ref(&ref);
+  sampler::StructuralTemporalSampler s_got(store.value().get());
+  sampler::StructuralTemporalSampler::Options opts;
+  opts.width = 3;
+  opts.depth = 2;
+
+  double t_query = ref.max_time() + 1.0;
+  for (NodeId root = 0; root < kNumNodes; ++root) {
+    for (auto bias : {sampler::TemporalBias::kChronological,
+                      sampler::TemporalBias::kReverseChronological,
+                      sampler::TemporalBias::kUniform}) {
+      Rng rng_ref(100 + static_cast<uint64_t>(root));
+      Rng rng_got(100 + static_cast<uint64_t>(root));
+      auto a = s_ref.SampleEtaBfs(root, t_query, bias, opts, &rng_ref);
+      auto b = s_got.SampleEtaBfs(root, t_query, bias, opts, &rng_got);
+      EXPECT_EQ(a.nodes, b.nodes) << "eta-BFS root " << root;
+      EXPECT_EQ(a.times, b.times) << "eta-BFS root " << root;
+    }
+    auto a = s_ref.SampleEpsilonDfs(root, t_query, opts);
+    auto b = s_got.SampleEpsilonDfs(root, t_query, opts);
+    EXPECT_EQ(a.nodes, b.nodes) << "eps-DFS root " << root;
+    EXPECT_EQ(a.times, b.times) << "eps-DFS root " << root;
+  }
+
+  std::vector<NodeId> roots;
+  std::vector<double> times;
+  for (NodeId v = 0; v < kNumNodes; ++v) {
+    roots.push_back(v);
+    times.push_back(t_query);
+  }
+  auto nb_ref = sampler::SampleNeighborBatch(
+      ref, roots, times, 4, sampler::NeighborStrategy::kMostRecent, nullptr);
+  auto nb_got = sampler::SampleNeighborBatch(
+      *store.value(), roots, times, 4,
+      sampler::NeighborStrategy::kMostRecent, nullptr);
+  EXPECT_EQ(nb_ref.nodes, nb_got.nodes);
+  EXPECT_EQ(nb_ref.times, nb_got.times);
+  EXPECT_EQ(nb_ref.valid, nb_got.valid);
+}
+
+void ExpectTensorsBitIdentical(const std::vector<ts::Tensor>& a,
+                               const std::vector<ts::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "tensor " << i;
+    EXPECT_EQ(std::memcmp(a[i].data(), b[i].data(),
+                          sizeof(float) * static_cast<size_t>(a[i].size())),
+              0)
+        << "tensor " << i;
+  }
+}
+
+dgnn::EncoderConfig ParityEncoderConfig() {
+  dgnn::EncoderConfig config;
+  config.num_nodes = kNumNodes;
+  config.memory_dim = 8;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.num_neighbors = 3;
+  return config;
+}
+
+TEST(PretrainParityTest, EpochIsBitIdenticalAcrossBackends) {
+  std::vector<Event> events = MakeEvents(43, 200);
+  TemporalGraph ref = TemporalGraph::Create(kNumNodes, events).ValueOrDie();
+  auto store = ShardedGraphStore::Build(StoreDir("pretrain"), kNumNodes,
+                                        events, Opts(4));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  core::CpdgConfig config;
+  config.epochs = 1;
+  config.batch_size = 50;
+  config.num_checkpoints = 2;
+  config.max_contrast_anchors = 8;
+
+  auto run = [&](const GraphStore& g) {
+    Rng rng(97);
+    dgnn::DgnnEncoder encoder(ParityEncoderConfig(), &g, &rng);
+    dgnn::LinkPredictor decoder(8, 8, &rng);
+    core::CpdgPretrainer pretrainer(config, &rng);
+    core::PretrainResult result = pretrainer.Pretrain(&encoder, &decoder, g);
+    std::vector<ts::Tensor> params = encoder.Parameters();
+    std::vector<ts::Tensor> dec = decoder.Parameters();
+    params.insert(params.end(), dec.begin(), dec.end());
+    return std::make_pair(result.log.epoch_losses, params);
+  };
+
+  auto [losses_ref, params_ref] = run(ref);
+  auto [losses_got, params_got] = run(*store.value());
+  EXPECT_EQ(losses_ref, losses_got);  // exact double equality
+  ExpectTensorsBitIdentical(params_ref, params_got);
+}
+
+TEST(ServingParityTest, EmbeddingsBitIdenticalAcrossBackends) {
+  std::vector<Event> events = MakeEvents(47, 160);
+  TemporalGraph ref = TemporalGraph::Create(kNumNodes, events).ValueOrDie();
+  auto store = ShardedGraphStore::Build(StoreDir("serving"), kNumNodes,
+                                        events, Opts(4));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  // One reference encoder produces the checkpoint both engines load.
+  Rng rng(53);
+  dgnn::DgnnEncoder encoder(ParityEncoderConfig(), &ref, &rng);
+  dgnn::LinkPredictor predictor(8, 16, &rng);
+  {
+    ts::InferenceModeGuard guard;
+    encoder.ReplayEvents(ref.events(), /*batch_size=*/16);
+  }
+  std::vector<ts::Tensor> params = encoder.Parameters();
+  std::vector<ts::Tensor> dec = predictor.Parameters();
+  params.insert(params.end(), dec.begin(), dec.end());
+  ts::SectionWriter writer;
+  writer.Add(ts::kParamsSection, ts::EncodeTensorList(params).ValueOrDie());
+  std::string memory_bytes;
+  encoder.memory().SerializeTo(&memory_bytes);
+  writer.Add(train::kMemorySection, memory_bytes);
+  const std::string ckpt = ::testing::TempDir() + "/storage_serving.ckpt";
+  ASSERT_TRUE(writer.WriteAtomic(ckpt).ok());
+
+  auto engine_ref = serve::ServingEngine::FromCheckpoint(
+      ParityEncoderConfig(), /*predictor_hidden=*/16, &ref, ckpt);
+  ASSERT_TRUE(engine_ref.ok()) << engine_ref.status().message();
+  auto engine_got = serve::ServingEngine::FromCheckpoint(
+      ParityEncoderConfig(), /*predictor_hidden=*/16, store.value().get(),
+      ckpt);
+  ASSERT_TRUE(engine_got.ok()) << engine_got.status().message();
+
+  std::vector<NodeId> probe = {0, 3, 7, 11, 23};
+  double t_query = ref.max_time() + 1.0;
+  auto emb_ref = engine_ref.value()->Embed(probe, t_query);
+  auto emb_got = engine_got.value()->Embed(probe, t_query);
+  ASSERT_TRUE(emb_ref.ok());
+  ASSERT_TRUE(emb_got.ok());
+  ExpectTensorsBitIdentical({emb_ref.value()}, {emb_got.value()});
+
+  auto scores_ref =
+      engine_ref.value()->ScoreLinks({0, 3}, {7, 11}, t_query);
+  auto scores_got =
+      engine_got.value()->ScoreLinks({0, 3}, {7, 11}, t_query);
+  ASSERT_TRUE(scores_ref.ok());
+  ASSERT_TRUE(scores_got.ok());
+  EXPECT_EQ(scores_ref.value(), scores_got.value());  // exact doubles
+}
+
+}  // namespace
+}  // namespace cpdg
