@@ -4,6 +4,14 @@
 // identical to the serial run (the thread pool's static-partition
 // contract). Results land in BENCH_kernels.json next to the binary.
 //
+// Measurement protocol: one untimed warm-up rep (first touch, pool
+// spin-up, pack-buffer growth), then each rep timed individually;
+// `seconds` is the best (minimum) rep and `spread_pct` is the max-vs-min
+// run-to-run spread, so a noisy neighbour inflates the spread instead of
+// silently corrupting the headline number. GFLOPS are derived from the
+// same tensor.matmul.{fwd,bwd}_flops counters the trace/metrics export
+// reads, so bench output and traces cannot disagree on the flop model.
+//
 // Usage:
 //   bench_kernels          full sweep: 512x512x512, threads {1,2,4,8}
 //   bench_kernels --smoke  CI-sized:   128x128x128, threads {1,2}
@@ -12,10 +20,12 @@
 // bit, so the ctest `bench-smoke` registration doubles as a determinism
 // check.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common/experiment.h"
@@ -23,6 +33,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -36,11 +47,27 @@ namespace ts = cpdg::tensor;
 struct Record {
   std::string name;
   int threads = 1;
-  double seconds = 0.0;
+  double seconds = 0.0;    // best (minimum) timed rep
+  double spread_pct = 0.0; // (slowest - fastest) / fastest * 100
   double gflops = 0.0;
   double speedup_vs_1 = 0.0;
   bool bitwise_equal_to_serial = true;
 };
+
+/// Best-of-N reduction over individually timed reps.
+struct RepStats {
+  double best = 0.0;
+  double spread_pct = 0.0;
+};
+
+RepStats Reduce(const std::vector<double>& rep_seconds) {
+  RepStats stats;
+  const auto [lo, hi] =
+      std::minmax_element(rep_seconds.begin(), rep_seconds.end());
+  stats.best = *lo;
+  if (*lo > 0.0) stats.spread_pct = (*hi - *lo) / *lo * 100.0;
+  return stats;
+}
 
 bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
   return a.size() == b.size() &&
@@ -58,12 +85,18 @@ struct MatMulOutputs {
 };
 
 MatMulOutputs TimeMatMul(int64_t m, int64_t k, int64_t n, int reps,
-                         bool backward, double* seconds_out) {
+                         bool backward, RepStats* stats_out,
+                         double* flops_per_rep_out) {
   Rng rng(42);
   ts::Tensor a = ts::Tensor::RandomUniform(m, k, 0.5f, &rng, backward);
   ts::Tensor b = ts::Tensor::RandomUniform(k, n, 0.5f, &rng, backward);
   MatMulOutputs outputs;
-  // Warm-up rep excluded from timing (first touch, pool spin-up).
+  obs::Counter& fwd_flops =
+      obs::MetricsRegistry::Global().counter("tensor.matmul.fwd_flops");
+  obs::Counter& bwd_flops =
+      obs::MetricsRegistry::Global().counter("tensor.matmul.bwd_flops");
+  // Warm-up rep excluded from timing (first touch, pool spin-up,
+  // pack-buffer growth).
   {
     ts::Tensor out = ts::MatMul(a, b);
     if (backward) out.Backward();
@@ -72,10 +105,14 @@ MatMulOutputs TimeMatMul(int64_t m, int64_t k, int64_t n, int reps,
     std::memset(a.grad(), 0, sizeof(float) * static_cast<size_t>(a.size()));
     std::memset(b.grad(), 0, sizeof(float) * static_cast<size_t>(b.size()));
   }
-  util::Timer timer;
+  const int64_t flops_before = fwd_flops.value() + bwd_flops.value();
+  std::vector<double> rep_seconds;
+  rep_seconds.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
     ts::Tensor out = ts::MatMul(a, b);
     if (backward) out.Backward();
+    rep_seconds.push_back(timer.ElapsedSeconds());
     if (r == reps - 1) {
       outputs.out = Snapshot(out.data(), out.size());
       if (backward) {
@@ -84,7 +121,12 @@ MatMulOutputs TimeMatMul(int64_t m, int64_t k, int64_t n, int reps,
       }
     }
   }
-  *seconds_out = timer.ElapsedSeconds() / reps;
+  // Flop model comes from the op counters themselves, not a local
+  // re-derivation, so the bench and the metrics/trace export agree.
+  *flops_per_rep_out = static_cast<double>(fwd_flops.value() +
+                                           bwd_flops.value() - flops_before) /
+                       reps;
+  *stats_out = Reduce(rep_seconds);
   return outputs;
 }
 
@@ -123,16 +165,19 @@ void WriteJson(const std::vector<Record>& records, const char* path) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const char* simd = ts::simd::ModeName(ts::simd::ActiveMode());
   std::fputs("[\n", f);
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"threads\": %d, \"seconds\": %.6g, "
-                 "\"gflops\": %.4g, \"speedup_vs_1\": %.4g, "
-                 "\"bitwise_equal_to_serial\": %s}%s\n",
-                 r.name.c_str(), r.threads, r.seconds, r.gflops,
+                 "\"spread_pct\": %.2f, \"gflops\": %.4g, "
+                 "\"speedup_vs_1\": %.4g, \"bitwise_equal_to_serial\": %s, "
+                 "\"hardware_concurrency\": %u, \"simd\": \"%s\"}%s\n",
+                 r.name.c_str(), r.threads, r.seconds, r.spread_pct, r.gflops,
                  r.speedup_vs_1, r.bitwise_equal_to_serial ? "true" : "false",
-                 i + 1 < records.size() ? "," : "");
+                 hw, simd, i + 1 < records.size() ? "," : "");
   }
   std::fputs("]\n", f);
   std::fclose(f);
@@ -155,18 +200,15 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     std::printf("%s%d", i != 0u ? "," : "", thread_counts[i]);
   }
-  std::printf("}; hardware_concurrency=%d\n\n",
-              util::ThreadPool::DefaultNumThreads());
+  std::printf("}; hardware_concurrency=%u; simd=%s\n\n",
+              std::thread::hardware_concurrency(),
+              ts::simd::ModeName(ts::simd::ActiveMode()));
 
   std::vector<Record> records;
   bool all_bitwise = true;
 
-  // Forward flops: 2*m*k*n. Backward adds dA (2*m*n*k) and dB (2*k*m*n).
-  const double fwd_flops = 2.0 * static_cast<double>(dim) * dim * dim;
-
   for (bool backward : {false, true}) {
     const char* name = backward ? "matmul_fwd_bwd" : "matmul_fwd";
-    const double flops = backward ? 3.0 * fwd_flops : fwd_flops;
     MatMulOutputs serial;
     double serial_seconds = 0.0;
     for (int threads : thread_counts) {
@@ -174,9 +216,13 @@ int main(int argc, char** argv) {
       Record rec;
       rec.name = name;
       rec.threads = threads;
+      RepStats stats;
+      double flops_per_rep = 0.0;
       MatMulOutputs got =
-          TimeMatMul(dim, dim, dim, reps, backward, &rec.seconds);
-      rec.gflops = flops / rec.seconds * 1e-9;
+          TimeMatMul(dim, dim, dim, reps, backward, &stats, &flops_per_rep);
+      rec.seconds = stats.best;
+      rec.spread_pct = stats.spread_pct;
+      rec.gflops = flops_per_rep / rec.seconds * 1e-9;
       if (threads == 1) {
         serial = got;
         serial_seconds = rec.seconds;
@@ -188,17 +234,21 @@ int main(int argc, char** argv) {
             SameBits(serial.gb, got.gb);
       }
       all_bitwise = all_bitwise && rec.bitwise_equal_to_serial;
-      std::printf("%-16s threads=%d  %8.4f s  %7.2f GFLOP/s  speedup %.2fx"
-                  "  bitwise %s\n",
-                  name, threads, rec.seconds, rec.gflops, rec.speedup_vs_1,
+      std::printf("%-16s threads=%d  %8.4f s (±%.1f%%)  %7.2f GFLOP/s  "
+                  "speedup %.2fx  bitwise %s\n",
+                  name, threads, rec.seconds, rec.spread_pct, rec.gflops,
+                  rec.speedup_vs_1,
                   rec.bitwise_equal_to_serial ? "ok" : "MISMATCH");
       records.push_back(rec);
     }
   }
 
-  // Full cell: pre-train + fine-tune + eval, per thread count. Timed once
-  // each (the cell is seconds-scale); bitwise check on the AUC/AP doubles.
+  // Full cell: pre-train + fine-tune + eval, per thread count. One untimed
+  // warm-up run, then best-of-N like the kernels (the run is deterministic
+  // per seed, so extra reps only tighten timing); bitwise check on the
+  // AUC/AP doubles.
   {
+    const int cell_reps = smoke ? 1 : 2;
     data::TransferBenchmarkBuilder builder(CellUniverse(), 77);
     data::TransferDataset ds = builder.Build(data::TransferSetting::kTime, 0);
     bench::LinkPredResult serial_cell;
@@ -208,10 +258,19 @@ int main(int argc, char** argv) {
       Record rec;
       rec.name = "link_pred_cell";
       rec.threads = threads;
-      util::Timer timer;
-      bench::LinkPredResult cell = bench::RunLinkPrediction(
-          bench::MethodSpec::Cpdg(), ds, CellScale(), /*seed=*/1);
-      rec.seconds = timer.ElapsedSeconds();
+      bench::RunLinkPrediction(bench::MethodSpec::Cpdg(), ds, CellScale(),
+                               /*seed=*/1);
+      std::vector<double> rep_seconds;
+      bench::LinkPredResult cell;
+      for (int r = 0; r < cell_reps; ++r) {
+        util::Timer timer;
+        cell = bench::RunLinkPrediction(bench::MethodSpec::Cpdg(), ds,
+                                        CellScale(), /*seed=*/1);
+        rep_seconds.push_back(timer.ElapsedSeconds());
+      }
+      const RepStats stats = Reduce(rep_seconds);
+      rec.seconds = stats.best;
+      rec.spread_pct = stats.spread_pct;
       if (threads == 1) {
         serial_cell = cell;
         serial_seconds = rec.seconds;
@@ -222,9 +281,9 @@ int main(int argc, char** argv) {
             cell.auc == serial_cell.auc && cell.ap == serial_cell.ap;
       }
       all_bitwise = all_bitwise && rec.bitwise_equal_to_serial;
-      std::printf("%-16s threads=%d  %8.4f s  %7s           speedup %.2fx"
-                  "  bitwise %s\n",
-                  "link_pred_cell", threads, rec.seconds, "",
+      std::printf("%-16s threads=%d  %8.4f s (±%.1f%%)  %7s           "
+                  "speedup %.2fx  bitwise %s\n",
+                  "link_pred_cell", threads, rec.seconds, rec.spread_pct, "",
                   rec.speedup_vs_1,
                   rec.bitwise_equal_to_serial ? "ok" : "MISMATCH");
       records.push_back(rec);

@@ -11,6 +11,15 @@ Slowdowns above --warn-pct print a warning; slowdowns above --fail-pct
 exit code 1. Records present in only one file are reported but do not
 fail the run, so the baseline can trail the benchmark by one PR.
 
+Thread-scaling gates (--min-speedup name:threads:factor, repeatable;
+default matmul_fwd:4:2.5) fail the run when the current file has a
+matching record whose speedup_vs_1 falls below the factor. A gate is
+skipped, with a note, when the record is absent (e.g. the smoke sweep
+stops at 2 threads) or when the recorded hardware_concurrency is below
+the thread count — a 1-core CI box cannot exhibit real scaling, and
+oversubscribed numbers would only gate on noise. Pass --min-speedup none
+to disable.
+
 Stdlib only — runs on a bare CI python3.
 """
 
@@ -39,7 +48,23 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument("--warn-pct", type=float, default=10.0)
     parser.add_argument("--fail-pct", type=float, default=25.0)
+    parser.add_argument("--min-speedup", action="append", default=None,
+                        metavar="NAME:THREADS:FACTOR",
+                        help="thread-scaling gate; repeatable; 'none' "
+                             "disables (default matmul_fwd:4:2.5)")
     args = parser.parse_args()
+
+    speedup_gates = []
+    for spec in (args.min_speedup or ["matmul_fwd:4:2.5"]):
+        if spec == "none":
+            speedup_gates = []
+            break
+        try:
+            name, threads, factor = spec.split(":")
+            speedup_gates.append((name, int(threads), float(factor)))
+        except ValueError:
+            print(f"error: bad --min-speedup spec {spec!r}", file=sys.stderr)
+            return 2
 
     try:
         baseline = load_records(args.baseline)
@@ -78,6 +103,26 @@ def main():
         if current[key].get("bitwise_equal_to_serial") is False:
             failures.append(f"{key[0]} threads={key[1]}: "
                             "parallel result not bitwise equal to serial")
+
+    for name, threads, factor in speedup_gates:
+        rec = current.get((name, threads))
+        if rec is None:
+            print(f"note  scaling gate {name} threads={threads}: "
+                  "no such record in current run, skipped")
+            continue
+        cores = rec.get("hardware_concurrency")
+        if cores is None or int(cores) < threads:
+            print(f"note  scaling gate {name} threads={threads}: "
+                  f"machine has {cores} core(s), skipped "
+                  "(cannot scale past physical cores)")
+            continue
+        speedup = float(rec["speedup_vs_1"])
+        line = (f"{name:<16} threads={threads}  "
+                f"speedup_vs_1 {speedup:.2f}x  required {factor:.2f}x")
+        if speedup < factor:
+            failures.append(line)
+        else:
+            print(f"ok    {line}")
 
     for w in warnings:
         print(f"WARN  {w}")

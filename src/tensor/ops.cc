@@ -5,23 +5,36 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "tensor/gemm.h"
+#include "tensor/simd.h"
 #include "util/thread_pool.h"
 
 namespace cpdg::tensor {
 namespace {
 
-// Minimum per-chunk element count for parallel kernels; tensors below this
-// stay on the serial fast path. Chunk boundaries depend only on this grain
-// (never on the worker count), and every chunk owns a disjoint slice of its
-// output, so parallel results are bitwise identical to serial ones.
+// Minimum per-chunk element count for parallel kernels. Chunk boundaries
+// depend only on this grain (never on the worker count), and every chunk
+// owns a disjoint slice of its output, so parallel results are bitwise
+// identical to serial ones.
 constexpr int64_t kElementGrain = 1 << 14;
 
+// Serial cutoff: ops whose total scalar work is below this never touch the
+// pool — dispatch (mutex + condvar wakeups) costs more than the op itself,
+// which showed up as sub-1.0x "speedups" on small full-cell batches. The
+// elementwise bodies are chunk-shape independent, so results are bitwise
+// identical on either side of the cutoff (pinned by GemmTest).
+constexpr int64_t kMinParallelWork = 1 << 16;
+
 // Splits a flat element range into grain-sized chunks. Only ranges that
-// actually fan out over the pool get a trace span: sub-grain tensors run
+// actually fan out over the pool get a trace span: sub-cutoff tensors run
 // serially on a fast path that must stay span-free (the encoder issues
 // thousands of tiny elementwise ops per batch).
 void ParallelElems(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
-  CPDG_TRACE_SPAN(n >= kElementGrain ? "tensor/elementwise" : nullptr);
+  if (n < kMinParallelWork) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  CPDG_TRACE_SPAN("tensor/elementwise");
   util::ThreadPool::Global().ParallelFor(0, n, kElementGrain, fn);
 }
 
@@ -29,8 +42,11 @@ void ParallelElems(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
 // operations each; `row_cost` is the per-row operation count.
 void ParallelRows(int64_t rows, int64_t row_cost,
                   const std::function<void(int64_t, int64_t)>& fn) {
-  CPDG_TRACE_SPAN(rows * row_cost >= kElementGrain ? "tensor/rowwise"
-                                                   : nullptr);
+  if (rows * row_cost < kMinParallelWork) {
+    if (rows > 0) fn(0, rows);
+    return;
+  }
+  CPDG_TRACE_SPAN("tensor/rowwise");
   int64_t grain =
       std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, row_cost));
   util::ThreadPool::Global().ParallelFor(0, rows, grain, fn);
@@ -54,7 +70,7 @@ void AccumulateBroadcast(const Tensor& b, const float* dout, int64_t n,
   float* gb = b.grad();
   if (kind == BroadcastKind::kSame) {
     ParallelElems(n * d, [gb, dout](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) gb[i] += dout[i];
+      simd::Accumulate(gb + lo, dout + lo, hi - lo);
     });
   } else {
     for (int64_t r = 0; r < n; ++r) {
@@ -99,7 +115,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
         if (a.requires_grad()) {
           float* ga = a.grad();
           ParallelElems(n * d, [ga, dout](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i];
+            simd::Accumulate(ga + lo, dout + lo, hi - lo);
           });
         }
         if (b.requires_grad()) AccumulateBroadcast(b, dout, n, d, kind);
@@ -110,7 +126,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   float* po = out.data();
   if (kind == BroadcastKind::kSame) {
     ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+      simd::Add(pa + lo, pb + lo, po + lo, hi - lo);
     });
   } else {
     for (int64_t r = 0; r < n; ++r) {
@@ -130,14 +146,14 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
         if (a.requires_grad()) {
           float* ga = a.grad();
           ParallelElems(n * d, [ga, dout](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i];
+            simd::Accumulate(ga + lo, dout + lo, hi - lo);
           });
         }
         if (b.requires_grad()) {
           // Negated upstream gradient for the subtrahend.
           std::vector<float> neg(static_cast<size_t>(n * d));
           ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) neg[i] = -dout[i];
+            simd::Negate(dout + lo, neg.data() + lo, hi - lo);
           });
           AccumulateBroadcast(b, neg.data(), n, d, kind);
         }
@@ -148,7 +164,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   float* po = out.data();
   if (kind == BroadcastKind::kSame) {
     ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+      simd::Sub(pa + lo, pb + lo, po + lo, hi - lo);
     });
   } else {
     for (int64_t r = 0; r < n; ++r) {
@@ -171,7 +187,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
           float* ga = a.grad();
           if (kind == BroadcastKind::kSame) {
             ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
-              for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i] * pb[i];
+              simd::AccumulateProduct(ga + lo, dout + lo, pb + lo, hi - lo);
             });
           } else {
             for (int64_t r = 0; r < n; ++r) {
@@ -185,7 +201,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
           // d(a*b)/db = a, so scale by a before (possibly) reducing rows.
           std::vector<float> scaled(static_cast<size_t>(n * d));
           ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) scaled[i] = dout[i] * pa[i];
+            simd::Mul(dout + lo, pa + lo, scaled.data() + lo, hi - lo);
           });
           AccumulateBroadcast(b, scaled.data(), n, d, kind);
         }
@@ -196,7 +212,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   float* po = out.data();
   if (kind == BroadcastKind::kSame) {
     ParallelElems(n * d, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+      simd::Mul(pa + lo, pb + lo, po + lo, hi - lo);
     });
   } else {
     for (int64_t r = 0; r < n; ++r) {
@@ -219,7 +235,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
         if (a.requires_grad()) {
           float* ga = a.grad();
           ParallelElems(n, [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) ga[i] += dout[i] / pb[i];
+            simd::AccumulateQuotient(ga + lo, dout + lo, pb + lo, hi - lo);
           });
         }
         if (b.requires_grad()) {
@@ -236,7 +252,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   ParallelElems(n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] / pb[i];
+    simd::Div(pa + lo, pb + lo, po + lo, hi - lo);
   });
   return out;
 }
@@ -271,60 +287,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       m, n, {a, b},
       [a, b, m, k, n](Tensor& self) mutable {
         CPDG_TRACE_SPAN("tensor/matmul_bwd");
+        // Each backward product does the same 2*m*k*n multiply-adds as the
+        // forward; counted separately so traces and bench GFLOPS agree.
+        static obs::Counter& bwd_flops =
+            obs::MetricsRegistry::Global().counter("tensor.matmul.bwd_flops");
         const float* dout = self.grad();
-        const float* pa = a.data();
-        const float* pb = b.data();
         if (a.requires_grad()) {
-          // dA = dOut * B^T; each chunk owns a disjoint row slice of ga.
-          float* ga = a.grad();
-          ParallelRows(m, n * k, [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) {
-              for (int64_t j = 0; j < n; ++j) {
-                float g = dout[i * n + j];
-                if (g == 0.0f) continue;
-                const float* brow = pb + j;  // column j of B, strided
-                for (int64_t p = 0; p < k; ++p) {
-                  ga[i * k + p] += g * brow[p * n];
-                }
-              }
-            }
-          });
+          // dA[m,k] += dOut[m,n] · Bᵀ[n,k]; Bᵀ is B with swapped strides.
+          bwd_flops.Add(2 * m * k * n);
+          GemmAccumulate({dout, m, n, n, 1}, {b.data(), n, k, 1, n},
+                         a.grad());
         }
         if (b.requires_grad()) {
-          // dB = A^T * dOut; parallel over rows p of B, so each chunk owns
-          // a disjoint row slice of gb and the per-element accumulation
-          // order over i stays ascending (bitwise equal to serial).
-          float* gb = b.grad();
-          ParallelRows(k, m * n, [&](int64_t lo, int64_t hi) {
-            for (int64_t p = lo; p < hi; ++p) {
-              for (int64_t i = 0; i < m; ++i) {
-                float av = pa[i * k + p];
-                if (av == 0.0f) continue;
-                for (int64_t j = 0; j < n; ++j) {
-                  gb[p * n + j] += av * dout[i * n + j];
-                }
-              }
-            }
-          });
+          // dB[k,n] += Aᵀ[k,m] · dOut[m,n].
+          bwd_flops.Add(2 * m * k * n);
+          GemmAccumulate({a.data(), k, m, 1, k}, {dout, m, n, n, 1},
+                         b.grad());
         }
       },
       "matmul");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // ikj loop order for cache-friendly access to B and Out; parallel chunks
-  // own disjoint row slices of Out.
-  ParallelRows(m, k * n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        float av = pa[i * k + p];
-        if (av == 0.0f) continue;
-        const float* brow = pb + p * n;
-        float* orow = po + i * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
+  // Out starts zeroed, so the accumulating GEMM computes A·B exactly.
+  GemmAccumulate({a.data(), m, k, k, 1}, {b.data(), k, n, n, 1}, out.data());
   return out;
 }
 
@@ -456,18 +439,24 @@ Tensor RowSum(const Tensor& a) {
       [a, n, d](Tensor& self) mutable {
         const float* dout = self.grad();
         float* ga = a.grad();
-        for (int64_t r = 0; r < n; ++r) {
-          for (int64_t c = 0; c < d; ++c) ga[r * d + c] += dout[r];
-        }
+        ParallelRows(n, d, [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            for (int64_t c = 0; c < d; ++c) ga[r * d + c] += dout[r];
+          }
+        });
       },
       "row_sum");
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < n; ++r) {
-    double acc = 0.0;
-    for (int64_t c = 0; c < d; ++c) acc += pa[r * d + c];
-    po[r] = static_cast<float>(acc);
-  }
+  // Rows are independent reductions, so row-granular chunks keep the
+  // per-row accumulation order fixed at any thread count.
+  ParallelRows(n, d, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < d; ++c) acc += pa[r * d + c];
+      po[r] = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
@@ -667,32 +656,36 @@ Tensor Softmax(const Tensor& a) {
         const float* dout = self.grad();
         const float* y = self.data();
         float* ga = a.grad();
-        for (int64_t r = 0; r < n; ++r) {
-          // dL/dx_i = y_i * (dL/dy_i - sum_j y_j dL/dy_j)
-          double dot = 0.0;
-          for (int64_t c = 0; c < d; ++c) {
-            dot += static_cast<double>(y[r * d + c]) * dout[r * d + c];
+        ParallelRows(n, 2 * d, [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            // dL/dx_i = y_i * (dL/dy_i - sum_j y_j dL/dy_j)
+            double dot = 0.0;
+            for (int64_t c = 0; c < d; ++c) {
+              dot += static_cast<double>(y[r * d + c]) * dout[r * d + c];
+            }
+            for (int64_t c = 0; c < d; ++c) {
+              ga[r * d + c] += y[r * d + c] *
+                               (dout[r * d + c] - static_cast<float>(dot));
+            }
           }
-          for (int64_t c = 0; c < d; ++c) {
-            ga[r * d + c] += y[r * d + c] *
-                             (dout[r * d + c] - static_cast<float>(dot));
-          }
-        }
+        });
       },
       "softmax");
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < n; ++r) {
-    float mx = pa[r * d];
-    for (int64_t c = 1; c < d; ++c) mx = std::max(mx, pa[r * d + c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < d; ++c) {
-      po[r * d + c] = std::exp(pa[r * d + c] - mx);
-      sum += po[r * d + c];
+  ParallelRows(n, 3 * d, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float mx = pa[r * d];
+      for (int64_t c = 1; c < d; ++c) mx = std::max(mx, pa[r * d + c]);
+      double sum = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        po[r * d + c] = std::exp(pa[r * d + c] - mx);
+        sum += po[r * d + c];
+      }
+      float inv = static_cast<float>(1.0 / sum);
+      for (int64_t c = 0; c < d; ++c) po[r * d + c] *= inv;
     }
-    float inv = static_cast<float>(1.0 / sum);
-    for (int64_t c = 0; c < d; ++c) po[r * d + c] *= inv;
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,115 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/simd_internal.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cpdg::tensor::simd {
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Mode ResolveFromEnv() {
+  const char* v = std::getenv("CPDG_SIMD");
+  if (v == nullptr || std::strcmp(v, "auto") == 0 || v[0] == '\0') {
+    return Avx2Supported() ? Mode::kAvx2 : Mode::kScalar;
+  }
+  if (std::strcmp(v, "scalar") == 0) return Mode::kScalar;
+  if (std::strcmp(v, "avx2") == 0) {
+    if (Avx2Supported()) return Mode::kAvx2;
+    CPDG_LOG(Warning) << "CPDG_SIMD=avx2 requested but "
+                      << (CpuHasAvx2Fma() ? "the AVX2 kernels were not built"
+                                          : "the CPU lacks AVX2/FMA")
+                      << "; falling back to scalar";
+    return Mode::kScalar;
+  }
+  CPDG_LOG(Warning) << "unknown CPDG_SIMD value \"" << v
+                    << "\" (want auto|scalar|avx2); using auto";
+  return Avx2Supported() ? Mode::kAvx2 : Mode::kScalar;
+}
+
+// -1 = follow env resolution; otherwise a forced Mode for tests.
+std::atomic<int> forced_mode{-1};
+
+const simd_internal::ElementwiseKernels& KernelsFor(Mode m) {
+#ifdef CPDG_HAVE_AVX2_KERNELS
+  if (m == Mode::kAvx2) return simd_internal::Avx2Elementwise();
+#endif
+  (void)m;
+  return simd_internal::ScalarElementwise();
+}
+
+}  // namespace
+
+bool Avx2Supported() {
+#ifdef CPDG_HAVE_AVX2_KERNELS
+  static const bool supported = CpuHasAvx2Fma();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Mode ActiveMode() {
+  int forced = forced_mode.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<Mode>(forced);
+  static const Mode resolved = ResolveFromEnv();
+  return resolved;
+}
+
+const char* ModeName(Mode m) {
+  return m == Mode::kAvx2 ? "avx2" : "scalar";
+}
+
+void ForceModeForTest(Mode m) {
+  CPDG_CHECK(m != Mode::kAvx2 || Avx2Supported())
+      << "cannot force AVX2 kernels on a machine without AVX2/FMA support";
+  forced_mode.store(static_cast<int>(m), std::memory_order_release);
+}
+
+void ResetModeForTest() {
+  forced_mode.store(-1, std::memory_order_release);
+}
+
+void Add(const float* a, const float* b, float* o, int64_t n) {
+  KernelsFor(ActiveMode()).add(a, b, o, n);
+}
+void Sub(const float* a, const float* b, float* o, int64_t n) {
+  KernelsFor(ActiveMode()).sub(a, b, o, n);
+}
+void Mul(const float* a, const float* b, float* o, int64_t n) {
+  KernelsFor(ActiveMode()).mul(a, b, o, n);
+}
+void Div(const float* a, const float* b, float* o, int64_t n) {
+  KernelsFor(ActiveMode()).div(a, b, o, n);
+}
+void Accumulate(float* g, const float* d, int64_t n) {
+  KernelsFor(ActiveMode()).accumulate(g, d, n);
+}
+void AccumulateProduct(float* g, const float* d, const float* x, int64_t n) {
+  KernelsFor(ActiveMode()).accumulate_product(g, d, x, n);
+}
+void AccumulateQuotient(float* g, const float* d, const float* x, int64_t n) {
+  KernelsFor(ActiveMode()).accumulate_quotient(g, d, x, n);
+}
+void Negate(const float* a, float* o, int64_t n) {
+  KernelsFor(ActiveMode()).negate(a, o, n);
+}
+void Scale(const float* a, float s, float* o, int64_t n) {
+  KernelsFor(ActiveMode()).scale(a, s, o, n);
+}
+void AccumulateScaled(float* g, const float* d, float s, int64_t n) {
+  KernelsFor(ActiveMode()).accumulate_scaled(g, d, s, n);
+}
+
+}  // namespace cpdg::tensor::simd

@@ -1,0 +1,70 @@
+#ifndef CPDG_TENSOR_SIMD_H_
+#define CPDG_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace cpdg::tensor::simd {
+
+/// \brief Instruction-set backend for the dense kernels (GEMM microkernel
+/// and the vectorized elementwise primitives below).
+///
+/// Numeric contract: both backends implement the exact same per-element
+/// arithmetic — lane-independent mul/add for the elementwise primitives and
+/// correctly-rounded fused multiply-add (`std::fmaf` == `vfmaddps` per
+/// lane) for the GEMM accumulation chains — so results are bitwise
+/// identical regardless of which backend runs. Backend selection therefore
+/// affects speed only, never values, and goldens captured on one machine
+/// hold on every machine.
+enum class Mode {
+  kScalar,  ///< Portable C++ (std::fmaf chains); runs everywhere.
+  kAvx2,    ///< AVX2 + FMA intrinsics; requires hardware and build support.
+};
+
+/// \brief Backend in use, resolved once on first call: the `CPDG_SIMD` env
+/// override (`auto` / `scalar` / `avx2`) intersected with build- and
+/// runtime-CPU support. `avx2` requested on an unsupported machine warns
+/// and falls back to scalar.
+Mode ActiveMode();
+
+/// Short lowercase name ("scalar", "avx2") for logs and bench JSON.
+const char* ModeName(Mode m);
+
+/// \brief True when the AVX2 kernels were compiled in and the running CPU
+/// reports AVX2 + FMA.
+bool Avx2Supported();
+
+/// \brief Test hook: pins the active mode, bypassing the env resolution.
+/// Forcing kAvx2 on a machine without support is a fatal error.
+void ForceModeForTest(Mode m);
+
+/// \brief Test hook: reverts ForceModeForTest to the env/auto resolution.
+void ResetModeForTest();
+
+/// \name Vectorized elementwise primitives
+///
+/// Drop-in bodies for the hot ParallelElems chunks in ops.cc. Each is
+/// plain lane-independent IEEE arithmetic (separate multiply and add — no
+/// contraction), so the vectorized forms are bitwise identical to the
+/// scalar loops they replace at every size and alignment.
+/// @{
+void Add(const float* a, const float* b, float* o, int64_t n);
+void Sub(const float* a, const float* b, float* o, int64_t n);
+void Mul(const float* a, const float* b, float* o, int64_t n);
+void Div(const float* a, const float* b, float* o, int64_t n);
+/// g[i] += d[i]
+void Accumulate(float* g, const float* d, int64_t n);
+/// g[i] += d[i] * x[i]  (multiply then add; not fused)
+void AccumulateProduct(float* g, const float* d, const float* x, int64_t n);
+/// g[i] += d[i] / x[i]
+void AccumulateQuotient(float* g, const float* d, const float* x, int64_t n);
+/// o[i] = -a[i]
+void Negate(const float* a, float* o, int64_t n);
+/// o[i] = a[i] * s
+void Scale(const float* a, float s, float* o, int64_t n);
+/// g[i] += d[i] * s  (multiply then add; not fused)
+void AccumulateScaled(float* g, const float* d, float s, int64_t n);
+/// @}
+
+}  // namespace cpdg::tensor::simd
+
+#endif  // CPDG_TENSOR_SIMD_H_

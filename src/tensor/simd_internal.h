@@ -1,0 +1,38 @@
+#ifndef CPDG_TENSOR_SIMD_INTERNAL_H_
+#define CPDG_TENSOR_SIMD_INTERNAL_H_
+
+// Backend seam for the elementwise primitives in simd.h. Every function is
+// lane-independent IEEE mul/add/div arithmetic (never fused), so the AVX2
+// forms are bitwise identical to the scalar loops; dispatch picks a speed,
+// not a numeric profile.
+
+#include <cstdint>
+
+namespace cpdg::tensor::simd_internal {
+
+/// Function table one backend exports; simd.cc routes the public API
+/// through the table matching the active mode.
+struct ElementwiseKernels {
+  void (*add)(const float* a, const float* b, float* o, int64_t n);
+  void (*sub)(const float* a, const float* b, float* o, int64_t n);
+  void (*mul)(const float* a, const float* b, float* o, int64_t n);
+  void (*div)(const float* a, const float* b, float* o, int64_t n);
+  void (*accumulate)(float* g, const float* d, int64_t n);
+  void (*accumulate_product)(float* g, const float* d, const float* x,
+                             int64_t n);
+  void (*accumulate_quotient)(float* g, const float* d, const float* x,
+                              int64_t n);
+  void (*negate)(const float* a, float* o, int64_t n);
+  void (*scale)(const float* a, float s, float* o, int64_t n);
+  void (*accumulate_scaled)(float* g, const float* d, float s, int64_t n);
+};
+
+const ElementwiseKernels& ScalarElementwise();
+
+#ifdef CPDG_HAVE_AVX2_KERNELS
+const ElementwiseKernels& Avx2Elementwise();
+#endif
+
+}  // namespace cpdg::tensor::simd_internal
+
+#endif  // CPDG_TENSOR_SIMD_INTERNAL_H_

@@ -72,8 +72,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   region.end = end;
   region.grain = grain;
   region.num_chunks = num_chunks;
-  region.participants = num_threads_;
-  region.remaining.store(num_threads_, std::memory_order_relaxed);
+  // Regions with fewer chunks than threads enroll only as many
+  // participants as there are chunks: surplus workers wake, see they have
+  // no stripe, and go back to sleep without joining the completion
+  // barrier. Chunk boundaries are untouched, so results are unchanged —
+  // this only trims dispatch latency for small regions.
+  region.participants = static_cast<int>(
+      std::min<int64_t>(num_threads_, num_chunks));
+  region.remaining.store(region.participants, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
     region_ = &region;
@@ -110,6 +116,11 @@ void ThreadPool::WorkerLoop(int worker_id) {
       if (stop_) return;
       region = region_;
       seen_gen = region_gen_;
+      // Workers beyond the participant count own no chunks and must not
+      // touch the completion barrier. Decided under the lock: once it is
+      // released the caller may finish the region and destroy it, so a
+      // non-participant must never dereference the pointer again.
+      if (worker_id >= region->participants) continue;
     }
     RunStripe(*region, worker_id);
     if (region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {

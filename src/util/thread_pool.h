@@ -20,8 +20,10 @@ namespace cpdg::util {
 /// count or on scheduling — so any kernel where each chunk owns a disjoint
 /// slice of its output produces bitwise-identical results at every thread
 /// count, including the fully serial fallback. Chunks are assigned to
-/// workers statically (chunk c runs on worker c mod P); there is no work
-/// stealing.
+/// workers statically (chunk c runs on participant c mod Q, where
+/// Q = min(P, num_chunks) — regions with fewer chunks than threads enroll
+/// only as many participants as there are chunks, so surplus workers never
+/// join the completion barrier); there is no work stealing.
 ///
 /// Nested ParallelFor calls (from inside a chunk body) degrade to the
 /// serial fallback on the calling thread, so parallel outer loops (e.g.
