@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_kernels.json against a committed baseline.
+"""Compare a fresh benchmark JSON against a committed baseline.
 
 Usage:
   check_bench_regression.py --baseline bench/baselines/BENCH_kernels.json \
       --current build/bench/BENCH_kernels.json [--warn-pct 10] [--fail-pct 25]
 
 Records are matched on (name, threads) and compared on `seconds`.
-Slowdowns above --warn-pct print a warning; slowdowns above --fail-pct
-(and any record with bitwise_equal_to_serial == false) fail the run with
-exit code 1. Records present in only one file are reported but do not
-fail the run, so the baseline can trail the benchmark by one PR.
+Kernel-style records carry a `name`; serving records carry a `scenario`
+(used as the name) and no `threads` (keyed as threads=0). Pairs where
+either side lacks `seconds` are skipped with a note. Slowdowns above
+--warn-pct print a warning; slowdowns above --fail-pct (and any record
+with bitwise_equal_to_serial == false) fail the run with exit code 1.
+Records present in only one file are reported but do not fail the run,
+so the baseline can trail the benchmark by one PR.
 
 Thread-scaling gates (--min-speedup name:threads:factor, repeatable;
 default matmul_fwd:4:2.5) fail the run when the current file has a
@@ -35,7 +38,10 @@ def load_records(path):
         raise ValueError(f"{path}: expected a JSON array of records")
     out = {}
     for r in records:
-        key = (r["name"], int(r["threads"]))
+        name = r.get("name", r.get("scenario"))
+        if name is None:
+            raise ValueError(f"{path}: record with neither name nor scenario")
+        key = (name, int(r.get("threads", 0)))
         if key in out:
             raise ValueError(f"{path}: duplicate record for {key}")
         out[key] = r
@@ -77,6 +83,9 @@ def main():
     warnings = []
     for key in sorted(set(baseline) & set(current)):
         name, threads = key
+        if "seconds" not in baseline[key] or "seconds" not in current[key]:
+            print(f"note  {name} threads={threads}: no seconds field, skipped")
+            continue
         base_s = float(baseline[key]["seconds"])
         cur_s = float(current[key]["seconds"])
         if base_s <= 0.0:
@@ -115,6 +124,10 @@ def main():
             print(f"note  scaling gate {name} threads={threads}: "
                   f"machine has {cores} core(s), skipped "
                   "(cannot scale past physical cores)")
+            continue
+        if "speedup_vs_1" not in rec:
+            print(f"note  scaling gate {name} threads={threads}: "
+                  "record has no speedup_vs_1, skipped")
             continue
         speedup = float(rec["speedup_vs_1"])
         line = (f"{name:<16} threads={threads}  "

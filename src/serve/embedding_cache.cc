@@ -35,16 +35,14 @@ obs::Counter& InvalidationCounter() {
 
 }  // namespace
 
-size_t EmbeddingCache::KeyHash::operator()(const Key& k) const {
-  // Standard hash-combine over the three fields; time is hashed through
-  // its bit pattern so distinct doubles never collide by construction.
+size_t EmbeddingCache::MapKeyHash::operator()(const MapKey& k) const {
+  // Hash-combine of node and the bit pattern of time, so distinct doubles
+  // never collide by construction.
   uint64_t time_bits = 0;
   static_assert(sizeof(time_bits) == sizeof(k.time));
   std::memcpy(&time_bits, &k.time, sizeof(time_bits));
   size_t h = std::hash<int64_t>()(k.node);
   h ^= std::hash<uint64_t>()(time_bits) + 0x9e3779b97f4a7c15ULL + (h << 6) +
-       (h >> 2);
-  h ^= std::hash<uint64_t>()(k.version) + 0x9e3779b97f4a7c15ULL + (h << 6) +
        (h >> 2);
   return h;
 }
@@ -55,14 +53,33 @@ EmbeddingCache::EmbeddingCache(int64_t capacity) : capacity_(capacity) {
 
 bool EmbeddingCache::Lookup(const Key& key, std::vector<float>* out) {
   CPDG_CHECK(out != nullptr);
-  auto it = entries_.find(key);
+  auto it = entries_.find(MapKey{key.node, key.time});
+  if (it == entries_.end() || it->second->version != key.version) {
+    ++misses_;
+    MissCounter().Add();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->row;
+  ++hits_;
+  HitCounter().Add();
+  return true;
+}
+
+bool EmbeddingCache::LookupAnyVersion(graph::NodeId node, double time,
+                                      std::vector<float>* out,
+                                      uint64_t* version_out) {
+  CPDG_CHECK(out != nullptr);
+  CPDG_CHECK(version_out != nullptr);
+  auto it = entries_.find(MapKey{node, time});
   if (it == entries_.end()) {
     ++misses_;
     MissCounter().Add();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  *out = it->second->second;
+  *out = it->second->row;
+  *version_out = it->second->version;
   ++hits_;
   HitCounter().Add();
   return true;
@@ -70,20 +87,22 @@ bool EmbeddingCache::Lookup(const Key& key, std::vector<float>* out) {
 
 void EmbeddingCache::Insert(const Key& key, std::vector<float> embedding) {
   if (capacity_ == 0) return;
-  auto it = entries_.find(key);
+  const MapKey map_key{key.node, key.time};
+  auto it = entries_.find(map_key);
   if (it != entries_.end()) {
-    it->second->second = std::move(embedding);
+    it->second->version = key.version;
+    it->second->row = std::move(embedding);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (static_cast<int64_t>(entries_.size()) >= capacity_) {
-    entries_.erase(lru_.back().first);
+    entries_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
     EvictionCounter().Add();
   }
-  lru_.emplace_front(key, std::move(embedding));
-  entries_.emplace(key, lru_.begin());
+  lru_.push_front(Entry{map_key, key.version, std::move(embedding)});
+  entries_.emplace(map_key, lru_.begin());
 }
 
 void EmbeddingCache::InvalidateAll() {

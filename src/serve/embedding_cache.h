@@ -12,19 +12,27 @@
 namespace cpdg::serve {
 
 /// \brief LRU cache of computed node embeddings, keyed on
-/// (node, query time, memory version).
+/// (node, query time) with the memory version stored alongside each row.
 ///
 /// The memory version (dgnn::Memory::version()) makes staleness checks
 /// O(1): any mutation of the frozen memory — in serving that is exactly an
-/// Advance() replay — bumps the version, so entries computed against the
-/// old memory can never be returned for a post-advance query. The engine
-/// additionally calls InvalidateAll() on advance to reclaim the dead
-/// entries eagerly instead of waiting for LRU pressure.
+/// Advance() replay — bumps the version, so Lookup (which requires an
+/// exact version match) can never return a pre-advance row for a
+/// post-advance query. Storing the version *inside* the entry rather than
+/// in the key is what makes graceful degradation possible: under deadline
+/// pressure the engine may deliberately ask for a row at *any* version via
+/// LookupAnyVersion and flag the response stale, instead of missing its
+/// deadline recomputing.
 ///
-/// The cache is NOT thread-safe; in the serving engine it is owned and
-/// touched exclusively by the single executor thread. Hit/miss/eviction/
-/// invalidation totals are mirrored into the global MetricsRegistry under
-/// serve.cache.* and kept as plain members for tests.
+/// The engine either calls InvalidateAll() on advance to reclaim dead
+/// entries eagerly, or — when configured to keep a stale generation for
+/// degradation — leaves them to be overwritten by fresh inserts at the
+/// same (node, time) or pushed out by LRU pressure.
+///
+/// The cache is NOT thread-safe; in the serving engine each shard
+/// executor thread owns its own instance. Hit/miss/eviction/invalidation
+/// totals are mirrored into the global MetricsRegistry under serve.cache.*
+/// and kept as plain members for tests.
 class EmbeddingCache {
  public:
   /// `capacity` is the maximum number of cached rows; 0 disables the cache
@@ -42,11 +50,21 @@ class EmbeddingCache {
   };
 
   /// Copies the cached embedding row into `out` and refreshes recency;
-  /// returns false (and leaves `out` untouched) on miss.
+  /// returns false (and leaves `out` untouched) when no row exists for
+  /// (node, time) or the stored row was computed at a different memory
+  /// version.
   bool Lookup(const Key& key, std::vector<float>* out);
 
+  /// Degraded-mode lookup: returns the row cached for (node, time) at
+  /// *whatever* memory version it was computed, writing that version to
+  /// `*version_out`. The caller compares it against the current version to
+  /// decide the `stale` flag. Counts as a hit/miss like Lookup.
+  bool LookupAnyVersion(graph::NodeId node, double time,
+                        std::vector<float>* out, uint64_t* version_out);
+
   /// Inserts (or refreshes) a row, evicting the least-recently-used entry
-  /// when at capacity. Overwrites an existing entry for the same key.
+  /// when at capacity. A row for the same (node, time) at any version is
+  /// overwritten — newer versions supersede stale generations in place.
   void Insert(const Key& key, std::vector<float> embedding);
 
   /// Drops every entry (counted under invalidations, not evictions).
@@ -61,16 +79,30 @@ class EmbeddingCache {
   int64_t invalidations() const { return invalidations_; }
 
  private:
-  struct KeyHash {
-    size_t operator()(const Key& k) const;
+  /// Internal map key: version intentionally excluded (see class comment).
+  struct MapKey {
+    graph::NodeId node = -1;
+    double time = 0.0;
+
+    bool operator==(const MapKey& o) const {
+      return node == o.node && time == o.time;
+    }
   };
 
-  using Entry = std::pair<Key, std::vector<float>>;
+  struct MapKeyHash {
+    size_t operator()(const MapKey& k) const;
+  };
+
+  struct Entry {
+    MapKey key;
+    uint64_t version = 0;
+    std::vector<float> row;
+  };
 
   int64_t capacity_;
   /// Front = most recently used.
   std::list<Entry> lru_;
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+  std::unordered_map<MapKey, std::list<Entry>::iterator, MapKeyHash> entries_;
 
   int64_t hits_ = 0;
   int64_t misses_ = 0;

@@ -1,6 +1,7 @@
 #ifndef CPDG_SERVE_REQUEST_QUEUE_H_
 #define CPDG_SERVE_REQUEST_QUEUE_H_
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,9 +19,31 @@
 
 namespace cpdg::serve {
 
-/// \brief One pending client call, parked on a promise until the executor
-/// thread fulfills it. Exactly one of the three promises is used, selected
-/// by `kind`.
+class AdvanceOp;  // shard_router.h; Request only carries a shared_ptr
+
+/// \brief Embedding answer plus its serving provenance: which memory
+/// version the rows were computed at, whether they were served from a
+/// stale cache generation under deadline pressure, and the end-to-end
+/// latency the executor measured.
+struct EmbedResponse {
+  tensor::Tensor embeddings;  // [n, embed_dim]
+  bool stale = false;
+  uint64_t memory_version = 0;
+  int64_t latency_us = 0;
+};
+
+/// \brief Link-probability answer with the same provenance fields.
+struct ScoreResponse {
+  std::vector<double> probabilities;
+  bool stale = false;
+  uint64_t memory_version = 0;
+  int64_t latency_us = 0;
+};
+
+/// \brief One pending client call, parked on a promise until a shard
+/// executor fulfills it. Exactly one of the promises is used, selected by
+/// `kind`; kAdvance requests carry no promise — they are rendezvous
+/// barriers coordinated through the shared AdvanceOp.
 struct Request {
   enum class Kind { kEmbed, kScoreLinks, kAdvance };
 
@@ -31,24 +55,68 @@ struct Request {
   std::vector<graph::NodeId> dsts;
   /// Query time t for kEmbed / kScoreLinks.
   double time = 0.0;
-  /// kAdvance only: events to replay into the frozen memory.
-  std::vector<graph::Event> events;
+  /// kAdvance only: the cross-shard two-phase barrier this request joins.
+  std::shared_ptr<AdvanceOp> advance;
 
-  std::promise<Result<tensor::Tensor>> embed_result;
-  std::promise<Result<std::vector<double>>> score_result;
-  std::promise<Status> advance_result;
+  std::promise<Result<EmbedResponse>> embed_result;
+  std::promise<Result<ScoreResponse>> score_result;
 
-  /// Enqueue timestamp (obs::Profiler::NowMicros clock) for end-to-end
-  /// latency accounting.
+  /// Enqueue timestamp (obs::Profiler::NowMicros clock) for latency
+  /// accounting and deadline-budget math.
   int64_t enqueue_us = 0;
+  /// Absolute expiry on the same clock; 0 = no deadline. Expired requests
+  /// are answered kDeadlineExceeded instead of being computed.
+  int64_t deadline_us = 0;
 };
 
-/// \brief Thread-safe FIFO that coalesces waiting requests into batches.
+/// \brief What a full queue does with a new request.
+enum class OverloadPolicy {
+  kReject,     ///< fail the new request with kResourceExhausted
+  kShedOldest, ///< drop the oldest queued request(s) to admit the new one
+  kBlock,      ///< block the producer until space frees up
+};
+
+/// Parses "reject" / "shed-oldest" / "block" (the CPDG_SERVE_OVERLOAD
+/// vocabulary).
+inline Result<OverloadPolicy> ParseOverloadPolicy(const std::string& name) {
+  if (name == "reject") return OverloadPolicy::kReject;
+  if (name == "shed-oldest") return OverloadPolicy::kShedOldest;
+  if (name == "block") return OverloadPolicy::kBlock;
+  return Status::InvalidArgument(
+      "unknown overload policy \"" + name +
+      "\" (expected reject|shed-oldest|block)");
+}
+
+inline const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kReject:
+      return "reject";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+    case OverloadPolicy::kBlock:
+      return "block";
+  }
+  return "unknown";
+}
+
+/// \brief Admission verdict of Push; [[nodiscard]] so no caller can drop a
+/// rejected or shut-down request on the floor without failing its promise.
+enum class [[nodiscard]] PushOutcome { kAccepted, kRejected, kShutdown };
+
+/// \brief Thread-safe FIFO that coalesces waiting requests into batches,
+/// bounded by an admission-control limit.
 ///
 /// Producers (any number of client threads) Push; a single consumer (the
-/// engine's executor thread) drains with PopBatch, which blocks until at
+/// shard's executor thread) drains with PopBatch, which blocks until at
 /// least one request is queued and then keeps absorbing requests — waiting
 /// up to `max_wait` for stragglers — until it holds `max_batch` of them.
+///
+/// With `limit > 0` the queue refuses to grow past `limit` requests; the
+/// OverloadPolicy decides whether the producer is rejected, the oldest
+/// queued request is shed (returned to the producer to fail), or the
+/// producer blocks for space. Control-plane pushes (advance barriers,
+/// which must reach the executor even under overload) use PushControl and
+/// bypass the limit.
 ///
 /// kAdvance requests are batch barriers: an advance is only ever returned
 /// alone, and a batch never extends past one. Combined with FIFO order
@@ -58,15 +126,72 @@ struct Request {
 /// mutation.
 class RequestQueue {
  public:
-  /// Enqueues a request. Returns false (request untouched) after Shutdown.
-  bool Push(std::unique_ptr<Request> request) {
+  struct Options {
+    /// Maximum queued requests; 0 = unbounded.
+    int64_t limit = 0;
+    OverloadPolicy policy = OverloadPolicy::kReject;
+  };
+
+  RequestQueue() = default;
+  explicit RequestQueue(const Options& options) : options_(options) {}
+
+  /// \brief Enqueues a request subject to the queue limit. On kAccepted
+  /// the request has been moved into the queue; on kRejected/kShutdown it
+  /// is left with the caller, who must fail its promise. Under
+  /// kShedOldest, evicted older requests are appended to `*shed` (also for
+  /// the caller to fail); barriers are never shed.
+  PushOutcome Push(std::unique_ptr<Request>& request,
+                   std::vector<std::unique_ptr<Request>>* shed = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return PushOutcome::kShutdown;
+    if (options_.limit > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.limit) {
+      switch (options_.policy) {
+        case OverloadPolicy::kReject:
+          return PushOutcome::kRejected;
+        case OverloadPolicy::kShedOldest: {
+          while (static_cast<int64_t>(queue_.size()) >= options_.limit) {
+            auto victim = queue_.begin();
+            while (victim != queue_.end() &&
+                   (*victim)->kind == Request::Kind::kAdvance) {
+              ++victim;
+            }
+            if (victim == queue_.end()) return PushOutcome::kRejected;
+            if (shed != nullptr) shed->push_back(std::move(*victim));
+            queue_.erase(victim);
+          }
+          break;
+        }
+        case OverloadPolicy::kBlock: {
+          space_cv_.wait(lock, [this] {
+            return shutdown_ ||
+                   static_cast<int64_t>(queue_.size()) < options_.limit;
+          });
+          if (shutdown_) return PushOutcome::kShutdown;
+          break;
+        }
+      }
+    }
+    queue_.push_back(std::move(request));
+    peak_depth_ = std::max(peak_depth_, static_cast<int64_t>(queue_.size()));
+    lock.unlock();
+    cv_.notify_one();
+    return PushOutcome::kAccepted;
+  }
+
+  /// \brief Control-plane enqueue (advance barriers): bypasses the queue
+  /// limit so an overloaded shard still quiesces. Fails only after
+  /// Shutdown, leaving the request with the caller.
+  PushOutcome PushControl(std::unique_ptr<Request>& request) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (shutdown_) return false;
+      if (shutdown_) return PushOutcome::kShutdown;
       queue_.push_back(std::move(request));
+      peak_depth_ =
+          std::max(peak_depth_, static_cast<int64_t>(queue_.size()));
     }
     cv_.notify_one();
-    return true;
+    return PushOutcome::kAccepted;
   }
 
   /// \brief Blocks for the next coalesced batch (see class comment).
@@ -99,17 +224,37 @@ class RequestQueue {
         break;
       }
     }
+    if (options_.limit > 0 && options_.policy == OverloadPolicy::kBlock) {
+      lock.unlock();
+      space_cv_.notify_all();
+    }
     return batch;
   }
 
-  /// Wakes the consumer; subsequent Push calls fail, queued requests still
-  /// drain through PopBatch.
+  /// \brief Removes and returns everything queued (the restart drain: the
+  /// watchdog fails these with kUnavailable instead of letting them rot in
+  /// a dead shard's queue). Wakes blocked producers.
+  std::vector<std::unique_ptr<Request>> DrainAll() {
+    std::vector<std::unique_ptr<Request>> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained.reserve(queue_.size());
+      for (auto& request : queue_) drained.push_back(std::move(request));
+      queue_.clear();
+    }
+    space_cv_.notify_all();
+    return drained;
+  }
+
+  /// Wakes the consumer and any blocked producers; subsequent Push calls
+  /// fail, queued requests still drain through PopBatch.
   void Shutdown() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       shutdown_ = true;
     }
     cv_.notify_all();
+    space_cv_.notify_all();
   }
 
   /// Instantaneous queue depth (requests waiting, not in-flight batches).
@@ -118,10 +263,21 @@ class RequestQueue {
     return static_cast<int64_t>(queue_.size());
   }
 
+  /// High-water mark of the queue depth since construction.
+  int64_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
+  const Options& options() const { return options_; }
+
  private:
+  Options options_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // consumer wakeups
+  std::condition_variable space_cv_;  // kBlock producer wakeups
   std::deque<std::unique_ptr<Request>> queue_;
+  int64_t peak_depth_ = 0;
   bool shutdown_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
+#include <string_view>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -13,17 +14,12 @@
 #include "tensor/serialization.h"
 #include "train/checkpoint.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace cpdg::serve {
 namespace {
 
 namespace ts = cpdg::tensor;
-
-/// Events replayed per CommitBatch during Advance. Fixed (not an option)
-/// because replay results depend on the batching; a stable constant keeps
-/// Advance reproducible across processes and lets tests build bit-exact
-/// reference encoders.
-constexpr int64_t kAdvanceReplayBatch = 128;
 
 int64_t EnvInt64(const char* name, int64_t fallback) {
   const char* v = std::getenv(name);
@@ -58,6 +54,38 @@ obs::Histogram& LatencyHistogram() {
   return h;
 }
 
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.overload.rejected");
+  return c;
+}
+
+obs::Counter& ShedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.overload.shed");
+  return c;
+}
+
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "serve.overload.deadline_exceeded");
+  return c;
+}
+
+obs::Counter& StaleServedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.overload.stale_served");
+  return c;
+}
+
+obs::Counter& DrainedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.overload.drained");
+  return c;
+}
+
+int64_t NowMicros() { return obs::Profiler::Global().NowMicros(); }
+
 Status ValidateNodes(const std::vector<graph::NodeId>& nodes,
                      int64_t num_nodes, const char* what) {
   if (nodes.empty()) {
@@ -84,50 +112,133 @@ ServingOptions ServingOptions::FromEnv() {
       0, EnvInt64("CPDG_SERVE_MAX_WAIT_MICROS", o.max_wait_micros));
   o.cache_capacity = std::max<int64_t>(
       0, EnvInt64("CPDG_SERVE_CACHE_CAPACITY", o.cache_capacity));
+  o.num_shards = static_cast<int>(std::clamp<int64_t>(
+      EnvInt64("CPDG_SERVE_SHARDS", o.num_shards), 1, 256));
+  o.queue_limit = std::max<int64_t>(
+      0, EnvInt64("CPDG_SERVE_QUEUE_LIMIT", o.queue_limit));
+  if (const char* v = std::getenv("CPDG_SERVE_OVERLOAD")) {
+    Result<OverloadPolicy> parsed = ParseOverloadPolicy(v);
+    if (parsed.ok()) o.overload = parsed.value();
+  }
+  o.default_deadline_us = std::max<int64_t>(
+      0, EnvInt64("CPDG_SERVE_DEADLINE_US", o.default_deadline_us));
   return o;
+}
+
+AdmissionDecision DecideAdmission(int64_t now_us, int64_t enqueue_us,
+                                  int64_t deadline_us) {
+  if (deadline_us <= 0) return AdmissionDecision::kCompute;
+  if (now_us >= deadline_us) return AdmissionDecision::kExpire;
+  const int64_t budget = deadline_us - enqueue_us;
+  const int64_t waited = now_us - enqueue_us;
+  if (2 * waited >= budget) return AdmissionDecision::kTryStale;
+  return AdmissionDecision::kCompute;
 }
 
 ServingEngine::ServingEngine(const dgnn::EncoderConfig& config,
                              int64_t predictor_hidden,
                              const graph::GraphStore* graph,
+                             std::string checkpoint_path,
                              const ServingOptions& options)
     : options_(options),
-      // Parameters are overwritten by the checkpoint restore; the seed only
-      // determines the (discarded) construction-time initialization.
-      rng_(0x5e17f0u),
-      cache_(options.cache_capacity) {
-  CPDG_CHECK(graph != nullptr);
-  CPDG_CHECK_GE(options_.max_batch, 1);
-  CPDG_CHECK_GE(options_.max_wait_micros, 0);
-  encoder_ = std::make_unique<dgnn::DgnnEncoder>(config, graph, &rng_);
-  if (predictor_hidden > 0) {
-    predictor_ = std::make_unique<dgnn::LinkPredictor>(
-        config.embed_dim, predictor_hidden, &rng_);
-  }
-}
+      config_(config),
+      predictor_hidden_(predictor_hidden),
+      graph_(graph),
+      checkpoint_path_(std::move(checkpoint_path)),
+      router_(options.num_shards) {}
 
 Result<std::unique_ptr<ServingEngine>> ServingEngine::FromCheckpoint(
     const dgnn::EncoderConfig& config, int64_t predictor_hidden,
     const graph::GraphStore* graph, const std::string& checkpoint_path,
     const ServingOptions& options) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  ServingOptions opts = options;
+  if (opts.max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (opts.max_wait_micros < 0) {
+    return Status::InvalidArgument("max_wait_micros must be >= 0");
+  }
+  if (opts.cache_capacity < 0) {
+    return Status::InvalidArgument("cache_capacity must be >= 0");
+  }
+  if (opts.num_shards < 1 || opts.num_shards > 256) {
+    return Status::InvalidArgument("num_shards must be in [1, 256], got " +
+                                   std::to_string(opts.num_shards));
+  }
+  if (opts.queue_limit < 0) {
+    return Status::InvalidArgument("queue_limit must be >= 0");
+  }
+  if (opts.default_deadline_us < 0) {
+    return Status::InvalidArgument("default_deadline_us must be >= 0");
+  }
+  if (opts.watchdog_interval_ms < 1 || opts.watchdog_max_missed < 1 ||
+      opts.quiesce_timeout_ms < 1) {
+    return Status::InvalidArgument(
+        "watchdog interval/max_missed and quiesce timeout must be positive");
+  }
+  // Deadline-pressed requests degrade to stale cache hits; that needs the
+  // previous cache generation to survive advances.
+  if (opts.default_deadline_us > 0) opts.keep_stale_entries = true;
+
+  std::unique_ptr<ServingEngine> engine(new ServingEngine(
+      config, predictor_hidden, graph, checkpoint_path, opts));
+  for (int i = 0; i < opts.num_shards; ++i) {
+    size_t applied = 0;
+    CPDG_ASSIGN_OR_RETURN(std::shared_ptr<Shard> shard,
+                          engine->BuildShard(i, &applied));
+    engine->shards_.push_back(std::move(shard));
+  }
+  engine->serve_version_.store(
+      engine->shards_[0]->encoder->memory().version());
+  for (const auto& shard : engine->shards_) {
+    // Replica construction is deterministic; divergence here is a bug,
+    // not an input error.
+    CPDG_CHECK_EQ(shard->encoder->memory().version(),
+                  engine->serve_version_.load());
+    engine->StartShard(shard);
+  }
+  engine->StartWatchdog();
+  return engine;
+}
+
+Result<std::shared_ptr<ServingEngine::Shard>> ServingEngine::BuildShard(
+    int index, size_t* journal_applied) {
   CPDG_TRACE_SPAN("serve/load_checkpoint");
+  if (util::FaultInjector::Instance().ConsumeServeReloadCorrupt()) {
+    return Status::IoError(
+        "injected checkpoint corruption (CPDG_FAULT_SERVE_RELOAD_CORRUPT)");
+  }
   CPDG_ASSIGN_OR_RETURN(ts::SectionReader reader,
-                        ts::SectionReader::Open(checkpoint_path));
+                        ts::SectionReader::Open(checkpoint_path_));
   CPDG_ASSIGN_OR_RETURN(std::string_view payload,
                         reader.Find(ts::kParamsSection));
   CPDG_ASSIGN_OR_RETURN(std::vector<ts::Tensor> loaded,
                         ts::DecodeTensorList(payload));
 
-  std::unique_ptr<ServingEngine> engine(
-      new ServingEngine(config, predictor_hidden, graph, options));
+  auto shard = std::make_shared<Shard>();
+  shard->index = index;
+  shard->encoder =
+      std::make_unique<dgnn::DgnnEncoder>(config_, graph_, &shard->rng);
+  if (predictor_hidden_ > 0) {
+    shard->predictor = std::make_unique<dgnn::LinkPredictor>(
+        config_.embed_dim, predictor_hidden_, &shard->rng);
+  }
+  RequestQueue::Options queue_options;
+  queue_options.limit = options_.queue_limit;
+  queue_options.policy = options_.overload;
+  shard->queue = std::make_unique<RequestQueue>(queue_options);
+  shard->cache = std::make_unique<EmbeddingCache>(options_.cache_capacity);
 
   // Encoder parameters first, predictor appended — the pre-trainer's save
   // order. RestoreTensorData validates count and every shape before
   // copying anything, so a checkpoint from a different architecture is
-  // rejected without a partially-restored engine.
-  std::vector<ts::Tensor> params = engine->encoder_->Parameters();
-  if (engine->predictor_ != nullptr) {
-    std::vector<ts::Tensor> dec = engine->predictor_->Parameters();
+  // rejected without a partially-restored replica.
+  std::vector<ts::Tensor> params = shard->encoder->Parameters();
+  if (shard->predictor != nullptr) {
+    std::vector<ts::Tensor> dec = shard->predictor->Parameters();
     params.insert(params.end(), dec.begin(), dec.end());
   }
   CPDG_RETURN_NOT_OK(ts::RestoreTensorData(params, loaded));
@@ -136,7 +247,7 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::FromCheckpoint(
     CPDG_ASSIGN_OR_RETURN(std::string_view memory_bytes,
                           reader.Find(train::kMemorySection));
     CPDG_RETURN_NOT_OK(
-        engine->encoder_->memory().DeserializeFrom(memory_bytes));
+        shard->encoder->memory().DeserializeFrom(memory_bytes));
   }
 
   // Freeze: serving never trains, and inference-mode forwards skip graph
@@ -144,8 +255,108 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::FromCheckpoint(
   // grad-enabled use (e.g. a caller poking encoder()) from training.
   for (ts::Tensor& p : params) p.set_requires_grad(false);
 
-  engine->executor_ = std::thread(&ServingEngine::ExecutorLoop, engine.get());
-  return engine;
+  // Catch up to the fleet: replay every journaled advance in the same
+  // kAdvanceReplayBatch chunks the live replicas used, which makes this
+  // replica bit-identical to them (DESIGN.md §12).
+  std::vector<std::shared_ptr<const std::vector<graph::Event>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    entries = journal_;
+  }
+  {
+    ts::InferenceModeGuard guard;
+    for (const auto& events : entries) {
+      shard->encoder->ReplayEvents(*events, kAdvanceReplayBatch);
+    }
+  }
+  *journal_applied = entries.size();
+  return shard;
+}
+
+void ServingEngine::StartShard(const std::shared_ptr<Shard>& shard) {
+  CPDG_CHECK(!shard->executor.joinable());
+  std::shared_ptr<Shard> owned = shard;
+  shard->executor = std::thread(
+      [this, owned = std::move(owned)] { ExecutorLoop(owned); });
+}
+
+void ServingEngine::StartWatchdog() {
+  Watchdog::Options wopts;
+  wopts.interval = std::chrono::milliseconds(options_.watchdog_interval_ms);
+  wopts.max_missed = options_.watchdog_max_missed;
+  std::vector<Watchdog::Target> targets;
+  for (int i = 0; i < router_.num_shards(); ++i) {
+    Watchdog::Target target;
+    target.heartbeat = [this, i] { return shard(i)->heartbeat.load(); };
+    target.has_work = [this, i] {
+      std::shared_ptr<Shard> s = shard(i);
+      return s->queue->depth() > 0 || s->inflight.load() > 0;
+    };
+    target.failed = [this, i] { return shard(i)->failed.load(); };
+    targets.push_back(std::move(target));
+  }
+  watchdog_ = std::make_unique<Watchdog>(
+      wopts, std::move(targets), [this](int i) { return RestartShard(i); });
+  watchdog_->Start();
+}
+
+bool ServingEngine::RestartShard(int index) {
+  std::shared_ptr<Shard> old = shard(index);
+  // Fence the failed replica: no new admissions, fail what was queued.
+  old->failed.store(true);
+  old->queue->Shutdown();
+  const Status drained_status = Status::Unavailable(
+      "shard " + std::to_string(index) + " restarting after failure");
+  for (std::unique_ptr<Request>& request : old->queue->DrainAll()) {
+    drained_.fetch_add(1);
+    DrainedCounter().Add();
+    FailRequest(request.get(), drained_status, index);
+  }
+
+  size_t applied = 0;
+  Result<std::shared_ptr<Shard>> rebuilt = BuildShard(index, &applied);
+  if (!rebuilt.ok()) {
+    reload_failures_.fetch_add(1);
+    std::fprintf(stderr, "cpdg-serve: shard %d reload failed: %s\n", index,
+                 rebuilt.status().ToString().c_str());
+    return false;  // old shard stays failed; watchdog retries next tick
+  }
+  std::shared_ptr<Shard> fresh = rebuilt.TakeValue();
+
+  // Swap in only once the replica has caught up with every journaled
+  // advance — advances race this restart, and an un-caught-up swap would
+  // serve an older memory version. Barrier pushes go to the shard list
+  // snapshot taken under shards_mu_ when the advance was journaled, so
+  // after the swap (same mutex) an advance either reached the old queue
+  // (absent — this replica has it via the journal) or targets the fresh
+  // replica's queue directly.
+  while (true) {
+    std::vector<std::shared_ptr<const std::vector<graph::Event>>> delta;
+    {
+      std::lock_guard<std::mutex> lock(shards_mu_);
+      if (journal_.size() == applied) {
+        zombies_.push_back(old);
+        shards_[index] = fresh;
+        break;
+      }
+      delta.assign(journal_.begin() + static_cast<int64_t>(applied),
+                   journal_.end());
+      applied = journal_.size();
+    }
+    ts::InferenceModeGuard guard;
+    for (const auto& events : delta) {
+      fresh->encoder->ReplayEvents(*events, kAdvanceReplayBatch);
+    }
+  }
+  StartShard(fresh);
+  // Keep the fleet version honest if this replica caught up past the last
+  // coordinated bump (e.g. every other shard failed that advance).
+  uint64_t seen = serve_version_.load();
+  const uint64_t mine = fresh->encoder->memory().version();
+  while (mine > seen &&
+         !serve_version_.compare_exchange_weak(seen, mine)) {
+  }
+  return true;
 }
 
 ServingEngine::~ServingEngine() { Shutdown(); }
@@ -153,44 +364,197 @@ ServingEngine::~ServingEngine() { Shutdown(); }
 void ServingEngine::Shutdown() {
   bool expected = false;
   if (!shutdown_.compare_exchange_strong(expected, true)) return;
-  queue_.Shutdown();
-  if (executor_.joinable()) executor_.join();
+  // Stop the watchdog first so a shutdown drain is never mistaken for a
+  // wedged shard mid-teardown.
+  if (watchdog_ != nullptr) watchdog_->Stop();
+  std::vector<std::shared_ptr<Shard>> all;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    all = shards_;
+    all.insert(all.end(), zombies_.begin(), zombies_.end());
+  }
+  for (const auto& shard : all) shard->queue->Shutdown();
+  for (const auto& shard : all) {
+    if (shard->executor.joinable()) shard->executor.join();
+  }
+  // A shard whose executor exited failed (and was never restarted) may
+  // still hold queued requests: fail them explicitly rather than letting
+  // their clients hang on a dropped promise.
+  const Status status =
+      Status::FailedPrecondition("serving engine shut down before execution");
+  for (const auto& shard : all) {
+    for (std::unique_ptr<Request>& request : shard->queue->DrainAll()) {
+      drained_.fetch_add(1);
+      DrainedCounter().Add();
+      FailRequest(request.get(), status, shard->index);
+    }
+  }
 }
 
-uint64_t ServingEngine::memory_version() const {
-  return encoder_->memory().version();
+std::shared_ptr<ServingEngine::Shard> ServingEngine::shard(int index) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return shards_[static_cast<size_t>(index)];
 }
 
-bool ServingEngine::Enqueue(std::unique_ptr<Request> request) {
-  request->enqueue_us = obs::Profiler::Global().NowMicros();
-  return queue_.Push(std::move(request));
+const dgnn::DgnnEncoder& ServingEngine::encoder() const {
+  return *shard(0)->encoder;
 }
 
-Result<tensor::Tensor> ServingEngine::Embed(
-    const std::vector<graph::NodeId>& nodes, double time) {
+std::vector<uint64_t> ServingEngine::ShardMemoryVersions() const {
+  // Quiescent-state test hook: versions are sampled without stopping the
+  // executors, so call it only when no advance is in flight.
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::vector<uint64_t> versions;
+  versions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    versions.push_back(shard->encoder->memory().version());
+  }
+  return versions;
+}
+
+int64_t ServingEngine::cache_hits() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->cache->hits();
+  for (const auto& s : zombies_) total += s->cache->hits();
+  return total;
+}
+
+int64_t ServingEngine::cache_misses() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->cache->misses();
+  for (const auto& s : zombies_) total += s->cache->misses();
+  return total;
+}
+
+int64_t ServingEngine::cache_evictions() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->cache->evictions();
+  for (const auto& s : zombies_) total += s->cache->evictions();
+  return total;
+}
+
+int64_t ServingEngine::cache_invalidations() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  int64_t total = 0;
+  for (const auto& s : shards_) total += s->cache->invalidations();
+  for (const auto& s : zombies_) total += s->cache->invalidations();
+  return total;
+}
+
+int64_t ServingEngine::queue_peak_depth() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  int64_t peak = 0;
+  for (const auto& s : shards_) peak = std::max(peak, s->queue->peak_depth());
+  for (const auto& s : zombies_) {
+    peak = std::max(peak, s->queue->peak_depth());
+  }
+  return peak;
+}
+
+void ServingEngine::FailRequest(Request* request, const Status& status,
+                                int shard_index) {
+  switch (request->kind) {
+    case Request::Kind::kEmbed:
+      request->embed_result.set_value(status);
+      break;
+    case Request::Kind::kScoreLinks:
+      request->score_result.set_value(status);
+      break;
+    case Request::Kind::kAdvance:
+      // Barriers carry no promise; tell the coordinator this shard will
+      // not arrive (it catches up from the journal after restart).
+      if (request->advance != nullptr) {
+        request->advance->MarkAbsent(shard_index);
+      }
+      break;
+  }
+}
+
+Status ServingEngine::Submit(std::unique_ptr<Request> request,
+                             int64_t deadline_us) {
+  if (shutdown_.load()) {
+    return Status::FailedPrecondition("serving engine is shut down");
+  }
+  const int64_t now = NowMicros();
+  request->enqueue_us = now;
+  const int64_t budget =
+      deadline_us > 0 ? deadline_us : options_.default_deadline_us;
+  if (budget > 0) request->deadline_us = now + budget;
+
+  const int index = router_.RouteRequest(*request);
+  std::shared_ptr<Shard> target = shard(index);
+  std::vector<std::unique_ptr<Request>> shed;
+  const PushOutcome outcome = target->queue->Push(request, &shed);
+  const Status shed_status = Status::ResourceExhausted(
+      "request shed under overload (shed-oldest policy, shard " +
+      std::to_string(index) + ")");
+  for (std::unique_ptr<Request>& victim : shed) {
+    shed_.fetch_add(1);
+    ShedCounter().Add();
+    FailRequest(victim.get(), shed_status, index);
+  }
+  switch (outcome) {
+    case PushOutcome::kAccepted:
+      QueueDepthGauge().Set(static_cast<double>(target->queue->depth()));
+      return Status::OK();
+    case PushOutcome::kRejected:
+      rejected_.fetch_add(1);
+      RejectedCounter().Add();
+      return Status::ResourceExhausted(
+          "serving queue full (shard " + std::to_string(index) + ", limit " +
+          std::to_string(options_.queue_limit) + ", policy " +
+          OverloadPolicyName(options_.overload) + ")");
+    case PushOutcome::kShutdown:
+      if (shutdown_.load()) {
+        return Status::FailedPrecondition("serving engine is shut down");
+      }
+      return Status::Unavailable("shard " + std::to_string(index) +
+                                 " is restarting; retry");
+  }
+  return Status::Internal("unreachable push outcome");
+}
+
+Result<EmbedResponse> ServingEngine::EmbedFull(
+    const std::vector<graph::NodeId>& nodes, double time,
+    int64_t deadline_us) {
+  CPDG_ASSIGN_OR_RETURN(std::future<Result<EmbedResponse>> future,
+                        EmbedAsync(nodes, time, deadline_us));
+  return future.get();
+}
+
+Result<std::future<Result<EmbedResponse>>> ServingEngine::EmbedAsync(
+    const std::vector<graph::NodeId>& nodes, double time,
+    int64_t deadline_us) {
   static obs::Counter& requests =
       obs::MetricsRegistry::Global().counter("serve.requests.embed");
-  CPDG_RETURN_NOT_OK(
-      ValidateNodes(nodes, encoder_->config().num_nodes, "embed"));
+  CPDG_RETURN_NOT_OK(ValidateNodes(nodes, config_.num_nodes, "embed"));
   requests.Add();
   auto request = std::make_unique<Request>();
   request->kind = Request::Kind::kEmbed;
   request->nodes = nodes;
   request->time = time;
-  std::future<Result<tensor::Tensor>> future =
+  std::future<Result<EmbedResponse>> future =
       request->embed_result.get_future();
-  if (!Enqueue(std::move(request))) {
-    return Status::FailedPrecondition("serving engine is shut down");
-  }
-  return future.get();
+  CPDG_RETURN_NOT_OK(Submit(std::move(request), deadline_us));
+  return future;
 }
 
-Result<std::vector<double>> ServingEngine::ScoreLinks(
+Result<tensor::Tensor> ServingEngine::Embed(
+    const std::vector<graph::NodeId>& nodes, double time) {
+  CPDG_ASSIGN_OR_RETURN(EmbedResponse response, EmbedFull(nodes, time));
+  return std::move(response.embeddings);
+}
+
+Result<ScoreResponse> ServingEngine::ScoreLinksFull(
     const std::vector<graph::NodeId>& srcs,
-    const std::vector<graph::NodeId>& dsts, double time) {
+    const std::vector<graph::NodeId>& dsts, double time,
+    int64_t deadline_us) {
   static obs::Counter& requests =
       obs::MetricsRegistry::Global().counter("serve.requests.score_links");
-  if (predictor_ == nullptr) {
+  if (predictor_hidden_ <= 0) {
     return Status::FailedPrecondition(
         "engine was built without a link predictor (predictor_hidden == 0)");
   }
@@ -199,29 +563,38 @@ Result<std::vector<double>> ServingEngine::ScoreLinks(
         "src/dst length mismatch: " + std::to_string(srcs.size()) + " vs " +
         std::to_string(dsts.size()));
   }
-  CPDG_RETURN_NOT_OK(
-      ValidateNodes(srcs, encoder_->config().num_nodes, "score src"));
-  CPDG_RETURN_NOT_OK(
-      ValidateNodes(dsts, encoder_->config().num_nodes, "score dst"));
+  CPDG_RETURN_NOT_OK(ValidateNodes(srcs, config_.num_nodes, "score src"));
+  CPDG_RETURN_NOT_OK(ValidateNodes(dsts, config_.num_nodes, "score dst"));
   requests.Add();
   auto request = std::make_unique<Request>();
   request->kind = Request::Kind::kScoreLinks;
   request->nodes = srcs;
   request->dsts = dsts;
   request->time = time;
-  std::future<Result<std::vector<double>>> future =
+  std::future<Result<ScoreResponse>> future =
       request->score_result.get_future();
-  if (!Enqueue(std::move(request))) {
-    return Status::FailedPrecondition("serving engine is shut down");
-  }
+  CPDG_RETURN_NOT_OK(Submit(std::move(request), deadline_us));
   return future.get();
+}
+
+Result<std::vector<double>> ServingEngine::ScoreLinks(
+    const std::vector<graph::NodeId>& srcs,
+    const std::vector<graph::NodeId>& dsts, double time) {
+  CPDG_ASSIGN_OR_RETURN(ScoreResponse response,
+                        ScoreLinksFull(srcs, dsts, time));
+  return std::move(response.probabilities);
 }
 
 Status ServingEngine::Advance(std::vector<graph::Event> events) {
   static obs::Counter& requests =
       obs::MetricsRegistry::Global().counter("serve.requests.advance");
+  static obs::Counter& advanced =
+      obs::MetricsRegistry::Global().counter("serve.advance.events");
+  if (shutdown_.load()) {
+    return Status::FailedPrecondition("serving engine is shut down");
+  }
   if (events.empty()) return Status::OK();
-  const int64_t num_nodes = encoder_->config().num_nodes;
+  const int64_t num_nodes = config_.num_nodes;
   for (const graph::Event& e : events) {
     if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
       return Status::InvalidArgument(
@@ -231,68 +604,271 @@ Status ServingEngine::Advance(std::vector<graph::Event> events) {
     }
   }
   requests.Add();
-  auto request = std::make_unique<Request>();
-  request->kind = Request::Kind::kAdvance;
-  request->events = std::move(events);
-  std::future<Status> future = request->advance_result.get_future();
-  if (!Enqueue(std::move(request))) {
-    return Status::FailedPrecondition("serving engine is shut down");
+  CPDG_TRACE_SPAN("serve/advance");
+
+  // One coordinator at a time; concurrent advances queue here, preserving
+  // a total order that the journal records.
+  std::lock_guard<std::mutex> advance_lock(advance_mu_);
+  auto shared_events =
+      std::make_shared<const std::vector<graph::Event>>(std::move(events));
+  std::vector<std::shared_ptr<Shard>> snapshot;
+  {
+    // Journal-first, atomically with the shard-list snapshot: any replica
+    // rebuilt from now on replays this advance from the journal, and
+    // exactly the snapshot shards get it as a barrier.
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    journal_.push_back(shared_events);
+    snapshot = shards_;
   }
-  return future.get();
+
+  auto op =
+      std::make_shared<AdvanceOp>(router_.num_shards(), shared_events);
+  const int64_t now = NowMicros();
+  for (int i = 0; i < router_.num_shards(); ++i) {
+    auto barrier = std::make_unique<Request>();
+    barrier->kind = Request::Kind::kAdvance;
+    barrier->advance = op;
+    barrier->enqueue_us = now;
+    if (snapshot[static_cast<size_t>(i)]->queue->PushControl(barrier) !=
+        PushOutcome::kAccepted) {
+      // Restarting or shutting down; its replacement replays the journal.
+      op->MarkAbsent(i);
+    }
+  }
+
+  op->AwaitQuiesced(std::chrono::milliseconds(options_.quiesce_timeout_ms));
+  op->StartReplay();
+  // Replay budget is far looser than quiesce: it scales with the event
+  // stream, not with executor batch latency.
+  op->AwaitReplayed(
+      std::chrono::milliseconds(options_.quiesce_timeout_ms * 10));
+  const std::vector<AdvanceOp::ShardResult> results = op->results();
+  op->Release();
+
+  uint64_t version = 0;
+  int successes = 0;
+  bool mismatch = false;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const AdvanceOp::ShardResult& r = results[i];
+    const bool healthy = r.arrived && r.replayed && r.success;
+    const bool absent = !r.arrived && !r.error.empty();
+    if (healthy) {
+      if (successes > 0 && r.memory_version != version) mismatch = true;
+      version = r.memory_version;
+      ++successes;
+    } else if (!absent) {
+      // Wedged before the barrier, timed out mid-replay, or failed the
+      // replay: this replica is behind the fleet. The watchdog rebuilds
+      // it from checkpoint + journal (which contains this advance).
+      snapshot[i]->failed.store(true);
+    }
+  }
+  if (mismatch) {
+    // Deterministic replay makes this unreachable short of memory
+    // corruption; recover by rebuilding every replica from the journal.
+    for (const auto& shard : snapshot) shard->failed.store(true);
+    return Status::Internal(
+        "shard replicas diverged after advance replay; rebuilding fleet");
+  }
+  if (successes == 0) {
+    return Status::Unavailable(
+        "no live shard replayed the advance; journaled for recovery");
+  }
+  serve_version_.store(version);
+  advanced.Add(static_cast<int64_t>(shared_events->size()));
+  return Status::OK();
 }
 
-void ServingEngine::ExecutorLoop() {
+void ServingEngine::ExecutorLoop(std::shared_ptr<Shard> shard) {
   const auto max_wait = std::chrono::microseconds(options_.max_wait_micros);
   while (true) {
     std::vector<std::unique_ptr<Request>> batch =
-        queue_.PopBatch(options_.max_batch, max_wait);
+        shard->queue->PopBatch(options_.max_batch, max_wait);
     if (batch.empty()) return;  // shut down and drained
-    ExecuteBatch(std::move(batch));
+    shard->heartbeat.fetch_add(1);
+    shard->inflight.store(static_cast<int64_t>(batch.size()));
+    const int64_t stall =
+        util::FaultInjector::Instance().ConsumeServeStallMillis();
+    if (stall > 0) {
+      // Injected wedge: the heartbeat freezes with work in flight, which
+      // is exactly the signature the watchdog restarts on.
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
+    if (batch.front()->kind == Request::Kind::kAdvance) {
+      CPDG_CHECK_EQ(batch.size(), 1u);  // queue pops advances alone
+      ExecuteBarrier(shard.get(), std::move(batch.front()));
+    } else {
+      ExecuteBatch(shard.get(), std::move(batch));
+    }
+    shard->inflight.store(0);
+    shard->heartbeat.fetch_add(1);
+    if (shard->failed.load()) {
+      // Abandoned barrier or failed replay: this replica is behind the
+      // fleet and must not serve. The watchdog drains the queue (failing
+      // the waiters) and swaps in a rebuilt replica.
+      return;
+    }
   }
 }
 
-void ServingEngine::ExecuteAdvance(Request* request) {
-  CPDG_TRACE_SPAN("serve/advance");
-  static obs::Counter& advanced =
-      obs::MetricsRegistry::Global().counter("serve.advance.events");
-  ts::InferenceModeGuard guard;
-  encoder_->ReplayEvents(request->events, kAdvanceReplayBatch);
-  cache_.InvalidateAll();
-  advanced.Add(static_cast<int64_t>(request->events.size()));
-  request->advance_result.set_value(Status::OK());
-}
-
-void ServingEngine::ExecuteBatch(std::vector<std::unique_ptr<Request>> batch) {
-  CPDG_TRACE_SPAN("serve/execute_batch");
-  QueueDepthGauge().Set(static_cast<double>(queue_.depth()));
-  BatchRequestsHistogram().Observe(static_cast<double>(batch.size()));
-
-  const auto finish = [](Request* r) {
-    LatencyHistogram().Observe(
-        static_cast<double>(obs::Profiler::Global().NowMicros() -
-                            r->enqueue_us) *
-        1e-6);
-  };
-
-  if (batch.front()->kind == Request::Kind::kAdvance) {
-    CPDG_CHECK_EQ(batch.size(), 1u);  // queue pops advances alone
-    ExecuteAdvance(batch.front().get());
-    finish(batch.front().get());
+void ServingEngine::ExecuteBarrier(Shard* shard,
+                                   std::unique_ptr<Request> request) {
+  CPDG_TRACE_SPAN("serve/advance_barrier");
+  std::shared_ptr<AdvanceOp> op = request->advance;
+  CPDG_CHECK(op != nullptr);
+  const AdvanceOp::ExecutorSignal signal =
+      op->Arrive(shard->index, &shard->heartbeat);
+  if (signal == AdvanceOp::ExecutorSignal::kAbandoned) {
+    shard->failed.store(true);
     return;
   }
+  if (util::FaultInjector::Instance().ConsumeServeReplayFail()) {
+    shard->failed.store(true);
+    op->FinishReplay(shard->index, /*success=*/false,
+                     shard->encoder->memory().version(),
+                     "injected replay failure (CPDG_FAULT_SERVE_REPLAY_FAIL)",
+                     &shard->heartbeat);
+    return;
+  }
+  {
+    ts::InferenceModeGuard guard;
+    shard->encoder->ReplayEvents(op->events(), kAdvanceReplayBatch);
+  }
+  if (!options_.keep_stale_entries) {
+    shard->cache->InvalidateAll();
+  }
+  // else: the previous generation stays for deadline-pressed stale
+  // serving; fresh inserts overwrite rows in place.
+  op->FinishReplay(shard->index, /*success=*/true,
+                   shard->encoder->memory().version(), "",
+                   &shard->heartbeat);
+}
 
-  // Collect the distinct (node, time) queries of the whole batch,
+bool ServingEngine::TryServeStale(Shard* shard, Request* request,
+                                  uint64_t current_version) {
+  const int64_t dim = config_.embed_dim;
+  bool any_stale = false;
+  const auto gather_any = [&](const std::vector<graph::NodeId>& nodes,
+                              std::vector<float>* data) {
+    data->reserve(nodes.size() * static_cast<size_t>(dim));
+    for (graph::NodeId v : nodes) {
+      std::vector<float> row;
+      uint64_t row_version = 0;
+      if (!shard->cache->LookupAnyVersion(v, request->time, &row,
+                                          &row_version)) {
+        return false;
+      }
+      if (row_version != current_version) any_stale = true;
+      data->insert(data->end(), row.begin(), row.end());
+    }
+    return true;
+  };
+
+  std::vector<float> src_data;
+  if (!gather_any(request->nodes, &src_data)) return false;
+  std::vector<float> dst_data;
+  if (request->kind == Request::Kind::kScoreLinks &&
+      !gather_any(request->dsts, &dst_data)) {
+    return false;
+  }
+
+  const int64_t latency = NowMicros() - request->enqueue_us;
+  if (any_stale) {
+    stale_served_.fetch_add(1);
+    StaleServedCounter().Add();
+  }
+  if (request->kind == Request::Kind::kEmbed) {
+    EmbedResponse response;
+    response.embeddings = ts::Tensor::FromVector(
+        static_cast<int64_t>(request->nodes.size()), dim,
+        std::move(src_data));
+    response.stale = any_stale;
+    response.memory_version = current_version;
+    response.latency_us = latency;
+    LatencyHistogram().Observe(static_cast<double>(latency) * 1e-6);
+    request->embed_result.set_value(std::move(response));
+    return true;
+  }
+  CPDG_CHECK(request->kind == Request::Kind::kScoreLinks);
+  ts::InferenceModeGuard guard;
+  ts::Tensor logits = shard->predictor->ForwardLogits(
+      ts::Tensor::FromVector(static_cast<int64_t>(request->nodes.size()),
+                             dim, std::move(src_data)),
+      ts::Tensor::FromVector(static_cast<int64_t>(request->dsts.size()),
+                             dim, std::move(dst_data)));
+  ts::Tensor probs = ts::Sigmoid(logits);
+  ScoreResponse response;
+  response.probabilities.resize(request->nodes.size());
+  for (size_t i = 0; i < response.probabilities.size(); ++i) {
+    response.probabilities[i] =
+        static_cast<double>(probs.at(static_cast<int64_t>(i), 0));
+  }
+  response.stale = any_stale;
+  response.memory_version = current_version;
+  response.latency_us = latency;
+  LatencyHistogram().Observe(static_cast<double>(latency) * 1e-6);
+  request->score_result.set_value(std::move(response));
+  return true;
+}
+
+void ServingEngine::ExecuteBatch(Shard* shard,
+                                 std::vector<std::unique_ptr<Request>> batch) {
+  CPDG_TRACE_SPAN("serve/execute_batch");
+  QueueDepthGauge().Set(static_cast<double>(shard->queue->depth()));
+  BatchRequestsHistogram().Observe(static_cast<double>(batch.size()));
+
+  const uint64_t version = shard->encoder->memory().version();
+  const int64_t dim = config_.embed_dim;
+  const int64_t admission_now = NowMicros();
+
+  // Deadline triage before any compute: expired requests fail fast, and
+  // requests that burned most of their budget waiting are served from the
+  // stale cache when possible instead of joining the forward.
+  std::vector<std::unique_ptr<Request>> live;
+  live.reserve(batch.size());
+  for (std::unique_ptr<Request>& request : batch) {
+    switch (DecideAdmission(admission_now, request->enqueue_us,
+                            request->deadline_us)) {
+      case AdmissionDecision::kExpire: {
+        deadline_exceeded_.fetch_add(1);
+        DeadlineExceededCounter().Add();
+        FailRequest(
+            request.get(),
+            Status::DeadlineExceeded(
+                "deadline exceeded before execution (budget " +
+                std::to_string(request->deadline_us - request->enqueue_us) +
+                " us, waited " +
+                std::to_string(admission_now - request->enqueue_us) +
+                " us)"),
+            shard->index);
+        shard->heartbeat.fetch_add(1);
+        break;
+      }
+      case AdmissionDecision::kTryStale:
+        if (TryServeStale(shard, request.get(), version)) {
+          shard->heartbeat.fetch_add(1);
+          break;
+        }
+        live.push_back(std::move(request));
+        break;
+      case AdmissionDecision::kCompute:
+        live.push_back(std::move(request));
+        break;
+    }
+  }
+  if (live.empty()) return;
+
+  // Collect the distinct (node, time) queries of the remaining batch,
   // resolving each against the cache at the current memory version.
-  const uint64_t version = encoder_->memory().version();
-  const int64_t dim = encoder_->config().embed_dim;
   std::map<std::pair<graph::NodeId, double>, std::vector<float>> rows;
   std::vector<graph::NodeId> miss_nodes;
   std::vector<double> miss_times;
-  for (const auto& request : batch) {
+  for (const auto& request : live) {
     auto collect = [&](graph::NodeId node) {
       auto [it, inserted] = rows.try_emplace({node, request->time});
       if (!inserted) return;  // already resolved or queued for compute
-      if (!cache_.Lookup({node, request->time, version}, &it->second)) {
+      if (!shard->cache->Lookup({node, request->time, version},
+                                &it->second)) {
         miss_nodes.push_back(node);
         miss_times.push_back(request->time);
       }
@@ -307,13 +883,13 @@ void ServingEngine::ExecuteBatch(std::vector<std::unique_ptr<Request>> batch) {
     ts::InferenceModeGuard guard;
     // Read-only protocol: flush into the per-batch cache, never commit, so
     // memory (and its version) stay untouched.
-    encoder_->BeginBatch();
-    ts::Tensor z = encoder_->ComputeEmbeddings(miss_nodes, miss_times);
+    shard->encoder->BeginBatch();
+    ts::Tensor z = shard->encoder->ComputeEmbeddings(miss_nodes, miss_times);
     CPDG_CHECK_EQ(z.cols(), dim);
     for (size_t i = 0; i < miss_nodes.size(); ++i) {
       const float* row = z.data() + static_cast<int64_t>(i) * dim;
       std::vector<float> values(row, row + dim);
-      cache_.Insert({miss_nodes[i], miss_times[i], version}, values);
+      shard->cache->Insert({miss_nodes[i], miss_times[i], version}, values);
       rows[{miss_nodes[i], miss_times[i]}] = std::move(values);
     }
   }
@@ -336,23 +912,33 @@ void ServingEngine::ExecuteBatch(std::vector<std::unique_ptr<Request>> batch) {
                                   std::move(data));
   };
 
-  for (auto& request : batch) {
+  for (auto& request : live) {
+    const int64_t latency = NowMicros() - request->enqueue_us;
     if (request->kind == Request::Kind::kEmbed) {
-      request->embed_result.set_value(gather(request->nodes, request->time));
+      EmbedResponse response;
+      response.embeddings = gather(request->nodes, request->time);
+      response.memory_version = version;
+      response.latency_us = latency;
+      request->embed_result.set_value(std::move(response));
     } else {
       CPDG_TRACE_SPAN("serve/score");
       ts::InferenceModeGuard guard;
-      ts::Tensor logits = predictor_->ForwardLogits(
+      ts::Tensor logits = shard->predictor->ForwardLogits(
           gather(request->nodes, request->time),
           gather(request->dsts, request->time));
       ts::Tensor probs = ts::Sigmoid(logits);
-      std::vector<double> out(request->nodes.size());
-      for (size_t i = 0; i < out.size(); ++i) {
-        out[i] = static_cast<double>(probs.at(static_cast<int64_t>(i), 0));
+      ScoreResponse response;
+      response.probabilities.resize(request->nodes.size());
+      for (size_t i = 0; i < response.probabilities.size(); ++i) {
+        response.probabilities[i] =
+            static_cast<double>(probs.at(static_cast<int64_t>(i), 0));
       }
-      request->score_result.set_value(std::move(out));
+      response.memory_version = version;
+      response.latency_us = latency;
+      request->score_result.set_value(std::move(response));
     }
-    finish(request.get());
+    LatencyHistogram().Observe(static_cast<double>(latency) * 1e-6);
+    shard->heartbeat.fetch_add(1);
   }
 }
 

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,11 +14,20 @@
 #include "graph/graph_store.h"
 #include "serve/embedding_cache.h"
 #include "serve/request_queue.h"
+#include "serve/shard_router.h"
+#include "serve/watchdog.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace cpdg::serve {
+
+/// Events replayed per CommitBatch during Advance and during journal
+/// catch-up of a restarted shard. Fixed (not an option) because replay
+/// results depend on the batching; a stable constant keeps every replica —
+/// including one rebuilt from checkpoint + journal after a crash —
+/// bit-identical to the fleet and to single-shard serving.
+inline constexpr int64_t kAdvanceReplayBatch = 128;
 
 /// \brief Knobs of the serving engine; every field has an environment
 /// override (see FromEnv) documented in the README env-var table.
@@ -30,53 +41,114 @@ struct ServingOptions {
   /// a batch is being held). Raise it only for open-loop clients that keep
   /// submitting without waiting.
   int64_t max_wait_micros = 0;
-  /// Embedding-cache rows; 0 disables caching.
+  /// Embedding-cache rows per shard; 0 disables caching.
   int64_t cache_capacity = 4096;
 
-  /// Defaults overridden by CPDG_SERVE_MAX_BATCH, CPDG_SERVE_MAX_WAIT_MICROS
-  /// and CPDG_SERVE_CACHE_CAPACITY when set.
+  /// Executor shards (full frozen-state replicas, requests routed by node
+  /// affinity). CPDG_SERVE_SHARDS.
+  int num_shards = 1;
+  /// Per-shard queued-request bound; 0 = unbounded (no admission control).
+  /// CPDG_SERVE_QUEUE_LIMIT.
+  int64_t queue_limit = 0;
+  /// What a full queue does with new requests. CPDG_SERVE_OVERLOAD
+  /// (reject | shed-oldest | block).
+  OverloadPolicy overload = OverloadPolicy::kReject;
+  /// Default per-request latency budget in microseconds; 0 = no deadline.
+  /// Per-call deadlines override it. CPDG_SERVE_DEADLINE_US.
+  int64_t default_deadline_us = 0;
+  /// Keep cache entries of older memory versions across Advance so a
+  /// deadline-pressed request can be served stale instead of expired.
+  /// Forced on by FromCheckpoint whenever default_deadline_us > 0;
+  /// otherwise the cache is invalidated eagerly on advance.
+  bool keep_stale_entries = false;
+
+  /// Shard-health sampling period of the watchdog.
+  int64_t watchdog_interval_ms = 100;
+  /// Samples without executor progress (while work is queued) before a
+  /// shard is declared wedged and restarted.
+  int watchdog_max_missed = 20;
+  /// How long an Advance waits for all shards to park at the barrier
+  /// before abandoning the stragglers (they are restarted from checkpoint
+  /// + journal by the watchdog).
+  int64_t quiesce_timeout_ms = 2000;
+
+  /// Defaults overridden by CPDG_SERVE_MAX_BATCH, CPDG_SERVE_MAX_WAIT_MICROS,
+  /// CPDG_SERVE_CACHE_CAPACITY, CPDG_SERVE_SHARDS, CPDG_SERVE_QUEUE_LIMIT,
+  /// CPDG_SERVE_OVERLOAD and CPDG_SERVE_DEADLINE_US when set.
   static ServingOptions FromEnv();
 };
 
-/// \brief Frozen-encoder embedding server.
+/// \brief What the executor does with a request given its deadline budget.
+enum class AdmissionDecision {
+  kCompute,   ///< within budget: compute fresh
+  kTryStale,  ///< budget mostly burned: prefer a stale cache hit
+  kExpire,    ///< deadline already passed: fail with kDeadlineExceeded
+};
+
+/// \brief Pure deadline-budget policy (unit-tested directly). A request
+/// with no deadline always computes. An expired one never computes. In
+/// between, once at least half the budget was burned waiting in the queue,
+/// the executor prefers serving a stale cached row over starting a fresh
+/// forward it would likely not finish in time.
+AdmissionDecision DecideAdmission(int64_t now_us, int64_t enqueue_us,
+                                  int64_t deadline_us);
+
+/// \brief Frozen-encoder embedding server with shard-replicated executors,
+/// bounded request queues, deadline admission, and watchdog-supervised
+/// crash recovery.
 ///
 /// Loads a CPDGCKPT v2 checkpoint (the "params" tensor list, plus the
 /// "memory" DGNN state snapshot when present), freezes the encoder, and
-/// answers embedding and link-scoring queries behind a thread-safe request
-/// queue. A single executor thread drains the queue, coalescing waiting
-/// requests into batches (RequestQueue); the tensor kernels inside each
-/// forward still fan out over util::ThreadPool::Global(), so batching
-/// amortizes per-request overhead without giving up kernel parallelism.
+/// answers embedding and link-scoring queries behind per-shard thread-safe
+/// request queues. Each of the `num_shards` executor threads owns a full
+/// replica of the frozen encoder state; requests are routed to shards by
+/// node-id affinity (ShardRouter), which keeps each shard's embedding
+/// cache hot for its node range. Replicas — not partitions — because a
+/// node's embedding reads its sampled neighbors' memory rows, which
+/// land on other shards under any partition (DESIGN.md §12).
 ///
 /// Determinism: forwards run under tensor::InferenceModeGuard on the
 /// read-only encoder protocol (dgnn::DgnnEncoder class comment), whose
-/// output rows depend only on their own (node, time) query. Results are
-/// therefore bit-identical to a direct encoder forward regardless of how
-/// requests were coalesced, how many client threads raced, or whether the
-/// embedding cache was warm.
+/// output rows depend only on their own (node, time) query. Non-stale
+/// results are therefore bit-identical to a direct encoder forward
+/// regardless of shard count, coalescing, racing clients, or cache
+/// warmth — and a shard restarted from checkpoint + journal converges to
+/// the same bits.
 ///
-/// Advance(events) replays events into the frozen memory (parameters stay
-/// fixed), bumping dgnn::Memory::version() and invalidating the cache. The
-/// temporal graph itself is immutable, so advanced events update node
-/// memory but do not extend the neighborhood structure used by the
-/// embedding module's temporal attention.
+/// Advance(events) is a fleet-wide two-phase barrier (AdvanceOp): the
+/// events are journaled first, every shard executor quiesces, each replica
+/// replays the full stream in kAdvanceReplayBatch chunks, and the shared
+/// serving version moves once the coordinator has verified all replicas
+/// converged on one memory version. Shards that miss the barrier or fail
+/// replay are marked failed and rebuilt by the watchdog from the
+/// checkpoint plus the journal — which already contains the advance they
+/// missed.
 ///
-/// All public methods are thread-safe; Embed/ScoreLinks/Advance block the
-/// caller until the executor fulfills the request. Queue depth, batch
-/// sizes, end-to-end latency, and cache traffic are exported through the
-/// serve.* metrics; executor stages are traced as serve/* spans.
+/// Overload behavior: with queue_limit > 0, a full shard queue rejects,
+/// sheds-oldest, or blocks per OverloadPolicy; rejected and shed requests
+/// fail with kResourceExhausted. With a deadline, an expired request fails
+/// with kDeadlineExceeded (it is never computed), and a nearly-expired one
+/// may be answered from a stale cache generation with `stale=true` in the
+/// response rather than missing its deadline.
+///
+/// All public methods are thread-safe; the *Full variants expose staleness
+/// and latency provenance, the plain Embed/ScoreLinks wrappers keep the
+/// original signatures. Queue depth, batch sizes, end-to-end latency,
+/// overload verdicts, and cache traffic are exported through the serve.*
+/// metrics; executor stages are traced as serve/* spans.
 class ServingEngine {
  public:
   /// \brief Builds an engine for `config` (plus a LinkPredictor with
   /// `predictor_hidden` hidden units when > 0) and restores parameters —
   /// and memory, when the checkpoint carries a "memory" section — from
-  /// `checkpoint_path`.
+  /// `checkpoint_path`, once per shard replica.
   ///
   /// The checkpoint's tensor list must match the constructed modules
   /// exactly (count and shapes, encoder parameters first, predictor
   /// appended — the layout the pre-trainer writes); any mismatch or
-  /// corruption fails without a partially-initialized engine. `graph`
-  /// provides the temporal neighborhoods and must outlive the engine.
+  /// corruption fails with a recoverable Status, never a partially
+  /// initialized engine. `graph` provides the temporal neighborhoods and
+  /// must outlive the engine. The path is retained for watchdog restarts.
   static Result<std::unique_ptr<ServingEngine>> FromCheckpoint(
       const dgnn::EncoderConfig& config, int64_t predictor_hidden,
       const graph::GraphStore* graph, const std::string& checkpoint_path,
@@ -92,6 +164,19 @@ class ServingEngine {
   Result<tensor::Tensor> Embed(const std::vector<graph::NodeId>& nodes,
                                double time);
 
+  /// \brief Embed with provenance. `deadline_us` is a relative latency
+  /// budget from now (0 = use options().default_deadline_us; that being 0
+  /// too means no deadline).
+  Result<EmbedResponse> EmbedFull(const std::vector<graph::NodeId>& nodes,
+                                  double time, int64_t deadline_us = 0);
+
+  /// \brief Non-blocking submission for open-loop clients (the load
+  /// generator): returns the future immediately, admission errors as a
+  /// failed Result. The future resolves when a shard executor answers.
+  Result<std::future<Result<EmbedResponse>>> EmbedAsync(
+      const std::vector<graph::NodeId>& nodes, double time,
+      int64_t deadline_us = 0);
+
   /// \brief Link probabilities sigmoid(MLP(z_src || z_dst)) for the pairs
   /// (srcs[i], dsts[i]) at query time `time`. Requires the engine to have
   /// been built with a predictor (predictor_hidden > 0).
@@ -99,51 +184,154 @@ class ServingEngine {
       const std::vector<graph::NodeId>& srcs,
       const std::vector<graph::NodeId>& dsts, double time);
 
-  /// \brief Replays `events` (chronological) into the frozen memory and
-  /// invalidates the embedding cache. Acts as a barrier: requests enqueued
-  /// before the advance observe pre-advance memory, requests after it the
-  /// post-advance memory.
+  /// \brief ScoreLinks with provenance; deadline semantics as EmbedFull.
+  Result<ScoreResponse> ScoreLinksFull(const std::vector<graph::NodeId>& srcs,
+                                       const std::vector<graph::NodeId>& dsts,
+                                       double time, int64_t deadline_us = 0);
+
+  /// \brief Replays `events` (chronological) into every shard replica's
+  /// frozen memory through the two-phase barrier described in the class
+  /// comment. Returns OK when at least one replica applied the advance
+  /// (stragglers are journaled-in by the watchdog); kUnavailable when no
+  /// live replica could.
   Status Advance(std::vector<graph::Event> events);
 
-  /// Stops accepting requests, drains the queue, joins the executor.
-  /// Idempotent; the destructor calls it.
+  /// Stops the watchdog, stops accepting requests, drains the queues,
+  /// joins every executor (including restarted-out zombies). Idempotent;
+  /// the destructor calls it.
   void Shutdown();
 
-  /// Current dgnn::Memory::version() of the frozen memory.
-  uint64_t memory_version() const;
+  /// Fleet serving version: the dgnn::Memory::version() all live replicas
+  /// agreed on at the last successful advance (or load).
+  uint64_t memory_version() const { return serve_version_.load(); }
 
-  const dgnn::DgnnEncoder& encoder() const { return *encoder_; }
-  bool has_predictor() const { return predictor_ != nullptr; }
+  /// Shard 0's encoder (all replicas are bit-identical); stable for the
+  /// engine's lifetime — restarted-out replicas are retired, not freed,
+  /// until Shutdown.
+  const dgnn::DgnnEncoder& encoder() const;
+
+  bool has_predictor() const { return predictor_hidden_ > 0; }
   const ServingOptions& options() const { return options_; }
+  int num_shards() const { return router_.num_shards(); }
 
-  /// Cache traffic totals (test hooks; mirrored in serve.cache.* metrics).
-  int64_t cache_hits() const { return cache_.hits(); }
-  int64_t cache_misses() const { return cache_.misses(); }
-  int64_t cache_evictions() const { return cache_.evictions(); }
-  int64_t cache_invalidations() const { return cache_.invalidations(); }
+  /// Per-shard dgnn::Memory::version() snapshot (test hook for barrier
+  /// consistency: all entries equal after a successful Advance).
+  std::vector<uint64_t> ShardMemoryVersions() const;
+
+  /// Cache traffic totals summed over all replicas, including retired
+  /// ones (test hooks; mirrored in serve.cache.* metrics).
+  int64_t cache_hits() const;
+  int64_t cache_misses() const;
+  int64_t cache_evictions() const;
+  int64_t cache_invalidations() const;
+
+  /// Overload / robustness totals (test hooks; serve.overload.* metrics).
+  int64_t rejected_count() const { return rejected_.load(); }
+  int64_t shed_count() const { return shed_.load(); }
+  int64_t deadline_exceeded_count() const {
+    return deadline_exceeded_.load();
+  }
+  int64_t stale_served_count() const { return stale_served_.load(); }
+  /// Requests failed kUnavailable when a failed shard's queue was drained.
+  int64_t drained_count() const { return drained_.load(); }
+  int64_t watchdog_restarts() const {
+    return watchdog_ != nullptr ? watchdog_->restarts() : 0;
+  }
+  /// Restart attempts that could not reload the checkpoint (left for
+  /// retry on the next watchdog tick).
+  int64_t reload_failures() const { return reload_failures_.load(); }
+  /// Highest queue depth observed on any shard (bounded-queue evidence).
+  int64_t queue_peak_depth() const;
 
  private:
+  /// One executor replica: full frozen encoder state, its own queue,
+  /// cache, thread, and health flags.
+  struct Shard {
+    int index = 0;
+    // Parameters are overwritten by the checkpoint restore; the seed only
+    // determines the (discarded) construction-time initialization.
+    Rng rng{0x5e17f0u};
+    std::unique_ptr<dgnn::DgnnEncoder> encoder;
+    std::unique_ptr<dgnn::LinkPredictor> predictor;
+    std::unique_ptr<RequestQueue> queue;
+    std::unique_ptr<EmbeddingCache> cache;
+    std::thread executor;
+
+    /// Bumped on every pop, every fulfilled request, and every barrier
+    /// wait tick; the watchdog's liveness signal.
+    std::atomic<int64_t> heartbeat{0};
+    /// Requests popped but not yet answered (watchdog has-work probe).
+    std::atomic<int64_t> inflight{0};
+    /// Self-declared unhealthy (failed replay, abandoned barrier, failed
+    /// reload); the watchdog rebuilds the shard on its next tick.
+    std::atomic<bool> failed{false};
+  };
+
   ServingEngine(const dgnn::EncoderConfig& config, int64_t predictor_hidden,
-                const graph::GraphStore* graph,
+                const graph::GraphStore* graph, std::string checkpoint_path,
                 const ServingOptions& options);
 
-  void ExecutorLoop();
-  void ExecuteBatch(std::vector<std::unique_ptr<Request>> batch);
-  void ExecuteAdvance(Request* request);
+  /// Loads the checkpoint into a fresh replica and replays the advance
+  /// journal prefix; `*journal_applied` reports how many entries were
+  /// replayed (for the restart catch-up loop). Does not start the thread.
+  Result<std::shared_ptr<Shard>> BuildShard(int index,
+                                            size_t* journal_applied);
+  void StartShard(const std::shared_ptr<Shard>& shard);
+  void StartWatchdog();
+  /// Watchdog restart callback: drain, rebuild from checkpoint + journal,
+  /// swap. Returns false (shard left failed, retried next tick) when the
+  /// checkpoint reload fails.
+  bool RestartShard(int index);
 
-  /// Blocks on `request`'s future after enqueueing; factored because all
-  /// three public calls share the push/fail-on-shutdown dance.
-  bool Enqueue(std::unique_ptr<Request> request);
+  void ExecutorLoop(std::shared_ptr<Shard> shard);
+  void ExecuteBatch(Shard* shard, std::vector<std::unique_ptr<Request>> batch);
+  void ExecuteBarrier(Shard* shard, std::unique_ptr<Request> request);
+  /// Graceful degradation: answer from the cache at *any* memory version
+  /// (flagging stale rows) when the deadline budget is nearly spent.
+  /// Returns false when a row is missing — the request falls back to the
+  /// compute path.
+  bool TryServeStale(Shard* shard, Request* request,
+                     uint64_t current_version);
+
+  /// Stamps enqueue/deadline, routes, and pushes under admission control;
+  /// on error the request's promise is untouched (the caller returns the
+  /// Status instead of waiting on the future).
+  Status Submit(std::unique_ptr<Request> request, int64_t deadline_us);
+  /// Fails a request's promise with `status` (advance barriers are marked
+  /// absent on their op instead).
+  void FailRequest(Request* request, const Status& status, int shard_index);
+
+  std::shared_ptr<Shard> shard(int index) const;
 
   ServingOptions options_;
-  Rng rng_;
-  std::unique_ptr<dgnn::DgnnEncoder> encoder_;
-  std::unique_ptr<dgnn::LinkPredictor> predictor_;
+  const dgnn::EncoderConfig config_;
+  const int64_t predictor_hidden_;
+  const graph::GraphStore* graph_;
+  const std::string checkpoint_path_;
+  ShardRouter router_;
 
-  RequestQueue queue_;
-  EmbeddingCache cache_;
-  std::thread executor_;
+  mutable std::mutex shards_mu_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  /// Replicas swapped out by restarts; threads joined at Shutdown (their
+  /// in-flight batches are allowed to finish).
+  std::vector<std::shared_ptr<Shard>> zombies_;
+  /// Every successful-validation Advance, in order, journaled *before* the
+  /// barrier — the recovery source of truth for rebuilt shards.
+  std::vector<std::shared_ptr<const std::vector<graph::Event>>> journal_;
+
+  /// Serializes Advance coordinators.
+  std::mutex advance_mu_;
+  std::atomic<uint64_t> serve_version_{0};
+
+  std::unique_ptr<Watchdog> watchdog_;
   std::atomic<bool> shutdown_{false};
+
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> stale_served_{0};
+  std::atomic<int64_t> drained_{0};
+  std::atomic<int64_t> reload_failures_{0};
 };
 
 }  // namespace cpdg::serve

@@ -1,0 +1,115 @@
+#include "serve/shard_router.h"
+
+#include <utility>
+
+#include "serve/request_queue.h"
+#include "util/check.h"
+
+namespace cpdg::serve {
+
+namespace {
+/// Slice length of heartbeat-ticking waits. Short enough that a parked
+/// executor ticks several times per watchdog interval.
+constexpr auto kHeartbeatSlice = std::chrono::milliseconds(10);
+}  // namespace
+
+int ShardRouter::RouteRequest(const Request& request) const {
+  if (request.nodes.empty()) return 0;
+  return ShardOf(request.nodes[0]);
+}
+
+AdvanceOp::AdvanceOp(
+    int num_shards, std::shared_ptr<const std::vector<graph::Event>> events)
+    : events_(std::move(events)), shards_(num_shards) {
+  CPDG_CHECK_GE(num_shards, 1);
+  CPDG_CHECK(events_ != nullptr);
+}
+
+AdvanceOp::ExecutorSignal AdvanceOp::Arrive(int shard,
+                                            std::atomic<int64_t>* heartbeat) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CPDG_CHECK_GE(shard, 0);
+  CPDG_CHECK_LT(shard, static_cast<int>(shards_.size()));
+  if (closed_) return ExecutorSignal::kAbandoned;
+  shards_[shard].arrived = true;
+  ++arrived_;
+  cv_.notify_all();
+  while (!replay_started_ && !released_) {
+    cv_.wait_for(lock, kHeartbeatSlice);
+    if (heartbeat != nullptr) heartbeat->fetch_add(1);
+  }
+  // released_ without replay_started_ means the coordinator gave up on the
+  // whole barrier (it never does today, but fail safe: don't replay).
+  return replay_started_ ? ExecutorSignal::kReplay
+                         : ExecutorSignal::kAbandoned;
+}
+
+void AdvanceOp::FinishReplay(int shard, bool success, uint64_t memory_version,
+                             std::string error,
+                             std::atomic<int64_t>* heartbeat) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ShardResult& result = shards_[shard];
+  result.replayed = true;
+  result.success = success;
+  result.memory_version = memory_version;
+  result.error = std::move(error);
+  ++finished_;
+  cv_.notify_all();
+  while (!released_) {
+    cv_.wait_for(lock, kHeartbeatSlice);
+    if (heartbeat != nullptr) heartbeat->fetch_add(1);
+  }
+}
+
+void AdvanceOp::MarkAbsent(int shard) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CPDG_CHECK_GE(shard, 0);
+    CPDG_CHECK_LT(shard, static_cast<int>(shards_.size()));
+    // An arrived executor cannot become absent; only count it once.
+    if (shards_[shard].arrived || !shards_[shard].error.empty()) return;
+    shards_[shard].error = "absent: queue drained or shut down";
+    ++absent_;
+  }
+  cv_.notify_all();
+}
+
+bool AdvanceOp::AwaitQuiesced(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool all = cv_.wait_for(lock, timeout, [this] {
+    return arrived_ + absent_ >= static_cast<int>(shards_.size());
+  });
+  // Close the barrier either way: late arrivals must not join a replay
+  // the coordinator has already sequenced.
+  closed_ = true;
+  return all;
+}
+
+void AdvanceOp::StartReplay() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CPDG_CHECK(closed_);
+    replay_started_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdvanceOp::AwaitReplayed(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] { return finished_ >= arrived_; });
+}
+
+std::vector<AdvanceOp::ShardResult> AdvanceOp::results() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_;
+}
+
+void AdvanceOp::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace cpdg::serve

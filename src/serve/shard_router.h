@@ -1,0 +1,154 @@
+#ifndef CPDG_SERVE_SHARD_ROUTER_H_
+#define CPDG_SERVE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/event.h"
+#include "graph/temporal_graph.h"
+
+namespace cpdg::serve {
+
+struct Request;
+
+/// \brief Deterministic request-to-shard placement for the multi-shard
+/// serving engine.
+///
+/// Shards are full replicas of the frozen encoder state (every shard
+/// replays the complete event stream on advance — see DESIGN.md §12 for
+/// why partitioned replay would break bitwise identity), so any shard
+/// *can* answer any request. Routing by node id is a cache-affinity
+/// choice: sending node n's queries to the same shard every time keeps
+/// that shard's EmbeddingCache hot for n, instead of spreading n's rows
+/// thinly over all shard caches.
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards) : num_shards_(num_shards) {}
+
+  int num_shards() const { return num_shards_; }
+
+  /// Owning shard of a node id (affinity partition, not data partition).
+  int ShardOf(graph::NodeId node) const {
+    if (num_shards_ <= 1 || node < 0) return 0;
+    return static_cast<int>(node % num_shards_);
+  }
+
+  /// Placement of a request: affinity of its first query node. Multi-node
+  /// requests are not split — the whole batch lands on one shard, keeping
+  /// the response a single tensor computed at a single memory version.
+  int RouteRequest(const Request& request) const;
+
+ private:
+  int num_shards_;
+};
+
+/// \brief The shared rendezvous behind a cross-shard Advance: a two-phase
+/// barrier that quiesces every shard executor, replays the event stream on
+/// each replica, and holds them until the coordinator has verified the
+/// fleet converged on one memory version.
+///
+/// Lifecycle (coordinator = the client thread driving Advance; executors =
+/// the per-shard serving threads that pop the kAdvance barrier request):
+///
+///   coordinator                      executor (per shard)
+///   -----------                      --------------------
+///   push barrier to every queue
+///   AwaitQuiesced(timeout) ───────── Arrive(shard, heartbeat)
+///     (stragglers abandoned            blocks, bumping heartbeat
+///      on timeout)
+///   StartReplay() ─────────────────── Arrive returns kReplay
+///                                     ... replays events ...
+///   AwaitReplayed(timeout) ────────── FinishReplay(shard, ok, version)
+///     collects per-shard results        blocks, bumping heartbeat
+///   Release() ─────────────────────── FinishReplay returns
+///
+/// Executors that arrive after the quiesce timeout get kAbandoned from
+/// Arrive: they must NOT replay (the fleet has moved on without them) and
+/// their shard is marked failed for the watchdog to rebuild from
+/// checkpoint + journal. All waits on the executor side tick the shard's
+/// heartbeat so a correctly-parked executor is never mistaken for a
+/// wedged one.
+class AdvanceOp {
+ public:
+  /// \brief Outcome of Arrive on the executor side.
+  enum class ExecutorSignal {
+    kReplay,     ///< proceed to replay events() on this shard
+    kAbandoned,  ///< arrived too late; do not replay, mark shard failed
+  };
+
+  /// \brief Per-shard outcome visible to the coordinator after
+  /// AwaitReplayed.
+  struct ShardResult {
+    bool arrived = false;
+    bool replayed = false;
+    bool success = false;
+    uint64_t memory_version = 0;
+    std::string error;
+  };
+
+  AdvanceOp(int num_shards,
+            std::shared_ptr<const std::vector<graph::Event>> events);
+
+  const std::vector<graph::Event>& events() const { return *events_; }
+
+  // --- executor side ---------------------------------------------------
+
+  /// Registers shard `shard` at the barrier and blocks until the
+  /// coordinator starts the replay phase (kReplay) or has abandoned this
+  /// shard (kAbandoned). `heartbeat` is incremented while waiting.
+  ExecutorSignal Arrive(int shard, std::atomic<int64_t>* heartbeat);
+
+  /// Reports the shard's replay outcome and blocks until Release().
+  /// `heartbeat` is incremented while waiting.
+  void FinishReplay(int shard, bool success, uint64_t memory_version,
+                    std::string error, std::atomic<int64_t>* heartbeat);
+
+  // --- coordinator side ------------------------------------------------
+
+  /// Declares that `shard` will never arrive (its queue is shut down or
+  /// being drained by a restart); AwaitQuiesced stops waiting for it.
+  /// Callable from the coordinator or from the drain path.
+  void MarkAbsent(int shard);
+
+  /// Blocks until every non-absent shard has arrived, or `timeout`
+  /// elapses — in which case the barrier is closed and the missing shards
+  /// are abandoned. Returns true iff all non-absent shards arrived.
+  bool AwaitQuiesced(std::chrono::milliseconds timeout);
+
+  /// Releases the arrived executors into the replay phase. Call exactly
+  /// once, after AwaitQuiesced.
+  void StartReplay();
+
+  /// Blocks until every arrived shard has reported FinishReplay, or
+  /// `timeout` elapses. Returns true iff all arrived shards reported.
+  bool AwaitReplayed(std::chrono::milliseconds timeout);
+
+  /// Snapshot of per-shard outcomes; meaningful after AwaitReplayed.
+  std::vector<ShardResult> results() const;
+
+  /// Dismisses the parked executors. Call exactly once, last.
+  void Release();
+
+ private:
+  const std::shared_ptr<const std::vector<graph::Event>> events_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ShardResult> shards_;
+  int arrived_ = 0;
+  int absent_ = 0;
+  int finished_ = 0;
+  bool closed_ = false;         // no further arrivals join the barrier
+  bool replay_started_ = false;
+  bool released_ = false;
+};
+
+}  // namespace cpdg::serve
+
+#endif  // CPDG_SERVE_SHARD_ROUTER_H_

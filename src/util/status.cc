@@ -25,6 +25,12 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

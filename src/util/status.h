@@ -22,6 +22,9 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kIoError,
+  kDeadlineExceeded,
+  kUnavailable,
+  kResourceExhausted,
 };
 
 /// \brief Name of a status code, e.g. "InvalidArgument".
@@ -67,6 +70,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,732 @@
+// Overload-robustness and fault-recovery tests for the multi-shard serving
+// engine: bounded-queue admission (reject / shed-oldest / block), deadline
+// expiry and stale degradation, the cross-shard advance barrier, and
+// watchdog-driven shard restart under injected executor stalls, replay
+// failures, and checkpoint-reload corruption.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dgnn/encoder.h"
+#include "graph/temporal_graph.h"
+#include "gtest/gtest.h"
+#include "serve/embedding_cache.h"
+#include "serve/request_queue.h"
+#include "serve/serving_engine.h"
+#include "tensor/checkpoint_container.h"
+#include "tensor/ops.h"
+#include "tensor/serialization.h"
+#include "tensor/tensor.h"
+#include "train/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace cpdg {
+namespace {
+
+namespace ts = tensor;
+
+constexpr int64_t kNumNodes = 30;
+constexpr int64_t kPredictorHidden = 16;
+/// Below serve::kAdvanceReplayBatch so a reference ReplayEvents over the
+/// same events is trivially batched identically.
+constexpr size_t kAdvanceEvents = 40;
+
+dgnn::EncoderConfig SmallConfig() {
+  dgnn::EncoderConfig config;
+  config.num_nodes = kNumNodes;
+  config.memory_dim = 8;
+  config.embed_dim = 8;
+  config.time_dim = 4;
+  config.num_neighbors = 3;
+  return config;
+}
+
+std::vector<graph::Event> MakeEvents(uint64_t seed, size_t count, double t0) {
+  Rng rng(seed);
+  std::vector<graph::Event> events;
+  events.reserve(count);
+  double t = t0;
+  for (size_t i = 0; i < count; ++i) {
+    graph::Event e;
+    e.src = static_cast<graph::NodeId>(rng.NextBounded(kNumNodes));
+    e.dst = static_cast<graph::NodeId>(rng.NextBounded(kNumNodes));
+    if (e.dst == e.src) e.dst = (e.src + 1) % kNumNodes;
+    t += rng.NextUniform(0.1, 2.0);
+    e.time = t;
+    events.push_back(e);
+  }
+  return events;
+}
+
+/// Reference model pair with warm memory plus the checkpoint the serving
+/// engine loads (same construction as serving_test.cc).
+struct Fixture {
+  graph::TemporalGraph graph;
+  Rng rng{42};
+  std::unique_ptr<dgnn::DgnnEncoder> encoder;
+  std::unique_ptr<dgnn::LinkPredictor> predictor;
+  std::string checkpoint_path;
+
+  explicit Fixture(const std::string& name) {
+    graph = graph::TemporalGraph::Create(kNumNodes, MakeEvents(7, 120, 0.0))
+                .ValueOrDie();
+    encoder =
+        std::make_unique<dgnn::DgnnEncoder>(SmallConfig(), &graph, &rng);
+    predictor = std::make_unique<dgnn::LinkPredictor>(
+        SmallConfig().embed_dim, kPredictorHidden, &rng);
+    {
+      ts::InferenceModeGuard guard;
+      encoder->ReplayEvents(graph.events(), /*batch_size=*/16);
+    }
+    checkpoint_path = ::testing::TempDir() + "serve_robust_" + name + ".ckpt";
+    WriteCheckpoint(checkpoint_path);
+  }
+
+  void WriteCheckpoint(const std::string& path) const {
+    std::vector<ts::Tensor> params = encoder->Parameters();
+    std::vector<ts::Tensor> dec = predictor->Parameters();
+    params.insert(params.end(), dec.begin(), dec.end());
+    ts::SectionWriter writer;
+    writer.Add(ts::kParamsSection,
+               ts::EncodeTensorList(params).ValueOrDie());
+    std::string memory_bytes;
+    encoder->memory().SerializeTo(&memory_bytes);
+    writer.Add(train::kMemorySection, memory_bytes);
+    ASSERT_TRUE(writer.WriteAtomic(path).ok());
+  }
+
+  ts::Tensor DirectEmbed(const std::vector<graph::NodeId>& nodes,
+                         double time) {
+    ts::InferenceModeGuard guard;
+    encoder->BeginBatch();
+    return encoder->ComputeEmbeddings(
+        nodes, std::vector<double>(nodes.size(), time));
+  }
+};
+
+void ExpectBitIdentical(const ts::Tensor& a, const ts::Tensor& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<size_t>(a.size()) * sizeof(float)));
+}
+
+bool WaitFor(const std::function<bool()>& pred, int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+std::unique_ptr<serve::Request> MakeEmbedRequest(graph::NodeId node) {
+  auto request = std::make_unique<serve::Request>();
+  request->kind = serve::Request::Kind::kEmbed;
+  request->nodes = {node};
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Admission-policy state machines on the bare queue.
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueueTest, RejectPolicyFillRejectDrainAccept) {
+  serve::RequestQueue::Options options;
+  options.limit = 2;
+  options.policy = serve::OverloadPolicy::kReject;
+  serve::RequestQueue queue(options);
+
+  auto r1 = MakeEmbedRequest(1);
+  auto r2 = MakeEmbedRequest(2);
+  auto r3 = MakeEmbedRequest(3);
+  EXPECT_EQ(queue.Push(r1), serve::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.Push(r2), serve::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.Push(r3), serve::PushOutcome::kRejected);
+  ASSERT_NE(r3, nullptr);  // rejected request stays with the caller
+  EXPECT_EQ(queue.depth(), 2);
+  EXPECT_EQ(queue.peak_depth(), 2);
+
+  auto batch = queue.PopBatch(10, std::chrono::microseconds(0));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(queue.Push(r3), serve::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.depth(), 1);
+}
+
+TEST(RequestQueueTest, ShedOldestReturnsVictimsAndSparesBarriers) {
+  serve::RequestQueue::Options options;
+  options.limit = 2;
+  options.policy = serve::OverloadPolicy::kShedOldest;
+  serve::RequestQueue queue(options);
+
+  auto r1 = MakeEmbedRequest(1);
+  auto r2 = MakeEmbedRequest(2);
+  auto r3 = MakeEmbedRequest(3);
+  EXPECT_EQ(queue.Push(r1), serve::PushOutcome::kAccepted);
+  EXPECT_EQ(queue.Push(r2), serve::PushOutcome::kAccepted);
+  std::vector<std::unique_ptr<serve::Request>> shed;
+  EXPECT_EQ(queue.Push(r3, &shed), serve::PushOutcome::kAccepted);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0]->nodes[0], 1);  // oldest victim
+  EXPECT_EQ(queue.depth(), 2);
+
+  // Barriers are never shed: with only barriers queued, shed-oldest
+  // degrades to reject.
+  serve::RequestQueue::Options barrier_options;
+  barrier_options.limit = 1;
+  barrier_options.policy = serve::OverloadPolicy::kShedOldest;
+  serve::RequestQueue barrier_queue(barrier_options);
+  auto barrier = std::make_unique<serve::Request>();
+  barrier->kind = serve::Request::Kind::kAdvance;
+  EXPECT_EQ(barrier_queue.PushControl(barrier),
+            serve::PushOutcome::kAccepted);
+  auto r4 = MakeEmbedRequest(4);
+  shed.clear();
+  EXPECT_EQ(barrier_queue.Push(r4, &shed), serve::PushOutcome::kRejected);
+  EXPECT_TRUE(shed.empty());
+  ASSERT_NE(r4, nullptr);
+}
+
+TEST(RequestQueueTest, BlockPolicyWaitsForSpaceAndShutdownUnblocks) {
+  serve::RequestQueue::Options options;
+  options.limit = 1;
+  options.policy = serve::OverloadPolicy::kBlock;
+  serve::RequestQueue queue(options);
+
+  auto r1 = MakeEmbedRequest(1);
+  ASSERT_EQ(queue.Push(r1), serve::PushOutcome::kAccepted);
+
+  std::atomic<int> state{0};  // 0 = blocked, 1 = accepted
+  std::thread producer([&] {
+    auto r2 = MakeEmbedRequest(2);
+    if (queue.Push(r2) == serve::PushOutcome::kAccepted) state.store(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(state.load(), 0);  // still blocked at capacity
+  auto batch = queue.PopBatch(1, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 1u);
+  producer.join();
+  EXPECT_EQ(state.load(), 1);
+  EXPECT_EQ(queue.depth(), 1);
+
+  // A producer blocked at capacity is released by Shutdown with kShutdown.
+  std::atomic<bool> got_shutdown{false};
+  std::thread blocked([&] {
+    auto r3 = MakeEmbedRequest(3);
+    got_shutdown.store(queue.Push(r3) == serve::PushOutcome::kShutdown);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Shutdown();
+  blocked.join();
+  EXPECT_TRUE(got_shutdown.load());
+}
+
+TEST(RequestQueueTest, RacingPushersAgainstShutdownLoseNoRequest) {
+  serve::RequestQueue::Options options;
+  options.limit = 8;
+  options.policy = serve::OverloadPolicy::kReject;
+  serve::RequestQueue queue(options);
+
+  std::atomic<int64_t> accepted{0};
+  std::atomic<int64_t> consumed{0};
+  std::vector<std::thread> pushers;
+  for (int t = 0; t < 4; ++t) {
+    pushers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        auto r = MakeEmbedRequest((t * 200 + i) % kNumNodes);
+        if (queue.Push(r) == serve::PushOutcome::kAccepted) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread consumer([&] {
+    while (true) {
+      auto batch = queue.PopBatch(4, std::chrono::microseconds(100));
+      if (batch.empty()) return;  // shutdown and drained
+      consumed.fetch_add(static_cast<int64_t>(batch.size()));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Shutdown();
+  for (auto& p : pushers) p.join();
+  consumer.join();
+  consumed.fetch_add(static_cast<int64_t>(queue.DrainAll().size()));
+  // Every accepted request was either consumed or drained — none dropped.
+  EXPECT_EQ(accepted.load(), consumed.load());
+}
+
+TEST(RequestQueueTest, DrainAllEmptiesTheQueue) {
+  serve::RequestQueue queue;
+  for (graph::NodeId v : {1, 2, 3}) {
+    auto r = MakeEmbedRequest(v);
+    ASSERT_EQ(queue.Push(r), serve::PushOutcome::kAccepted);
+  }
+  auto drained = queue.DrainAll();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(queue.depth(), 0);
+  EXPECT_EQ(queue.peak_depth(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Pure policy units.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, DecideAdmissionBudgetThresholds) {
+  using serve::AdmissionDecision;
+  // No deadline: always compute.
+  EXPECT_EQ(serve::DecideAdmission(1000, 0, 0), AdmissionDecision::kCompute);
+  // Already expired (at or past the deadline): never computed.
+  EXPECT_EQ(serve::DecideAdmission(1000, 0, 1000),
+            AdmissionDecision::kExpire);
+  EXPECT_EQ(serve::DecideAdmission(1500, 0, 1000),
+            AdmissionDecision::kExpire);
+  // Under half the budget burned: compute fresh.
+  EXPECT_EQ(serve::DecideAdmission(499, 0, 1000),
+            AdmissionDecision::kCompute);
+  // Half or more burned: prefer a stale cache hit.
+  EXPECT_EQ(serve::DecideAdmission(500, 0, 1000),
+            AdmissionDecision::kTryStale);
+  EXPECT_EQ(serve::DecideAdmission(999, 0, 1000),
+            AdmissionDecision::kTryStale);
+  // Thresholds are relative to enqueue, not epoch.
+  EXPECT_EQ(serve::DecideAdmission(1100, 1000, 2000),
+            AdmissionDecision::kCompute);
+  EXPECT_EQ(serve::DecideAdmission(1600, 1000, 2000),
+            AdmissionDecision::kTryStale);
+}
+
+TEST(AdmissionTest, ParseOverloadPolicyVocabulary) {
+  EXPECT_EQ(serve::ParseOverloadPolicy("reject").ValueOrDie(),
+            serve::OverloadPolicy::kReject);
+  EXPECT_EQ(serve::ParseOverloadPolicy("shed-oldest").ValueOrDie(),
+            serve::OverloadPolicy::kShedOldest);
+  EXPECT_EQ(serve::ParseOverloadPolicy("block").ValueOrDie(),
+            serve::OverloadPolicy::kBlock);
+  EXPECT_FALSE(serve::ParseOverloadPolicy("drop-newest").ok());
+  EXPECT_FALSE(serve::ParseOverloadPolicy("").ok());
+}
+
+TEST(EmbeddingCacheTest, AnyVersionLookupServesStaleGenerations) {
+  serve::EmbeddingCache cache(4);
+  cache.Insert({5, 1.0, /*version=*/7}, {1.0f, 2.0f});
+  std::vector<float> row;
+  // Exact lookup at a newer version misses…
+  EXPECT_FALSE(cache.Lookup({5, 1.0, 8}, &row));
+  // …but the degraded lookup returns the stale generation and its version.
+  uint64_t version = 0;
+  ASSERT_TRUE(cache.LookupAnyVersion(5, 1.0, &row, &version));
+  EXPECT_EQ(version, 7u);
+  EXPECT_EQ(row[0], 1.0f);
+  // A fresh insert for the same (node, time) supersedes in place.
+  cache.Insert({5, 1.0, 8}, {3.0f, 4.0f});
+  EXPECT_EQ(cache.size(), 1);
+  ASSERT_TRUE(cache.LookupAnyVersion(5, 1.0, &row, &version));
+  EXPECT_EQ(version, 8u);
+  EXPECT_EQ(row[0], 3.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level overload behavior.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRobustnessTest, OverloadRejectsWithResourceExhausted) {
+  Fixture fx("overload_reject");
+  serve::ServingOptions options;
+  options.max_batch = 1;
+  options.queue_limit = 4;
+  options.overload = serve::OverloadPolicy::kReject;
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path, options)
+                    .TakeValue();
+  const double t = fx.graph.max_time() + 1.0;
+
+  util::FaultInjector::Scope stall([] {
+    util::FaultInjector::Config c;
+    c.serve_stall_millis = 800;
+    return c;
+  }());
+  std::vector<std::future<Result<serve::EmbedResponse>>> accepted;
+  int64_t rejected = 0;
+  for (int i = 0; i < 11; ++i) {
+    // Same node: everything lands on one shard queue.
+    auto r = engine->EmbedAsync({0}, t);
+    if (r.ok()) {
+      accepted.push_back(r.TakeValue());
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << r.status().ToString();
+      ++rejected;
+    }
+  }
+  // One request in flight (stalled) + 4 queued at the limit; the rest of
+  // the 11 must have been turned away at admission.
+  EXPECT_GE(rejected, 6);
+  EXPECT_EQ(engine->rejected_count(), rejected);
+  EXPECT_LE(engine->queue_peak_depth(), options.queue_limit);
+  for (auto& future : accepted) {
+    auto response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response.value().stale);
+    EXPECT_GE(response.value().latency_us, 0);
+  }
+}
+
+TEST(ServeRobustnessTest, ExpiredDeadlineFailsInsteadOfComputing) {
+  Fixture fx("deadline");
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path)
+                    .TakeValue();
+  const double t = fx.graph.max_time() + 1.0;
+
+  util::FaultInjector::Scope stall([] {
+    util::FaultInjector::Config c;
+    c.serve_stall_millis = 800;
+    return c;
+  }());
+  // No deadline: survives the stall. 200 ms deadline: expires behind it.
+  auto patient = engine->EmbedAsync({0}, t);
+  ASSERT_TRUE(patient.ok());
+  auto hurried = engine->EmbedAsync({0}, t, /*deadline_us=*/200000);
+  ASSERT_TRUE(hurried.ok());
+
+  auto hurried_result = hurried.TakeValue().get();
+  ASSERT_FALSE(hurried_result.ok());
+  EXPECT_EQ(hurried_result.status().code(), StatusCode::kDeadlineExceeded)
+      << hurried_result.status().ToString();
+  EXPECT_GE(engine->deadline_exceeded_count(), 1);
+
+  auto patient_result = patient.TakeValue().get();
+  ASSERT_TRUE(patient_result.ok()) << patient_result.status().ToString();
+  ExpectBitIdentical(patient_result.value().embeddings,
+                     fx.DirectEmbed({0}, t));
+}
+
+TEST(ServeRobustnessTest, DeadlinePressureServesStaleCacheHit) {
+  Fixture fx("stale");
+  serve::ServingOptions options;
+  options.default_deadline_us = 2000000;  // 2 s budget
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path, options)
+                    .TakeValue();
+  ASSERT_TRUE(engine->options().keep_stale_entries);  // forced by deadline
+  const double t = fx.graph.max_time() + 50.0;
+
+  // Warm the cache at the current version.
+  auto warm = engine->EmbedFull({0}, t);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_FALSE(warm.value().stale);
+  const uint64_t v0 = engine->memory_version();
+
+  // Advance moves the fleet version; stale entries survive (keep mode).
+  ASSERT_TRUE(
+      engine->Advance(MakeEvents(99, kAdvanceEvents, fx.graph.max_time()))
+          .ok());
+  ASSERT_GT(engine->memory_version(), v0);
+
+  // Burn >half the budget behind an injected stall; the executor should
+  // degrade to the cached pre-advance row rather than compute or expire.
+  util::FaultInjector::Scope stall([] {
+    util::FaultInjector::Config c;
+    c.serve_stall_millis = 1200;
+    return c;
+  }());
+  auto pressed = engine->EmbedFull({0}, t);
+  ASSERT_TRUE(pressed.ok()) << pressed.status().ToString();
+  EXPECT_TRUE(pressed.value().stale);
+  EXPECT_EQ(engine->stale_served_count(), 1);
+  // The stale answer is the pre-advance generation, bit for bit.
+  ExpectBitIdentical(pressed.value().embeddings, warm.value().embeddings);
+
+  // Unpressed requests compute fresh at the new version.
+  auto fresh = engine->EmbedFull({0}, t);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().stale);
+  EXPECT_EQ(fresh.value().memory_version, engine->memory_version());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-shard consistency.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRobustnessTest, MultiShardServingIsBitIdenticalAcrossAdvance) {
+  Fixture fx("multishard");
+  serve::ServingOptions options;
+  options.num_shards = 3;
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path, options)
+                    .TakeValue();
+  ASSERT_EQ(engine->num_shards(), 3);
+  const double t = fx.graph.max_time() + 5.0;
+
+  std::vector<graph::NodeId> all_nodes;
+  for (graph::NodeId v = 0; v < kNumNodes; ++v) all_nodes.push_back(v);
+  ts::Tensor direct = fx.DirectEmbed(all_nodes, t);
+
+  // Single-node requests spread over all three shards by node affinity;
+  // every row must match the direct forward bit for bit.
+  for (graph::NodeId v = 0; v < kNumNodes; ++v) {
+    auto r = engine->EmbedFull({v}, t);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.value().stale);
+    ASSERT_EQ(0, std::memcmp(r.value().embeddings.data(),
+                             direct.data() + v * direct.cols(),
+                             static_cast<size_t>(direct.cols()) *
+                                 sizeof(float)))
+        << "row " << v << " differs from the direct forward";
+  }
+
+  // A fleet advance replays the full stream on every replica and leaves
+  // them on one memory version.
+  std::vector<graph::Event> fresh =
+      MakeEvents(99, kAdvanceEvents, fx.graph.max_time() + 1.0);
+  ASSERT_TRUE(engine->Advance(fresh).ok());
+  std::vector<uint64_t> versions = engine->ShardMemoryVersions();
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0], versions[1]);
+  EXPECT_EQ(versions[1], versions[2]);
+  EXPECT_EQ(versions[0], engine->memory_version());
+
+  {
+    ts::InferenceModeGuard guard;
+    fx.encoder->ReplayEvents(fresh, /*batch_size=*/128);
+  }
+  const double t2 = t + 60.0;
+  ts::Tensor direct_after = fx.DirectEmbed(all_nodes, t2);
+  for (graph::NodeId v = 0; v < kNumNodes; ++v) {
+    auto r = engine->EmbedFull({v}, t2);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(0, std::memcmp(r.value().embeddings.data(),
+                             direct_after.data() + v * direct_after.cols(),
+                             static_cast<size_t>(direct_after.cols()) *
+                                 sizeof(float)))
+        << "post-advance row " << v << " differs";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected recovery.
+// ---------------------------------------------------------------------------
+
+serve::ServingOptions FastWatchdogOptions() {
+  serve::ServingOptions options;
+  options.watchdog_interval_ms = 25;
+  options.watchdog_max_missed = 4;  // wedge declared after ~100 ms
+  options.quiesce_timeout_ms = 500;
+  return options;
+}
+
+TEST(ServeRobustnessTest, WatchdogRestartsWedgedShard) {
+  Fixture fx("wedge");
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path, FastWatchdogOptions())
+                    .TakeValue();
+  const double t = fx.graph.max_time() + 1.0;
+
+  util::FaultInjector::Scope stall([] {
+    util::FaultInjector::Config c;
+    c.serve_stall_millis = 2500;
+    return c;
+  }());
+  // The victim request wedges the executor mid-flight.
+  auto victim = engine->EmbedAsync({0}, t);
+  ASSERT_TRUE(victim.ok());
+
+  ASSERT_TRUE(WaitFor([&] { return engine->watchdog_restarts() >= 1; },
+                      /*timeout_ms=*/10000))
+      << "watchdog did not restart the wedged shard";
+
+  // The rebuilt replica answers immediately — bitwise-identical to the
+  // reference — while the zombie executor is still sleeping.
+  auto probe = engine->EmbedFull({0}, t);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  ExpectBitIdentical(probe.value().embeddings, fx.DirectEmbed({0}, t));
+
+  // The wedged request itself still completes (late, but correct): its
+  // executor finishes the in-flight batch before retiring.
+  auto victim_result = victim.TakeValue().get();
+  ASSERT_TRUE(victim_result.ok()) << victim_result.status().ToString();
+  ExpectBitIdentical(victim_result.value().embeddings,
+                     fx.DirectEmbed({0}, t));
+}
+
+TEST(ServeRobustnessTest, ReplayFailureRecoversThroughJournal) {
+  Fixture fx("replayfail");
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path, FastWatchdogOptions())
+                    .TakeValue();
+  const uint64_t v0 = engine->memory_version();
+  std::vector<graph::Event> fresh =
+      MakeEvents(99, kAdvanceEvents, fx.graph.max_time() + 1.0);
+
+  {
+    util::FaultInjector::Scope fail([] {
+      util::FaultInjector::Config c;
+      c.serve_replay_fail = true;
+      return c;
+    }());
+    // The only shard fails its replay: no live replica applied the
+    // advance, but it is journaled for recovery.
+    Status status = engine->Advance(fresh);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable)
+        << status.ToString();
+  }
+
+  // The watchdog rebuilds the shard from checkpoint + journal, which
+  // contains the failed advance — the fleet version catches up.
+  ASSERT_TRUE(WaitFor([&] { return engine->memory_version() > v0; },
+                      /*timeout_ms=*/10000))
+      << "restarted shard never caught up past version " << v0;
+  EXPECT_GE(engine->watchdog_restarts(), 1);
+
+  // Bitwise probe against a reference encoder that replayed the same
+  // events with the same batching.
+  {
+    ts::InferenceModeGuard guard;
+    fx.encoder->ReplayEvents(fresh, /*batch_size=*/128);
+  }
+  const double t = fx.graph.max_time() + 60.0;
+  const std::vector<graph::NodeId> probe = {0, 1, 2, 3};
+  ts::Tensor direct = fx.DirectEmbed(probe, t);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto r = engine->EmbedFull(probe, t);
+        return r.ok() &&
+               std::memcmp(r.value().embeddings.data(), direct.data(),
+                           static_cast<size_t>(direct.size()) *
+                               sizeof(float)) == 0;
+      },
+      /*timeout_ms=*/5000))
+      << "post-recovery serving does not match the reference replay";
+
+  // Subsequent advances work normally.
+  EXPECT_TRUE(
+      engine->Advance(MakeEvents(123, 8, fx.graph.max_time() + 200.0)).ok());
+}
+
+TEST(ServeRobustnessTest, CorruptReloadIsRetriedUntilRestartSucceeds) {
+  Fixture fx("reloadcorrupt");
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path, FastWatchdogOptions())
+                    .TakeValue();
+  const double t = fx.graph.max_time() + 1.0;
+
+  util::FaultInjector::Scope faults([] {
+    util::FaultInjector::Config c;
+    c.serve_stall_millis = 2500;   // wedge a shard to force a restart
+    c.serve_reload_corrupt = 1;    // first rebuild hits a corrupt read
+    return c;
+  }());
+  auto victim = engine->EmbedAsync({0}, t);
+  ASSERT_TRUE(victim.ok());
+
+  ASSERT_TRUE(WaitFor([&] { return engine->watchdog_restarts() >= 1; },
+                      /*timeout_ms=*/10000))
+      << "restart never succeeded after the corrupt reload";
+  EXPECT_GE(engine->reload_failures(), 1);
+
+  auto probe = engine->EmbedFull({1}, t);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  ExpectBitIdentical(probe.value().embeddings, fx.DirectEmbed({1}, t));
+  ASSERT_TRUE(victim.TakeValue().get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Recoverable load errors and shutdown semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRobustnessTest, FromCheckpointRejectsBadOptionsPerReason) {
+  Fixture fx("badopts");
+  const auto config = SmallConfig();
+  const auto expect_invalid = [&](const serve::ServingOptions& options) {
+    auto r = serve::ServingEngine::FromCheckpoint(
+        config, kPredictorHidden, &fx.graph, fx.checkpoint_path, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  };
+  {
+    serve::ServingOptions o;
+    o.num_shards = 0;
+    expect_invalid(o);
+  }
+  {
+    serve::ServingOptions o;
+    o.num_shards = 1000;
+    expect_invalid(o);
+  }
+  {
+    serve::ServingOptions o;
+    o.max_batch = 0;
+    expect_invalid(o);
+  }
+  {
+    serve::ServingOptions o;
+    o.queue_limit = -1;
+    expect_invalid(o);
+  }
+  {
+    serve::ServingOptions o;
+    o.default_deadline_us = -5;
+    expect_invalid(o);
+  }
+  {
+    serve::ServingOptions o;
+    o.watchdog_max_missed = 0;
+    expect_invalid(o);
+  }
+  // Null graph is a recoverable error, not an abort.
+  auto null_graph = serve::ServingEngine::FromCheckpoint(
+      config, kPredictorHidden, nullptr, fx.checkpoint_path);
+  ASSERT_FALSE(null_graph.ok());
+  EXPECT_EQ(null_graph.status().code(), StatusCode::kInvalidArgument);
+  // Missing checkpoint file surfaces as an I/O-class status.
+  auto missing = serve::ServingEngine::FromCheckpoint(
+      config, kPredictorHidden, &fx.graph,
+      ::testing::TempDir() + "does_not_exist.ckpt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().code(), StatusCode::kInternal);
+}
+
+TEST(ServeRobustnessTest, ShutdownFailsRequestsWithExplicitStatus) {
+  Fixture fx("shutdown_status");
+  auto engine = serve::ServingEngine::FromCheckpoint(
+                    SmallConfig(), kPredictorHidden, &fx.graph,
+                    fx.checkpoint_path)
+                    .TakeValue();
+  ASSERT_TRUE(engine->EmbedFull({0}, 1.0).ok());
+  engine->Shutdown();
+  engine->Shutdown();  // idempotent
+
+  auto embed = engine->EmbedFull({0}, 1.0);
+  ASSERT_FALSE(embed.ok());
+  EXPECT_EQ(embed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(embed.status().message().find("shut down"), std::string::npos);
+
+  auto score = engine->ScoreLinksFull({0}, {1}, 1.0);
+  ASSERT_FALSE(score.ok());
+  EXPECT_EQ(score.status().code(), StatusCode::kFailedPrecondition);
+
+  Status advance = engine->Advance(MakeEvents(5, 3, 100.0));
+  ASSERT_FALSE(advance.ok());
+  EXPECT_EQ(advance.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cpdg
