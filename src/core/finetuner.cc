@@ -84,15 +84,23 @@ FineTunedModel FineTuneLinkPrediction(dgnn::DgnnEncoder* encoder,
   loop_options.learning_rate = config.train.learning_rate;
   loop_options.grad_clip = config.train.grad_clip;
   loop_options.log_label = "fine-tune";
+  // Negative draws move onto per-(epoch, batch) streams so prefetch workers
+  // can assemble batches ahead of the consumer without reordering draws.
+  loop_options.prepare_stream_seed = rng->NextUint64();
   train::TrainLoop loop(std::move(params), loop_options);
 
-  train::TrainTelemetry result = loop.RunChronological(
+  train::TrainTelemetry result = loop.RunChronologicalPrepared(
       encoder, graph, config.train.batch_size,
-      [&](const train::BatchContext&, const graph::EventBatch& batch)
-          -> std::optional<ts::Tensor> {
-        train::LinkBatch lb = train::AssembleLinkBatch(
-            batch.events, config.train.negative_pool, graph.num_nodes(),
-            rng);
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          Rng* batch_rng) -> std::any {
+        return train::AssembleLinkBatch(batch.events,
+                                        config.train.negative_pool,
+                                        graph.num_nodes(), batch_rng);
+      },
+      [&](const train::BatchContext&, const graph::EventBatch&,
+          std::any& prepared) -> std::optional<ts::Tensor> {
+        const train::LinkBatch& lb =
+            *std::any_cast<train::LinkBatch>(&prepared);
         ts::Tensor pos_logits =
             model.ScoreLogits(encoder, lb.srcs, lb.dsts, lb.times);
         ts::Tensor neg_logits =

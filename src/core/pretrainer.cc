@@ -25,7 +25,7 @@ CpdgPretrainer::CpdgPretrainer(const CpdgConfig& config, Rng* rng)
 
 tensor::Tensor CpdgPretrainer::PoolSubgraphs(
     dgnn::DgnnEncoder* encoder,
-    const std::vector<std::vector<NodeId>>& subgraphs) {
+    const std::vector<sampler::ArenaNodeVec>& subgraphs) {
   std::vector<NodeId> all;
   std::vector<std::pair<int64_t, int64_t>> spans;  // (offset, length)
   for (const auto& sg : subgraphs) {
@@ -45,26 +45,23 @@ tensor::Tensor CpdgPretrainer::PoolSubgraphs(
   return ts::ConcatRows(pooled);
 }
 
-tensor::Tensor CpdgPretrainer::ContrastiveLoss(
-    dgnn::DgnnEncoder* encoder,
-    sampler::StructuralTemporalSampler* subgraph_sampler,
+CpdgPretrainer::PreparedContrast CpdgPretrainer::PrepareContrast(
+    const sampler::StructuralTemporalSampler& subgraph_sampler,
     const sampler::StructuralTemporalSampler::Options& sample_opts,
-    const train::LinkBatch& lb, const tensor::Tensor& z_src,
-    tensor::Tensor loss) {
+    const train::LinkBatch& lb, Rng* rng) const {
   bool want_tc = config_.use_temporal_contrast;
   bool want_sc = config_.use_structural_contrast;
+  PreparedContrast out;
 
   // Pick up to max_contrast_anchors distinct source positions.
   std::vector<int64_t> positions(lb.srcs.size());
   for (size_t i = 0; i < lb.srcs.size(); ++i) {
     positions[i] = static_cast<int64_t>(i);
   }
-  rng_->Shuffle(&positions);
+  rng->Shuffle(&positions);
 
-  std::vector<int64_t> anchor_pos;
-  std::vector<std::vector<NodeId>> tp, tn, sp, sn;
   for (int64_t pos : positions) {
-    if (static_cast<int64_t>(anchor_pos.size()) >=
+    if (static_cast<int64_t>(out.anchor_pos.size()) >=
         config_.max_contrast_anchors) {
       break;
     }
@@ -73,11 +70,11 @@ tensor::Tensor CpdgPretrainer::ContrastiveLoss(
 
     sampler::SubgraphSample s_tp, s_tn, s_sp, s_sn;
     if (want_tc) {
-      s_tp = subgraph_sampler->SampleEtaBfs(
-          root, t, sampler::TemporalBias::kChronological, sample_opts, rng_);
-      s_tn = subgraph_sampler->SampleEtaBfs(
+      s_tp = subgraph_sampler.SampleEtaBfs(
+          root, t, sampler::TemporalBias::kChronological, sample_opts, rng);
+      s_tn = subgraph_sampler.SampleEtaBfs(
           root, t, sampler::TemporalBias::kReverseChronological, sample_opts,
-          rng_);
+          rng);
       if (s_tp.empty() || s_tn.empty()) continue;
     }
     if (want_sc) {
@@ -85,42 +82,47 @@ tensor::Tensor CpdgPretrainer::ContrastiveLoss(
       // of a different random node i' (another batch source).
       NodeId other = root;
       for (int attempt = 0; attempt < 8 && other == root; ++attempt) {
-        other = lb.srcs[rng_->NextBounded(lb.srcs.size())];
+        other = lb.srcs[rng->NextBounded(lb.srcs.size())];
       }
-      s_sp = subgraph_sampler->SampleEpsilonDfs(root, t, sample_opts);
-      s_sn = subgraph_sampler->SampleEpsilonDfs(other, t, sample_opts);
+      s_sp = subgraph_sampler.SampleEpsilonDfs(root, t, sample_opts);
+      s_sn = subgraph_sampler.SampleEpsilonDfs(other, t, sample_opts);
       if (s_sp.empty() || s_sn.empty() || other == root) continue;
     }
-    anchor_pos.push_back(pos);
+    out.anchor_pos.push_back(pos);
     if (want_tc) {
-      tp.push_back(s_tp.nodes);
-      tn.push_back(s_tn.nodes);
+      out.tp.push_back(std::move(s_tp.nodes));
+      out.tn.push_back(std::move(s_tn.nodes));
     }
     if (want_sc) {
-      sp.push_back(s_sp.nodes);
-      sn.push_back(s_sn.nodes);
+      out.sp.push_back(std::move(s_sp.nodes));
+      out.sn.push_back(std::move(s_sn.nodes));
     }
   }
+  return out;
+}
 
-  if (!anchor_pos.empty()) {
-    std::vector<int64_t> anchor_idx(anchor_pos.begin(), anchor_pos.end());
-    ts::Tensor anchors = ts::Gather(z_src, anchor_idx);
-    if (want_tc) {
-      ts::Tensor h_tp = PoolSubgraphs(encoder, tp);
-      ts::Tensor h_tn = PoolSubgraphs(encoder, tn);
-      ts::Tensor l_eta =
-          ts::TripletMarginLoss(anchors, h_tp, h_tn, config_.margin);
-      loss = ts::Add(loss, ts::MulScalar(l_eta, config_.contrast_weight *
-                                                    (1.0f - config_.beta)));
-    }
-    if (want_sc) {
-      ts::Tensor h_sp = PoolSubgraphs(encoder, sp);
-      ts::Tensor h_sn = PoolSubgraphs(encoder, sn);
-      ts::Tensor l_eps =
-          ts::TripletMarginLoss(anchors, h_sp, h_sn, config_.margin);
-      loss = ts::Add(loss, ts::MulScalar(l_eps, config_.contrast_weight *
-                                                    config_.beta));
-    }
+tensor::Tensor CpdgPretrainer::ContrastiveLoss(
+    dgnn::DgnnEncoder* encoder, const PreparedContrast& contrast,
+    const tensor::Tensor& z_src, tensor::Tensor loss) {
+  if (contrast.anchor_pos.empty()) return loss;
+  std::vector<int64_t> anchor_idx(contrast.anchor_pos.begin(),
+                                  contrast.anchor_pos.end());
+  ts::Tensor anchors = ts::Gather(z_src, anchor_idx);
+  if (config_.use_temporal_contrast) {
+    ts::Tensor h_tp = PoolSubgraphs(encoder, contrast.tp);
+    ts::Tensor h_tn = PoolSubgraphs(encoder, contrast.tn);
+    ts::Tensor l_eta =
+        ts::TripletMarginLoss(anchors, h_tp, h_tn, config_.margin);
+    loss = ts::Add(loss, ts::MulScalar(l_eta, config_.contrast_weight *
+                                                  (1.0f - config_.beta)));
+  }
+  if (config_.use_structural_contrast) {
+    ts::Tensor h_sp = PoolSubgraphs(encoder, contrast.sp);
+    ts::Tensor h_sn = PoolSubgraphs(encoder, contrast.sn);
+    ts::Tensor l_eps =
+        ts::TripletMarginLoss(anchors, h_sp, h_sn, config_.margin);
+    loss = ts::Add(loss, ts::MulScalar(l_eps, config_.contrast_weight *
+                                                  config_.beta));
   }
   return loss;
 }
@@ -160,6 +162,13 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
   loop_options.checkpoint_every_batches = config_.checkpoint_every_batches;
   loop_options.non_finite_policy = config_.non_finite_policy;
   loop_options.max_batches = config_.max_batches;
+  // All prepare-stage randomness (negative draws, anchor subsampling,
+  // subgraph sampling) flows through per-(epoch, batch) streams derived
+  // from this seed, so prefetched and serial runs draw identically. The
+  // draw happens before any possible resume: a re-run of this function
+  // derives the same seed, and the checkpointed rng_ state already
+  // reflects it.
+  loop_options.prepare_stream_seed = rng_->NextUint64();
   train::TrainLoop loop(std::move(params), loop_options);
 
   // State the loop cannot know about but a bit-exact resume needs: the
@@ -213,12 +222,32 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
     }
   });
 
-  result.log = loop.RunChronological(
+  // Pipelined objective: the prepare stage (negative sampling, anchor
+  // subsampling, η-BFS/ε-DFS subgraph draws) is a pure function of const
+  // graph state and the per-batch RNG stream, so prefetch workers can run
+  // it for batches K+1..K+depth while batch K's compute stage (embeddings,
+  // pooling, losses — all of which touch encoder memory) runs here.
+  struct Payload {
+    train::LinkBatch lb;
+    PreparedContrast contrast;
+  };
+  result.log = loop.RunChronologicalPrepared(
       encoder, graph, config_.batch_size,
-      [&](const train::BatchContext&, const graph::EventBatch& batch)
-          -> std::optional<ts::Tensor> {
-        train::LinkBatch lb = train::AssembleLinkBatch(
-            batch.events, config_.negative_pool, graph.num_nodes(), rng_);
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          Rng* rng) -> std::any {
+        Payload payload;
+        payload.lb = train::AssembleLinkBatch(
+            batch.events, config_.negative_pool, graph.num_nodes(), rng);
+        if (config_.use_temporal_contrast || config_.use_structural_contrast) {
+          payload.contrast = PrepareContrast(subgraph_sampler, sample_opts,
+                                             payload.lb, rng);
+        }
+        return payload;
+      },
+      [&](const train::BatchContext&, const graph::EventBatch&,
+          std::any& prepared) -> std::optional<ts::Tensor> {
+        Payload& payload = *std::any_cast<Payload>(&prepared);
+        const train::LinkBatch& lb = payload.lb;
         ts::Tensor z_src = encoder->ComputeEmbeddings(lb.srcs, lb.times);
         ts::Tensor z_dst = encoder->ComputeEmbeddings(lb.dsts, lb.times);
         ts::Tensor z_neg = encoder->ComputeEmbeddings(lb.negs, lb.times);
@@ -230,8 +259,7 @@ PretrainResult CpdgPretrainer::Pretrain(dgnn::DgnnEncoder* encoder,
 
         // --- Contrastive terms on a subsample of anchors (Eq. 9-14). ---
         if (config_.use_temporal_contrast || config_.use_structural_contrast) {
-          loss = ContrastiveLoss(encoder, &subgraph_sampler, sample_opts, lb,
-                                 z_src, loss);
+          loss = ContrastiveLoss(encoder, payload.contrast, z_src, loss);
         }
         return loss;
       });

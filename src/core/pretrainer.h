@@ -94,22 +94,36 @@ class CpdgPretrainer {
   const CpdgConfig& config() const { return config_; }
 
  private:
+  /// \brief Sampled contrast inputs of one batch, drawn on the pipeline's
+  /// prepare stage (graph reads + per-batch RNG only, no model state).
+  struct PreparedContrast {
+    std::vector<int64_t> anchor_pos;
+    std::vector<sampler::ArenaNodeVec> tp, tn, sp, sn;
+  };
+
+  /// Anchor subsampling plus the η-BFS / ε-DFS subgraph draws of Eq.
+  /// (9)-(14). Thread-safe: samples off const graph state with the
+  /// per-batch `rng`, so it runs on prefetch workers.
+  PreparedContrast PrepareContrast(
+      const sampler::StructuralTemporalSampler& subgraph_sampler,
+      const sampler::StructuralTemporalSampler::Options& sample_opts,
+      const train::LinkBatch& lb, Rng* rng) const;
+
   /// Pools each anchor's sampled subgraph into a row (mean-pooling readout
-  /// of Eq. 9/10/12/13). Every subgraph must be non-empty; callers filter
-  /// empty samples while selecting anchors.
+  /// of Eq. 9/10/12/13). Every subgraph must be non-empty; PrepareContrast
+  /// filters empty samples while selecting anchors.
   tensor::Tensor PoolSubgraphs(
       dgnn::DgnnEncoder* encoder,
-      const std::vector<std::vector<graph::NodeId>>& subgraphs);
+      const std::vector<sampler::ArenaNodeVec>& subgraphs);
 
   /// Adds the temporal (η-BFS) and structural (ε-DFS) contrastive terms of
-  /// Eq. (11)/(14) for a subsample of the batch's source anchors onto
-  /// `loss`, returning the combined objective of Eq. (17).
-  tensor::Tensor ContrastiveLoss(
-      dgnn::DgnnEncoder* encoder,
-      sampler::StructuralTemporalSampler* subgraph_sampler,
-      const sampler::StructuralTemporalSampler::Options& sample_opts,
-      const train::LinkBatch& lb, const tensor::Tensor& z_src,
-      tensor::Tensor loss);
+  /// Eq. (11)/(14) over the prepared anchors onto `loss`, returning the
+  /// combined objective of Eq. (17). Pure compute; runs on the consumer
+  /// thread.
+  tensor::Tensor ContrastiveLoss(dgnn::DgnnEncoder* encoder,
+                                 const PreparedContrast& contrast,
+                                 const tensor::Tensor& z_src,
+                                 tensor::Tensor loss);
 
   CpdgConfig config_;
   Rng* rng_;

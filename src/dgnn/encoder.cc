@@ -266,7 +266,9 @@ void DgnnEncoder::FlushNodes(const std::vector<NodeId>& nodes) {
   // differentiable update path) and those without (plain leaf states).
   std::vector<NodeId> to_update;
   std::vector<NodeId> plain;
-  std::unordered_set<NodeId> dedup;
+  std::unordered_set<NodeId, std::hash<NodeId>, std::equal_to<NodeId>,
+                     ts::ArenaAllocator<NodeId>>
+      dedup;
   for (NodeId v : nodes) {
     if (updated_states_.count(v) != 0 || !dedup.insert(v).second) continue;
     if (memory_.HasPending(v)) {

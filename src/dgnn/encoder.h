@@ -10,6 +10,7 @@
 #include "graph/batching.h"
 #include "graph/graph_store.h"
 #include "sampler/samplers.h"
+#include "tensor/arena.h"
 #include "tensor/nn.h"
 #include "util/rng.h"
 
@@ -164,8 +165,14 @@ class DgnnEncoder : public tensor::Module {
   std::unique_ptr<tensor::Linear> embed_output_;
   tensor::Tensor node_features_;  // [num_nodes, memory_dim] static features
 
-  // Per-batch cache of flushed state rows.
-  std::unordered_map<NodeId, tensor::Tensor> updated_states_;
+  // Per-batch cache of flushed state rows. The map's node and bucket
+  // allocations ride the batch arena (one insert per flushed node per
+  // batch; cleared every BeginBatch/CommitBatch).
+  std::unordered_map<NodeId, tensor::Tensor, std::hash<NodeId>,
+                     std::equal_to<NodeId>,
+                     tensor::ArenaAllocator<
+                         std::pair<const NodeId, tensor::Tensor>>>
+      updated_states_;
 };
 
 /// \brief Temporal link prediction decoder (Eq. 15):

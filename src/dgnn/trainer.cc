@@ -43,14 +43,22 @@ TrainLog TrainLinkPrediction(DgnnEncoder* encoder, LinkPredictor* decoder,
   loop_options.learning_rate = options.learning_rate;
   loop_options.grad_clip = options.grad_clip;
   loop_options.log_label = "TLP";
+  // Negative draws move onto per-(epoch, batch) streams so prefetch workers
+  // can assemble batches ahead of the consumer without reordering draws.
+  loop_options.prepare_stream_seed = rng->NextUint64();
   train::TrainLoop loop(std::move(params), loop_options);
 
-  train::TrainTelemetry result = loop.RunChronological(
+  train::TrainTelemetry result = loop.RunChronologicalPrepared(
       encoder, graph, options.batch_size,
-      [&](const train::BatchContext&, const graph::EventBatch& batch)
-          -> std::optional<ts::Tensor> {
-        train::LinkBatch lb = train::AssembleLinkBatch(
-            batch.events, options.negative_pool, graph.num_nodes(), rng);
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          Rng* batch_rng) -> std::any {
+        return train::AssembleLinkBatch(batch.events, options.negative_pool,
+                                        graph.num_nodes(), batch_rng);
+      },
+      [&](const train::BatchContext&, const graph::EventBatch&,
+          std::any& prepared) -> std::optional<ts::Tensor> {
+        const train::LinkBatch& lb =
+            *std::any_cast<train::LinkBatch>(&prepared);
         ts::Tensor z_src = encoder->ComputeEmbeddings(lb.srcs, lb.times);
         ts::Tensor z_dst = encoder->ComputeEmbeddings(lb.dsts, lb.times);
         ts::Tensor z_neg = encoder->ComputeEmbeddings(lb.negs, lb.times);

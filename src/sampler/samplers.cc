@@ -2,15 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "tensor/arena.h"
 #include "util/check.h"
 
 namespace cpdg::sampler {
 
 namespace {
+
+// Traversal scratch lives in arena-backed vectors: under an ArenaScope
+// (TrainLoop's consumer thread, each prefetch worker) the per-call
+// buffers recycle through the thread's pool instead of hitting global
+// operator new — the contrast objective runs thousands of these
+// traversals per batch.
+template <typename T>
+using AVec = std::vector<T, tensor::ArenaAllocator<T>>;
+
+// Membership is tracked in a flat vector with linear scans: sampled
+// subgraphs hold at most width^depth nodes (single digits to low tens),
+// where scanning beats a heap-allocating hash set.
+bool SeenInsert(AVec<graph::NodeId>* seen, graph::NodeId node) {
+  for (graph::NodeId s : *seen) {
+    if (s == node) return false;
+  }
+  seen->push_back(node);
+  return true;
+}
 
 /// Sampler hot-path metrics. Resolved once (the registry lookup takes a
 /// mutex); the updates themselves are relaxed atomics.
@@ -36,37 +56,48 @@ struct SamplerMetrics {
   }
 };
 
+// Shared implementation over any vector type; `probs` is resized and
+// doubles as the logits buffer, so the computation allocates nothing
+// beyond (amortized) growth of the output. The floating-point operation
+// sequence matches the historical implementation exactly.
+template <typename VecIn, typename VecOut>
+void TemporalProbabilitiesInto(const VecIn& neighbor_times, double t,
+                               TemporalBias bias, double tau, VecOut* probs) {
+  CPDG_CHECK(!neighbor_times.empty());
+  CPDG_CHECK_GT(tau, 0.0);
+  size_t n = neighbor_times.size();
+  probs->assign(n, 1.0 / static_cast<double>(n));
+  if (bias == TemporalBias::kUniform) return;
+
+  double t_min = *std::min_element(neighbor_times.begin(),
+                                   neighbor_times.end());
+  double denom = t - t_min;
+  if (denom <= 0.0) return;  // all events at the query time: uniform
+
+  // Eq. (6): normalized event time in [0,1]; Eq. (7)/(8): softmax of the
+  // (reversed) normalized time with temperature tau. The logits overwrite
+  // `probs` in place before the softmax reads them back.
+  for (size_t i = 0; i < n; ++i) {
+    double t_hat = (neighbor_times[i] - t_min) / denom;
+    if (bias == TemporalBias::kReverseChronological) t_hat = 1.0 - t_hat;
+    (*probs)[i] = t_hat / tau;
+  }
+  double mx = *std::max_element(probs->begin(), probs->end());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    (*probs)[i] = std::exp((*probs)[i] - mx);
+    sum += (*probs)[i];
+  }
+  for (double& p : *probs) p /= sum;
+}
+
 }  // namespace
 
 std::vector<double> TemporalProbabilities(
     const std::vector<double>& neighbor_times, double t, TemporalBias bias,
     double tau) {
-  CPDG_CHECK(!neighbor_times.empty());
-  CPDG_CHECK_GT(tau, 0.0);
-  size_t n = neighbor_times.size();
-  std::vector<double> probs(n, 1.0 / static_cast<double>(n));
-  if (bias == TemporalBias::kUniform) return probs;
-
-  double t_min = *std::min_element(neighbor_times.begin(),
-                                   neighbor_times.end());
-  double denom = t - t_min;
-  if (denom <= 0.0) return probs;  // all events at the query time: uniform
-
-  // Eq. (6): normalized event time in [0,1]; Eq. (7)/(8): softmax of the
-  // (reversed) normalized time with temperature tau.
-  std::vector<double> logits(n);
-  for (size_t i = 0; i < n; ++i) {
-    double t_hat = (neighbor_times[i] - t_min) / denom;
-    if (bias == TemporalBias::kReverseChronological) t_hat = 1.0 - t_hat;
-    logits[i] = t_hat / tau;
-  }
-  double mx = *std::max_element(logits.begin(), logits.end());
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    probs[i] = std::exp(logits[i] - mx);
-    sum += probs[i];
-  }
-  for (double& p : probs) p /= sum;
+  std::vector<double> probs;
+  TemporalProbabilitiesInto(neighbor_times, t, bias, tau, &probs);
   return probs;
 }
 
@@ -84,22 +115,27 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
   CPDG_TRACE_SPAN("sampler/eta_bfs");
 
   SubgraphSample out;
-  std::unordered_set<NodeId> seen;
-  seen.insert(root);
+  AVec<NodeId> seen;
+  seen.push_back(root);
 
   graph::NeighborScratch scratch;
-  std::vector<std::pair<NodeId, double>> frontier = {{root, time}};
+  // Scratch hoisted out of the hop loop: one traversal reuses the same
+  // buffers across every expansion.
+  AVec<std::pair<NodeId, double>> frontier = {{root, time}};
+  AVec<std::pair<NodeId, double>> next;
+  AVec<double> times;
+  AVec<double> probs;
   for (int64_t hop = 0; hop < options.depth && !frontier.empty(); ++hop) {
-    std::vector<std::pair<NodeId, double>> next;
+    next.clear();
     for (const auto& [u, ut] : frontier) {
       ++out.frontier_expansions;
       auto view = graph_->NeighborsBefore(u, ut, &scratch);
       if (view.empty()) continue;
 
-      std::vector<double> times(static_cast<size_t>(view.count));
+      times.resize(static_cast<size_t>(view.count));
       for (int64_t i = 0; i < view.count; ++i) times[i] = view[i].time;
-      std::vector<double> probs =
-          TemporalProbabilities(times, ut, bias, options.temperature);
+      TemporalProbabilitiesInto(times, ut, bias, options.temperature,
+                                &probs);
 
       // Weighted sampling without replacement: draw up to `width` distinct
       // neighbor positions by zeroing drawn weights. The remaining mass is
@@ -134,14 +170,14 @@ SubgraphSample StructuralTemporalSampler::SampleEtaBfs(
         // entries would otherwise duplicate at every deeper hop. Expansion
         // happens at the time of the sampled interaction, so deeper hops
         // only see the past of that interaction.
-        if (seen.insert(nbr.node).second) {
+        if (SeenInsert(&seen, nbr.node)) {
           out.nodes.push_back(nbr.node);
           out.times.push_back(nbr.time);
           next.emplace_back(nbr.node, nbr.time);
         }
       }
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
   }
   SamplerMetrics& metrics = SamplerMetrics::Get();
   metrics.eta_bfs_calls.Add();
@@ -157,8 +193,8 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
   CPDG_TRACE_SPAN("sampler/eps_dfs");
 
   SubgraphSample out;
-  std::unordered_set<NodeId> seen;
-  seen.insert(root);
+  AVec<NodeId> seen;
+  seen.push_back(root);
 
   // Explicit stack of (node, time, remaining_depth); expansion picks the
   // ε most recent neighbors (the tail of the chronologically sorted
@@ -169,7 +205,7 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
     int64_t depth_left;
   };
   graph::NeighborScratch scratch;
-  std::vector<Frame> stack = {{root, time, options.depth}};
+  AVec<Frame> stack = {{root, time, options.depth}};
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
@@ -183,7 +219,7 @@ SubgraphSample StructuralTemporalSampler::SampleEpsilonDfs(
     // (the chronological-tail order of Eq. 5).
     for (int64_t i = take - 1; i >= 0; --i) {
       const auto& nbr = view[view.count - 1 - i];
-      if (seen.insert(nbr.node).second) {
+      if (SeenInsert(&seen, nbr.node)) {
         out.nodes.push_back(nbr.node);
         out.times.push_back(nbr.time);
       }

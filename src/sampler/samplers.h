@@ -5,12 +5,19 @@
 #include <vector>
 
 #include "graph/graph_store.h"
+#include "tensor/arena.h"
 #include "util/rng.h"
 
 namespace cpdg::sampler {
 
 using graph::GraphStore;
 using graph::NodeId;
+
+/// Arena-backed containers for sampled subgraphs: under an ArenaScope
+/// (training consumer thread, prefetch workers) they recycle through the
+/// thread's batch pool; outside a scope they behave like plain vectors.
+using ArenaNodeVec = std::vector<NodeId, tensor::ArenaAllocator<NodeId>>;
+using ArenaTimeVec = std::vector<double, tensor::ArenaAllocator<double>>;
 
 /// \brief Temporal-aware sampling probability f_{t->p} for the η-BFS
 /// strategy (Sec. IV-A / IV-B of the paper).
@@ -30,8 +37,8 @@ enum class TemporalBias {
 /// (excluding the root) plus, per node, the interaction time through which
 /// it was reached (useful for diagnostics and tests).
 struct SubgraphSample {
-  std::vector<NodeId> nodes;
-  std::vector<double> times;
+  ArenaNodeVec nodes;
+  ArenaTimeVec times;
   /// Number of frontier entries the traversal expanded across all hops
   /// (diagnostics). The η-BFS frontier is deduplicated against the seen
   /// set, so this is bounded by the nodes added plus the root.

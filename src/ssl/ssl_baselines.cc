@@ -69,17 +69,25 @@ train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
   std::vector<ts::Tensor> params = encoder->Parameters();
   params.push_back(critic_w);
 
+  // Anchor/view collection is a deterministic function of the const graph,
+  // so it runs on the prefetch workers; no RNG stream is consumed and the
+  // objective is bit-identical at any prefetch depth.
+  struct DdgclViews {
+    std::vector<NodeId> anchors;
+    std::vector<double> anchor_times;
+    std::vector<std::vector<NodeId>> view_recent, view_earlier;
+  };
+
   train::TrainLoop loop(std::move(params), MakeLoopOptions(options, "DDGCL"));
-  return loop.RunChronological(
+  return loop.RunChronologicalPrepared(
       encoder, graph, options.batch_size,
-      [&](const train::BatchContext&, const graph::EventBatch& batch)
-          -> std::optional<ts::Tensor> {
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          Rng*) -> std::any {
         // Collect anchors with non-empty nearby views.
-        std::vector<NodeId> anchors;
-        std::vector<double> anchor_times;
-        std::vector<std::vector<NodeId>> view_recent, view_earlier;
+        DdgclViews views;
         for (const graph::Event& e : batch.events) {
-          if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
+          if (static_cast<int64_t>(views.anchors.size()) >=
+              options.max_anchors) {
             break;
           }
           double w = options.view_window;
@@ -88,11 +96,22 @@ train::TrainTelemetry PretrainDdgcl(dgnn::DgnnEncoder* encoder,
           std::vector<NodeId> earlier =
               NeighborsInWindow(graph, e.src, e.time - 2 * w, e.time - w);
           if (recent.empty() || earlier.empty()) continue;
-          anchors.push_back(e.src);
-          anchor_times.push_back(e.time);
-          view_recent.push_back(std::move(recent));
-          view_earlier.push_back(std::move(earlier));
+          views.anchors.push_back(e.src);
+          views.anchor_times.push_back(e.time);
+          views.view_recent.push_back(std::move(recent));
+          views.view_earlier.push_back(std::move(earlier));
         }
+        return views;
+      },
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          std::any& prepared) -> std::optional<ts::Tensor> {
+        DdgclViews& views = *std::any_cast<DdgclViews>(&prepared);
+        const std::vector<NodeId>& anchors = views.anchors;
+        const std::vector<double>& anchor_times = views.anchor_times;
+        const std::vector<std::vector<NodeId>>& view_recent =
+            views.view_recent;
+        const std::vector<std::vector<NodeId>>& view_earlier =
+            views.view_earlier;
 
         if (anchors.empty()) {
           // Keep memory advancing even when no anchor qualifies.
@@ -154,23 +173,37 @@ train::TrainTelemetry PretrainSelfRgnn(dgnn::DgnnEncoder* encoder,
   params.push_back(kappa0);
   params.push_back(kappa1);
 
+  // Anchor selection only reads const graph state, so it prefetches; see
+  // the DDGCL note above.
+  struct SelfRgnnAnchors {
+    std::vector<NodeId> anchors;
+    std::vector<double> anchor_times;
+  };
+
   train::TrainLoop loop(std::move(params),
                         MakeLoopOptions(options, "SelfRGNN"));
-  return loop.RunChronological(
+  return loop.RunChronologicalPrepared(
       encoder, graph, options.batch_size,
-      [&](const train::BatchContext&, const graph::EventBatch& batch)
-          -> std::optional<ts::Tensor> {
-        std::vector<NodeId> anchors;
-        std::vector<double> anchor_times;
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          Rng*) -> std::any {
+        SelfRgnnAnchors out;
         graph::NeighborScratch scratch;
         for (const graph::Event& e : batch.events) {
-          if (static_cast<int64_t>(anchors.size()) >= options.max_anchors) {
+          if (static_cast<int64_t>(out.anchors.size()) >=
+              options.max_anchors) {
             break;
           }
           if (graph.NeighborsBefore(e.src, e.time, &scratch).empty()) continue;
-          anchors.push_back(e.src);
-          anchor_times.push_back(e.time);
+          out.anchors.push_back(e.src);
+          out.anchor_times.push_back(e.time);
         }
+        return out;
+      },
+      [&](const train::BatchContext&, const graph::EventBatch& batch,
+          std::any& prepared) -> std::optional<ts::Tensor> {
+        SelfRgnnAnchors& sel = *std::any_cast<SelfRgnnAnchors>(&prepared);
+        const std::vector<NodeId>& anchors = sel.anchors;
+        const std::vector<double>& anchor_times = sel.anchor_times;
 
         if (anchors.empty()) {
           AdvanceMemoryOnly(encoder, batch.events);

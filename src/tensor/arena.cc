@@ -1,0 +1,172 @@
+#include "tensor/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cpdg::tensor {
+namespace {
+
+// Size classes are powers of two from 64 B to 64 MB; larger requests pass
+// straight through to the heap (both the alloc and the free re-derive the
+// class from the request size, so the two sides always agree).
+constexpr int kMinClassLog2 = 6;
+constexpr int kMaxClassLog2 = 26;
+constexpr int kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+// Per-thread cache ceiling: beyond this, frees fall through to the heap so
+// a pathological batch cannot pin unbounded memory.
+constexpr size_t kMaxCachedBytes = size_t{512} << 20;
+
+int SizeClassOf(size_t bytes, size_t* rounded) {
+  size_t want = bytes < (size_t{1} << kMinClassLog2)
+                    ? (size_t{1} << kMinClassLog2)
+                    : bytes;
+  int log2 = kMinClassLog2;
+  size_t cls = size_t{1} << kMinClassLog2;
+  while (cls < want) {
+    cls <<= 1;
+    ++log2;
+    if (log2 > kMaxClassLog2) {
+      *rounded = bytes;
+      return -1;  // heap passthrough
+    }
+  }
+  *rounded = cls;
+  return log2 - kMinClassLog2;
+}
+
+int g_arena_override = -1;  // -1 = defer to env; see SetArenaEnabledOverride
+
+bool ArenaEnabled() {
+  if (g_arena_override >= 0) return g_arena_override != 0;
+  static const bool enabled = [] {
+    const char* v = std::getenv("CPDG_ARENA");
+    return v == nullptr || std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+// Freed blocks are chained intrusively: the first 8 bytes of a cached block
+// hold the next pointer (every class is >= 64 bytes).
+struct ArenaTls {
+  int depth = 0;
+  void* free_lists[kNumClasses] = {};
+  size_t cached_bytes = 0;
+  ArenaStats window;  // cleared by ArenaResetBatch()
+  ArenaStats totals;
+
+  void Drain() noexcept {
+    for (void*& head : free_lists) {
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+    }
+    cached_bytes = 0;
+  }
+
+  ~ArenaTls();
+};
+
+// Accessor with a destroyed flag: tensors with static storage duration may
+// deallocate after the thread-local pool is destroyed at thread exit; those
+// frees must fall through to the heap instead of touching a dead pool.
+thread_local bool t_tls_destroyed = false;
+
+ArenaTls::~ArenaTls() {
+  Drain();
+  t_tls_destroyed = true;
+}
+
+ArenaTls* Tls() {
+  if (t_tls_destroyed) return nullptr;
+  static thread_local ArenaTls tls;
+  return &tls;
+}
+
+}  // namespace
+
+void* ArenaAllocRaw(size_t bytes) {
+  size_t rounded = 0;
+  int cls = SizeClassOf(bytes, &rounded);
+  ArenaTls* tls = Tls();
+  if (tls == nullptr || tls->depth == 0 || cls < 0) {
+    if (tls != nullptr) {
+      ++tls->window.heap_allocs;
+      ++tls->totals.heap_allocs;
+    }
+    return ::operator new(rounded);
+  }
+  void*& head = tls->free_lists[cls];
+  if (head != nullptr) {
+    void* block = head;
+    head = *static_cast<void**>(block);
+    tls->cached_bytes -= rounded;
+    ++tls->window.pool_hits;
+    ++tls->totals.pool_hits;
+    return block;
+  }
+  ++tls->window.heap_allocs;
+  ++tls->totals.heap_allocs;
+  return ::operator new(rounded);
+}
+
+void ArenaFreeRaw(void* p, size_t bytes) noexcept {
+  if (p == nullptr) return;
+  size_t rounded = 0;
+  int cls = SizeClassOf(bytes, &rounded);
+  ArenaTls* tls = Tls();
+  if (tls == nullptr || tls->depth == 0 || cls < 0 ||
+      tls->cached_bytes + rounded > kMaxCachedBytes) {
+    if (tls != nullptr) {
+      ++tls->window.frees_to_heap;
+      ++tls->totals.frees_to_heap;
+    }
+    ::operator delete(p);
+    return;
+  }
+  *static_cast<void**>(p) = tls->free_lists[cls];
+  tls->free_lists[cls] = p;
+  tls->cached_bytes += rounded;
+  ++tls->window.frees_to_pool;
+  ++tls->totals.frees_to_pool;
+}
+
+bool ArenaActive() {
+  ArenaTls* tls = Tls();
+  return tls != nullptr && tls->depth > 0;
+}
+
+ArenaStats ArenaResetBatch() {
+  ArenaTls* tls = Tls();
+  if (tls == nullptr) return {};
+  ArenaStats out = tls->window;
+  tls->window = {};
+  return out;
+}
+
+ArenaStats ArenaTotals() {
+  ArenaTls* tls = Tls();
+  if (tls == nullptr) return {};
+  return tls->totals;
+}
+
+void SetArenaEnabledOverride(int enabled) { g_arena_override = enabled; }
+
+ArenaScope::ArenaScope() : engaged_(false) {
+  if (!ArenaEnabled()) return;
+  ArenaTls* tls = Tls();
+  if (tls == nullptr) return;
+  ++tls->depth;
+  engaged_ = true;
+}
+
+ArenaScope::~ArenaScope() {
+  if (!engaged_) return;
+  ArenaTls* tls = Tls();
+  if (tls == nullptr) return;
+  if (--tls->depth == 0) tls->Drain();
+}
+
+}  // namespace cpdg::tensor

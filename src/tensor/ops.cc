@@ -526,9 +526,9 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     CPDG_CHECK_EQ(p.cols(), d);
     total += p.rows();
   }
-  std::vector<Tensor> parents = parts;
+  TensorVector parents(parts.begin(), parts.end());
   Tensor out = Tensor::MakeOpResult(
-      total, d, parents,
+      total, d, std::move(parents),
       [parts, d](Tensor& self) mutable {
         const float* dout = self.grad();
         int64_t offset = 0;

@@ -3,27 +3,37 @@
 #include <atomic>
 #include <cmath>
 #include <sstream>
-#include <unordered_set>
 
 namespace cpdg::tensor {
 namespace {
 
 std::atomic<int64_t> g_live_tensors{0};
 
+// Monotone epoch for Backward()'s visitation stamps. fetch_add gives
+// concurrent Backward() calls (the seed fan-out trains per-seed graphs on
+// pool workers) disjoint epochs over their disjoint node sets.
+std::atomic<uint64_t> g_backward_epoch{0};
+
 std::shared_ptr<TensorImpl> NewImpl(int64_t rows, int64_t cols) {
   CPDG_CHECK_GT(rows, 0);
   CPDG_CHECK_GT(cols, 0);
-  auto impl = std::shared_ptr<TensorImpl>(new TensorImpl(), [](TensorImpl* p) {
-    g_live_tensors.fetch_sub(1, std::memory_order_relaxed);
-    delete p;
-  });
-  g_live_tensors.fetch_add(1, std::memory_order_relaxed);
+  // allocate_shared puts the control block and the node in one arena block;
+  // live-count bookkeeping lives in the TensorImpl ctor/dtor.
+  auto impl = std::allocate_shared<TensorImpl>(ArenaAllocator<TensorImpl>());
   impl->rows = rows;
   impl->cols = cols;
   return impl;
 }
 
 }  // namespace
+
+TensorImpl::TensorImpl() {
+  g_live_tensors.fetch_add(1, std::memory_order_relaxed);
+}
+
+TensorImpl::~TensorImpl() {
+  g_live_tensors.fetch_sub(1, std::memory_order_relaxed);
+}
 
 int64_t LiveTensorCount() {
   return g_live_tensors.load(std::memory_order_relaxed);
@@ -49,7 +59,7 @@ Tensor Tensor::FromVector(int64_t rows, int64_t cols,
                           std::vector<float> values, bool requires_grad) {
   CPDG_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
   auto impl = NewImpl(rows, cols);
-  impl->data = std::move(values);
+  impl->data.assign(values.begin(), values.end());
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -99,10 +109,8 @@ InferenceModeGuard::InferenceModeGuard() : prev_(t_inference_mode) {
 
 InferenceModeGuard::~InferenceModeGuard() { t_inference_mode = prev_; }
 
-Tensor Tensor::MakeOpResult(int64_t rows, int64_t cols,
-                            std::vector<Tensor> parents,
-                            std::function<void(Tensor&)> backward_fn,
-                            const char* op_name) {
+Tensor Tensor::MakeOpResult(int64_t rows, int64_t cols, TensorVector parents,
+                            BackwardFn backward_fn, const char* op_name) {
   auto impl = NewImpl(rows, cols);
   impl->data.assign(static_cast<size_t>(rows * cols), 0.0f);
   bool any_grad = false;
@@ -199,24 +207,28 @@ void Tensor::Backward() {
       << "Backward() on a tensor that does not require grad";
 
   // Build reverse topological order with an explicit stack (graphs can be
-  // thousands of nodes deep within a training batch).
-  std::vector<Tensor> topo;
-  std::unordered_set<TensorImpl*> visited;
+  // thousands of nodes deep within a training batch). Visitation is an
+  // epoch stamp on the node rather than a hash set: the set would pay one
+  // heap allocation per visited node, per batch.
+  const uint64_t epoch =
+      g_backward_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::vector<Tensor, ArenaAllocator<Tensor>> topo;
   struct Frame {
     Tensor node;
     size_t next_parent;
   };
-  std::vector<Frame> stack;
+  std::vector<Frame, ArenaAllocator<Frame>> stack;
   stack.push_back({*this, 0});
-  visited.insert(impl_.get());
+  impl_->visit_mark = epoch;
   while (!stack.empty()) {
     Frame& top = stack.back();
     auto& parents = top.node.impl()->parents;
     if (top.next_parent < parents.size()) {
       Tensor parent = parents[top.next_parent++];
-      if (parent.requires_grad() &&
-          visited.insert(parent.impl()).second) {
-        stack.push_back({parent, 0});
+      TensorImpl* pimpl = parent.impl();
+      if (parent.requires_grad() && pimpl->visit_mark != epoch) {
+        pimpl->visit_mark = epoch;
+        stack.push_back({std::move(parent), 0});
       }
     } else {
       topo.push_back(top.node);

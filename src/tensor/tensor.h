@@ -2,15 +2,25 @@
 #define CPDG_TENSOR_TENSOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace cpdg::tensor {
+
+/// \brief Row-major float storage for tensor data/grad buffers; allocation
+/// routes through the batch arena (a plain heap vector when no ArenaScope
+/// is active).
+using FloatBuffer = std::vector<float, ArenaAllocator<float>>;
+
+class Tensor;
+/// \brief Parent list storage for op results, arena-backed like the data
+/// buffers.
+using TensorVector = std::vector<Tensor, ArenaAllocator<Tensor>>;
 
 /// \brief All tensors in the engine are dense row-major 2-D float matrices
 /// of shape [rows, cols]. Vectors are represented as [1, d] matrices.
@@ -37,7 +47,8 @@ class Tensor {
   static Tensor Ones(int64_t rows, int64_t cols, bool requires_grad = false);
   static Tensor Full(int64_t rows, int64_t cols, float value,
                      bool requires_grad = false);
-  /// Takes ownership of `values` (row-major); size must equal rows*cols.
+  /// Copies `values` (row-major) into tensor storage; size must equal
+  /// rows*cols.
   static Tensor FromVector(int64_t rows, int64_t cols,
                            std::vector<float> values,
                            bool requires_grad = false);
@@ -107,9 +118,9 @@ class Tensor {
 
   /// \brief Internal: wraps an op result. `parents` keeps the inputs alive;
   /// `backward_fn` adds this node's grad contribution into the parents.
+  /// Both the parent list and the closure live in arena storage.
   static Tensor MakeOpResult(int64_t rows, int64_t cols,
-                             std::vector<Tensor> parents,
-                             std::function<void(Tensor&)> backward_fn,
+                             TensorVector parents, BackwardFn backward_fn,
                              const char* op_name);
 
   TensorImpl* impl() const { return impl_.get(); }
@@ -121,17 +132,25 @@ class Tensor {
 };
 
 /// \brief Internal node storage; exposed so ops.cc can access parents and
-/// backward functions directly.
+/// backward functions directly. The node itself and all its owned buffers
+/// are arena-backed intra-batch temporaries (see arena.h); nodes that
+/// outlive the batch (parameters, detached copies) simply free to the heap.
 struct TensorImpl {
+  TensorImpl();   // maintains LiveTensorCount()
+  ~TensorImpl();
+
   int64_t rows = 0;
   int64_t cols = 0;
-  std::vector<float> data;
-  std::vector<float> grad;  // lazily allocated to data.size()
+  FloatBuffer data;
+  FloatBuffer grad;  // lazily allocated to data.size()
   bool requires_grad = false;
-  std::vector<Tensor> parents;
+  /// Backward() visitation tag: nodes stamped with the current traversal
+  /// epoch instead of an allocating hash set.
+  uint64_t visit_mark = 0;
+  TensorVector parents;
   /// Called with the owning Tensor during Backward(); reads this node's
   /// grad and accumulates into parents' grads.
-  std::function<void(Tensor&)> backward_fn;
+  BackwardFn backward_fn;
   const char* op_name = "leaf";
 
   void EnsureGrad() {

@@ -10,6 +10,8 @@ namespace {
 
 void WriteEpoch(util::ByteWriter* w, const EpochTelemetry& e) {
   w->Pod(e.wall_clock_sec);
+  w->Pod(e.sample_seconds);
+  w->Pod(e.compute_seconds);
   w->Pod(e.num_batches);
   w->Pod(e.num_steps);
   w->Pod(e.mean_loss);
@@ -19,7 +21,8 @@ void WriteEpoch(util::ByteWriter* w, const EpochTelemetry& e) {
 }
 
 bool ReadEpoch(util::ByteReader* r, EpochTelemetry* e) {
-  return r->Pod(&e->wall_clock_sec) && r->Pod(&e->num_batches) &&
+  return r->Pod(&e->wall_clock_sec) && r->Pod(&e->sample_seconds) &&
+         r->Pod(&e->compute_seconds) && r->Pod(&e->num_batches) &&
          r->Pod(&e->num_steps) && r->Pod(&e->mean_loss) &&
          r->Pod(&e->mean_grad_norm_pre_clip) &&
          r->Pod(&e->max_grad_norm_pre_clip) &&
@@ -88,8 +91,8 @@ Status DecodeTelemetryState(std::string_view bytes,
   if (!r.PodVector(&t.epoch_losses) || !r.Pod(&num_epochs)) {
     return Status::InvalidArgument("truncated telemetry section");
   }
-  // Each epoch record is 7 * 8 bytes; bound before allocating.
-  if (num_epochs > r.remaining() / 56) {
+  // Each epoch record is 9 * 8 bytes; bound before allocating.
+  if (num_epochs > r.remaining() / 72) {
     return Status::InvalidArgument("corrupt telemetry epoch count");
   }
   t.epochs.resize(num_epochs);

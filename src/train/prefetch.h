@@ -1,0 +1,123 @@
+#ifndef CPDG_TRAIN_PREFETCH_H_
+#define CPDG_TRAIN_PREFETCH_H_
+
+#include <any>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/batching.h"
+
+namespace cpdg::train {
+
+/// \brief Knobs of the prefetching batch pipeline.
+struct PrefetchOptions {
+  /// Batches prepared ahead of the one being trained. 0 = inline: no
+  /// worker threads, each batch is prepared synchronously right before its
+  /// compute (the default; identical thread structure to the pre-pipeline
+  /// loop).
+  int64_t depth = 0;
+  /// Producer threads when depth > 0.
+  int64_t workers = 1;
+
+  /// Reads CPDG_PREFETCH_DEPTH (default 0) and CPDG_PREFETCH_WORKERS
+  /// (default 1); negative/garbage values fall back to the defaults.
+  static PrefetchOptions FromEnv();
+};
+
+/// \brief One produced batch: the raw events, the client's prepared
+/// payload (sampled subgraphs, assembled link batch, ...) and the
+/// producer-side wall time spent preparing it.
+struct PreparedBatch {
+  graph::EventBatch events;
+  std::any payload;
+  double sample_seconds = 0.0;
+};
+
+/// \brief Prepares batch `batch_index`; must be a pure function of the
+/// index (graph reads + the index-derived RNG stream only), so the result
+/// is independent of which worker runs it and when.
+using ProduceFn = std::function<PreparedBatch(int64_t batch_index)>;
+
+/// \brief Bounded prefetch queue between sampler/assembly producers and
+/// the training consumer.
+///
+/// Tickets are batch indices in [first, num_batches). Workers claim the
+/// lowest unclaimed ticket whose slot fits in the window
+/// [consumer, consumer + depth], produce it outside the lock, and publish
+/// it into a ring slot; the consumer takes batches strictly in index
+/// order, so training observes the exact serial batch sequence no matter
+/// how production interleaved. Determinism is the producer's contract:
+/// ProduceFn must derive all randomness from the batch index (see
+/// Rng::ForSubstream), which this class neither adds to nor reorders.
+///
+/// With depth == 0 the pipeline spawns no threads and Next() simply runs
+/// ProduceFn inline, making the serial path and the prefetched path share
+/// one code shape.
+///
+/// Observability: train.prefetch.queue_depth (gauge, ready batches at each
+/// consume), train.prefetch.producer_stall_seconds /
+/// train.prefetch.consumer_stall_seconds (histograms) and
+/// train.prefetch.produced / train.prefetch.discarded counters.
+class PrefetchPipeline {
+ public:
+  /// Begins producing tickets [first, num_batches) immediately when
+  /// depth > 0.
+  PrefetchPipeline(const PrefetchOptions& options, int64_t first,
+                   int64_t num_batches, ProduceFn produce);
+
+  /// Stops and joins workers; safe if Stop() already ran.
+  ~PrefetchPipeline();
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  /// \brief Returns batch `index`, blocking until it is ready. Must be
+  /// called from one consumer thread with strictly increasing indices
+  /// starting at `first`.
+  PreparedBatch Next(int64_t index);
+
+  /// \brief Idempotent shutdown: wakes and joins all workers. In-flight
+  /// produce calls finish; their results (and any ready-but-unconsumed
+  /// slots) are counted as discarded. Used for mid-epoch exits (rollback,
+  /// halt, early stop).
+  void Stop();
+
+  /// Batch-conservation accounting; every produced batch is either
+  /// consumed or discarded (produced == consumed + discarded once
+  /// stopped).
+  struct Counters {
+    int64_t produced = 0;
+    int64_t consumed = 0;
+    int64_t discarded = 0;
+  };
+  Counters counters() const;
+
+ private:
+  void WorkerLoop();
+  int64_t SlotOf(int64_t index) const {
+    return index % static_cast<int64_t>(slots_.size());
+  }
+
+  const PrefetchOptions options_;
+  const int64_t num_batches_;
+  const ProduceFn produce_;
+
+  mutable std::mutex mu_;
+  std::condition_variable claimable_;  // producers: window advanced
+  std::condition_variable ready_;      // consumer: a slot was published
+  int64_t next_ticket_ = 0;   // lowest unclaimed ticket
+  int64_t consume_next_ = 0;  // index the consumer will ask for next
+  bool shutdown_ = false;
+  std::vector<PreparedBatch> slots_;
+  std::vector<uint8_t> slot_ready_;
+  Counters counters_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cpdg::train
+
+#endif  // CPDG_TRAIN_PREFETCH_H_

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "tensor/arena.h"
 #include "tensor/serialization.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -29,6 +30,18 @@ double GradNorm(const std::vector<ts::Tensor>& params) {
     }
   }
   return std::sqrt(total);
+}
+
+/// Rolls the consumer thread's per-batch arena counters into the metrics
+/// registry after each completed batch.
+void RollArenaStats() {
+  ts::ArenaStats stats = ts::ArenaResetBatch();
+  static obs::Counter& pool_hits =
+      obs::MetricsRegistry::Global().counter("train.arena.pool_hits");
+  static obs::Counter& heap_allocs =
+      obs::MetricsRegistry::Global().counter("train.arena.heap_allocs");
+  pool_hits.Add(stats.pool_hits);
+  heap_allocs.Add(stats.heap_allocs);
 }
 
 }  // namespace
@@ -133,11 +146,17 @@ void TrainLoop::FinishEpoch(int64_t epoch_index, double loss_sum,
   {
     static obs::Histogram& wall = obs::MetricsRegistry::Global().histogram(
         "train.epoch_wall_seconds");
+    static obs::Histogram& sample = obs::MetricsRegistry::Global().histogram(
+        "train.epoch_sample_seconds");
+    static obs::Histogram& compute = obs::MetricsRegistry::Global().histogram(
+        "train.epoch_compute_seconds");
     static obs::Counter& batches =
         obs::MetricsRegistry::Global().counter("train.batches");
     static obs::Counter& steps =
         obs::MetricsRegistry::Global().counter("train.steps");
     wall.Observe(epoch.wall_clock_sec);
+    if (epoch.sample_seconds > 0.0) sample.Observe(epoch.sample_seconds);
+    if (epoch.compute_seconds > 0.0) compute.Observe(epoch.compute_seconds);
     batches.Add(epoch.num_batches);
     steps.Add(epoch.num_steps);
   }
@@ -337,15 +356,44 @@ Status TrainLoop::Rollback(uint32_t mode, int64_t num_batches,
   return Status::OK();
 }
 
+PrefetchOptions TrainLoop::ResolvedPrefetch() const {
+  PrefetchOptions env = PrefetchOptions::FromEnv();
+  PrefetchOptions out;
+  out.depth = options_.prefetch_depth >= 0 ? options_.prefetch_depth
+                                           : env.depth;
+  out.workers = options_.prefetch_workers >= 1 ? options_.prefetch_workers
+                                               : env.workers;
+  return out;
+}
+
 TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
                                            const graph::GraphStore& graph,
                                            int64_t batch_size,
                                            const ChronoBatchFn& batch_fn) {
   CPDG_CHECK(batch_fn != nullptr);
+  return RunChronologicalPrepared(
+      encoder, graph, batch_size, /*prepare_fn=*/nullptr,
+      [&batch_fn](const BatchContext& ctx, const graph::EventBatch& batch,
+                  std::any& /*prepared*/) { return batch_fn(ctx, batch); });
+}
+
+TrainTelemetry TrainLoop::RunChronologicalPrepared(
+    dgnn::DgnnEncoder* encoder, const graph::GraphStore& graph,
+    int64_t batch_size, const ChronoPrepareFn& prepare_fn,
+    const PreparedChronoBatchFn& batch_fn) {
+  CPDG_CHECK(batch_fn != nullptr);
+  CPDG_CHECK_GT(batch_size, 0);
   TrainTelemetry telemetry;
-  // One batcher for the whole run; Reset() rewinds it each epoch.
-  graph::ChronologicalBatcher batcher(&graph, batch_size);
-  const int64_t num_batches = batcher.num_batches();
+  const int64_t num_events = graph.num_events();
+  // Same boundary math as ChronologicalBatcher: batch i covers events
+  // [i*batch_size, min((i+1)*batch_size, num_events)) — random access by
+  // index is what lets producers fetch their own tickets.
+  const int64_t num_batches = (num_events + batch_size - 1) / batch_size;
+  const PrefetchOptions prefetch = ResolvedPrefetch();
+
+  // Intra-batch tensor temporaries recycle through the batch arena for the
+  // whole run (see tensor/arena.h).
+  tensor::ArenaScope arena_scope;
 
   stop_requested_ = false;
   batches_run_ = 0;
@@ -373,32 +421,64 @@ TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
     ctx.epoch = epoch;
     ctx.final_epoch = (epoch == options_.epochs - 1);
     // A mid-epoch (re-)entry keeps the restored memory and partial
-    // telemetry and skips the already-completed batch prefix; a fresh
+    // telemetry and starts the pipeline at the saved cursor; a fresh
     // epoch resets both, exactly as an uninterrupted run would.
     const bool mid_epoch = (epoch == start_epoch && start_batch > 0);
     if (!mid_epoch) {
       if (encoder != nullptr) encoder->memory().Reset();
       partial = PartialEpoch();
     }
-    batcher.Reset();
-    graph::EventBatch batch;
-    if (mid_epoch) {
-      for (int64_t skip = 0; skip < start_batch; ++skip) {
-        CPDG_CHECK(batcher.Next(&batch))
-            << "checkpoint cursor past end of batcher";
+    const int64_t first = mid_epoch ? start_batch : 0;
+
+    // Producer stage: a pure function of the batch index. All randomness
+    // comes from the (epoch, index)-derived stream, so the result is
+    // independent of worker assignment and production order.
+    auto produce = [this, &graph, &prepare_fn, batch_size, num_events, ctx,
+                    epoch](int64_t index) {
+      PreparedBatch out;
+      util::Timer sample_timer;
+      const int64_t begin = index * batch_size;
+      const int64_t end = std::min(begin + batch_size, num_events);
+      out.events.first_event_index = begin;
+      graph.ReadEvents(begin, end, &out.events.events);
+      if (prepare_fn != nullptr) {
+        CPDG_TRACE_SPAN("train/prepare");
+        BatchContext prepare_ctx = ctx;
+        prepare_ctx.batch_index = index;
+        Rng rng = Rng::ForSubstream(options_.prepare_stream_seed,
+                                    static_cast<uint64_t>(epoch),
+                                    static_cast<uint64_t>(index));
+        out.payload = prepare_fn(prepare_ctx, out.events, &rng);
       }
-    }
+      out.sample_seconds = sample_timer.ElapsedSeconds();
+      return out;
+    };
+    PrefetchPipeline pipeline(prefetch, first, num_batches, produce);
+    // Called on every exit path (return, rollback, epoch end) before
+    // `telemetry` is read or returned: Stop() joins the workers and the
+    // conservation counters roll up into the run telemetry. (The pipeline
+    // destructor still joins on paths that abort via CPDG_CHECK.)
+    auto harvest = [&pipeline, &telemetry] {
+      pipeline.Stop();
+      PrefetchPipeline::Counters c = pipeline.counters();
+      telemetry.prefetch_produced += c.produced;
+      telemetry.prefetch_consumed += c.consumed;
+      telemetry.prefetch_discarded += c.discarded;
+    };
 
     util::Timer timer;
     bool rolled_back = false;
-    while (batcher.Next(&batch)) {
-      ctx.batch_index = partial.epoch.num_batches;
+    for (int64_t index = first; index < num_batches; ++index) {
+      PreparedBatch prepared = pipeline.Next(index);
+      ctx.batch_index = index;
+      util::Timer compute_timer;
       if (encoder != nullptr) encoder->BeginBatch();
       std::optional<tensor::Tensor> loss;
       {
-        // Covers the client's batch assembly + forward pass.
+        // Covers the client's compute stage (assembly too on the
+        // non-prepared path).
         CPDG_TRACE_SPAN("train/forward");
-        loss = batch_fn(ctx, batch);
+        loss = batch_fn(ctx, prepared.events, prepared.payload);
       }
       BatchOutcome outcome = BatchOutcome::kNoLoss;
       if (loss.has_value()) {
@@ -409,9 +489,11 @@ TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
         telemetry.status = Status::Internal(
             "non-finite loss at epoch " + std::to_string(epoch) +
             ", batch " + std::to_string(ctx.batch_index));
+        harvest();
         return telemetry;
       }
       if (outcome == BatchOutcome::kRollback) {
+        harvest();
         Status status = Rollback(kRunModeChronological, num_batches, encoder,
                                  &telemetry, &partial, &epoch, &start_batch);
         if (!status.ok()) {
@@ -422,8 +504,11 @@ TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
         rolled_back = true;
         break;
       }
-      if (encoder != nullptr) encoder->CommitBatch(batch.events);
+      if (encoder != nullptr) encoder->CommitBatch(prepared.events.events);
       ++partial.epoch.num_batches;
+      partial.epoch.sample_seconds += prepared.sample_seconds;
+      partial.epoch.compute_seconds += compute_timer.ElapsedSeconds();
+      RollArenaStats();
       if (batch_end_hook_) batch_end_hook_(ctx);
       MaybeCheckpoint(kRunModeChronological, num_batches, epoch,
                       partial.epoch.num_batches, encoder, &telemetry,
@@ -433,11 +518,13 @@ TrainTelemetry TrainLoop::RunChronological(dgnn::DgnnEncoder* encoder,
           (options_.max_batches > 0 && batches_run_ >= options_.max_batches)) {
         partial.epoch.wall_clock_sec += timer.ElapsedSeconds();
         telemetry.stopped_early = true;
+        harvest();
         return telemetry;
       }
     }
-    if (rolled_back) continue;
+    if (rolled_back) continue;  // already harvested on the rollback path
     partial.epoch.wall_clock_sec += timer.ElapsedSeconds();
+    harvest();
     FinishEpoch(epoch, partial.loss_sum, partial.epoch, &telemetry);
     ++epoch;
     start_batch = 0;
@@ -450,6 +537,7 @@ TrainTelemetry TrainLoop::RunSteps(int64_t steps_per_epoch,
   CPDG_CHECK(step_fn != nullptr);
   CPDG_CHECK_GE(steps_per_epoch, 0);
   TrainTelemetry telemetry;
+  tensor::ArenaScope arena_scope;
 
   stop_requested_ = false;
   batches_run_ = 0;
@@ -513,6 +601,7 @@ TrainTelemetry TrainLoop::RunSteps(int64_t steps_per_epoch,
         break;
       }
       ++partial.epoch.num_batches;
+      RollArenaStats();
       if (batch_end_hook_) batch_end_hook_(ctx);
       MaybeCheckpoint(kRunModeSteps, steps_per_epoch, epoch,
                       partial.epoch.num_batches, /*encoder=*/nullptr,

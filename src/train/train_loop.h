@@ -1,6 +1,7 @@
 #ifndef CPDG_TRAIN_TRAIN_LOOP_H_
 #define CPDG_TRAIN_TRAIN_LOOP_H_
 
+#include <any>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -14,7 +15,9 @@
 #include "tensor/checkpoint_container.h"
 #include "tensor/optim.h"
 #include "train/checkpoint.h"
+#include "train/prefetch.h"
 #include "train/telemetry.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace cpdg::train {
@@ -64,6 +67,21 @@ struct TrainLoopOptions {
   /// stopped_early = true and an OK status — combined with
   /// checkpoint_path this simulates a mid-run crash in tests.
   int64_t max_batches = 0;
+
+  /// \name Prefetch pipeline
+  /// Depth (batches prepared ahead) and producer-thread count of the
+  /// prepared-batch pipeline used by chronological runs. Negative values
+  /// (the default) defer to CPDG_PREFETCH_DEPTH / CPDG_PREFETCH_WORKERS
+  /// (defaults: depth 0 = inline, 1 worker). Results are bit-identical at
+  /// any depth/worker combination — see DESIGN.md §13.
+  int64_t prefetch_depth = -1;
+  int64_t prefetch_workers = -1;
+
+  /// Base seed of the per-(epoch, batch_index) prepare RNG streams
+  /// (Rng::ForSubstream). Clients whose prepare stage draws randomness
+  /// (negative sampling, subgraph draws) set this once per run from their
+  /// own RNG so the streams are reproducible yet run-specific.
+  uint64_t prepare_stream_seed = 0;
 };
 
 /// \brief Position of the current batch within the run, handed to batch
@@ -85,6 +103,22 @@ struct BatchContext {
 /// objectives that can find no anchors in a batch.
 using ChronoBatchFn = std::function<std::optional<tensor::Tensor>(
     const BatchContext& ctx, const graph::EventBatch& batch)>;
+
+/// \brief Producer-side stage of a pipelined chronological batch: all
+/// sampling and assembly work that needs only const graph reads plus the
+/// per-batch RNG stream. Runs on prefetch workers when prefetching is
+/// enabled, so it must not touch encoder memory, parameters, or any other
+/// mutable training state; everything it computes travels to the compute
+/// stage in the returned payload.
+using ChronoPrepareFn = std::function<std::any(
+    const BatchContext& ctx, const graph::EventBatch& batch, Rng* rng)>;
+
+/// \brief Consumer-side stage of a pipelined chronological batch: consumes
+/// the prepare payload and computes the loss on the main thread. Same
+/// nullopt-skips-step contract as ChronoBatchFn.
+using PreparedChronoBatchFn = std::function<std::optional<tensor::Tensor>(
+    const BatchContext& ctx, const graph::EventBatch& batch,
+    std::any& prepared)>;
 
 /// \brief Computes the loss of one step of a data-free (non-streaming)
 /// loop, e.g. static-GNN sampled batches or a full-batch head epoch.
@@ -162,6 +196,18 @@ class TrainLoop {
                                   int64_t batch_size,
                                   const ChronoBatchFn& batch_fn);
 
+  /// \brief Pipelined chronological training: `prepare_fn` (sampling +
+  /// batch assembly; may be null) runs through the prefetch pipeline —
+  /// inline at depth 0, on producer threads at depth > 0 — while
+  /// `batch_fn` consumes payloads in batch order on this thread. Batch
+  /// boundaries and results are identical to RunChronological; per-batch
+  /// RNG streams (Rng::ForSubstream over prepare_stream_seed) make the
+  /// loss sequence bit-identical at every depth/worker setting.
+  TrainTelemetry RunChronologicalPrepared(
+      dgnn::DgnnEncoder* encoder, const graph::GraphStore& graph,
+      int64_t batch_size, const ChronoPrepareFn& prepare_fn,
+      const PreparedChronoBatchFn& batch_fn);
+
   /// \brief Step-based training: `steps_per_epoch` invocations of
   /// `step_fn` per epoch with no event stream or encoder lifecycle.
   TrainTelemetry RunSteps(int64_t steps_per_epoch, const StepFn& step_fn);
@@ -187,6 +233,10 @@ class TrainLoop {
     return !options_.checkpoint_path.empty() &&
            options_.checkpoint_every_batches > 0;
   }
+
+  /// Effective pipeline knobs: explicit options win, otherwise the
+  /// CPDG_PREFETCH_* environment.
+  PrefetchOptions ResolvedPrefetch() const;
 
   /// Publishes full state with the cursor after `batches_done` completed
   /// batches of `epoch`. Failures are logged and counted, not fatal.

@@ -96,6 +96,22 @@ class Rng {
   /// seed across components without correlating their streams.
   Rng Split() { return Rng(NextUint64() ^ 0xD1B54A32D192ED03ULL); }
 
+  /// \brief Derives the generator for substream (a, b) of `seed` without
+  /// advancing any other generator. Used by the prefetching train loop to
+  /// give batch (epoch=a, batch_index=b) its own stream: the stream depends
+  /// only on the coordinates, never on which worker thread produced the
+  /// batch or in what order batches were prepared, which is what makes
+  /// prefetched runs bit-identical to serial ones.
+  static Rng ForSubstream(uint64_t seed, uint64_t a, uint64_t b) {
+    // Two rounds of the SplitMix64 finalizer over (seed, a, b); the odd
+    // multiplicative constants decorrelate neighbouring coordinates.
+    uint64_t z = seed ^ (a + 1) * 0xD1B54A32D192ED03ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z ^= (b + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
   /// \brief Complete generator state, checkpointable so a resumed training
   /// run draws the identical stream an uninterrupted run would have. The
   /// Box-Muller cache is part of the state: NextGaussian emits values in

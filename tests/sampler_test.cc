@@ -211,8 +211,10 @@ TEST(EpsilonDfsTest, ExploresNewestNeighborDeepestFirst) {
   opts.width = 2;
   opts.depth = 2;
   auto s = sampler.SampleEpsilonDfs(0, 10.0, opts);
-  EXPECT_EQ(s.nodes, (std::vector<graph::NodeId>{1, 2, 3, 4}));
-  EXPECT_EQ(s.times, (std::vector<double>{1.0, 2.0, 1.5, 0.5}));
+  EXPECT_EQ(std::vector<graph::NodeId>(s.nodes.begin(), s.nodes.end()),
+            (std::vector<graph::NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(std::vector<double>(s.times.begin(), s.times.end()),
+            (std::vector<double>{1.0, 2.0, 1.5, 0.5}));
 }
 
 TEST(EpsilonDfsTest, IsDeterministic) {

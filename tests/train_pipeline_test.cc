@@ -1,0 +1,268 @@
+// Determinism and conservation tests for the prefetching batch pipeline
+// (src/train/prefetch.*): the loss sequence must be bit-identical at every
+// prefetch depth / worker count, and a racing mid-epoch shutdown must
+// account for every produced batch (consumed + discarded, nothing leaked).
+//
+// Under a sanitizer build this suite carries the `sanitize` ctest label
+// (see tests/CMakeLists.txt), so `ctest -L sanitize` runs a full
+// prefetched pre-training epoch with 4 producer threads under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pretrainer.h"
+#include "dgnn/trainer.h"
+#include "graph/temporal_graph.h"
+#include "train/prefetch.h"
+#include "train/train_loop.h"
+#include "util/rng.h"
+
+namespace cpdg {
+namespace {
+
+using graph::Event;
+using graph::NodeId;
+using graph::TemporalGraph;
+
+// Scoped env override; the pipeline knobs default to the CPDG_PREFETCH_*
+// environment, which is how the CLI/bench configure depth, so the tests
+// exercise that path too.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_, old_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TemporalGraph MakeGraph(uint64_t seed, int64_t events_count = 400) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  for (int64_t i = 0; i < events_count; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(15));
+    NodeId b = 15 + static_cast<NodeId>(rng.NextBounded(15));
+    events.push_back({a, b, static_cast<double>(i) * 0.002});
+  }
+  return TemporalGraph::Create(30, events).ValueOrDie();
+}
+
+dgnn::EncoderConfig SmallConfig(int64_t num_nodes) {
+  dgnn::EncoderConfig c =
+      dgnn::EncoderConfig::Preset(dgnn::EncoderType::kTgn, num_nodes);
+  c.memory_dim = 8;
+  c.embed_dim = 8;
+  c.time_dim = 4;
+  c.num_neighbors = 3;
+  return c;
+}
+
+// Runs CPDG pre-training — the heaviest prepare stage in the repo
+// (negative sampling + anchor subsampling + η-BFS / ε-DFS subgraph
+// draws) — at the given pipeline setting and returns the epoch losses.
+std::vector<double> PretrainLosses(int64_t depth, int64_t workers) {
+  ScopedEnv d("CPDG_PREFETCH_DEPTH", std::to_string(depth));
+  ScopedEnv w("CPDG_PREFETCH_WORKERS", std::to_string(workers));
+  TemporalGraph g = MakeGraph(11);
+  Rng rng(13);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  dgnn::LinkPredictor decoder(8, 8, &rng);
+  core::CpdgConfig config;
+  config.epochs = 2;
+  config.batch_size = 50;
+  config.num_checkpoints = 4;
+  config.max_contrast_anchors = 16;
+  core::CpdgPretrainer pretrainer(config, &rng);
+  core::PretrainResult result = pretrainer.Pretrain(&encoder, &decoder, g);
+  EXPECT_TRUE(result.log.status.ok());
+  return result.log.epoch_losses;
+}
+
+std::vector<double> TlpLosses(int64_t depth, int64_t workers) {
+  ScopedEnv d("CPDG_PREFETCH_DEPTH", std::to_string(depth));
+  ScopedEnv w("CPDG_PREFETCH_WORKERS", std::to_string(workers));
+  TemporalGraph g = MakeGraph(21);
+  Rng rng(23);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  dgnn::LinkPredictor decoder(8, 8, &rng);
+  dgnn::TlpTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 50;
+  dgnn::TrainLog log =
+      dgnn::TrainLinkPrediction(&encoder, &decoder, g, opts, &rng);
+  return log.epoch_losses;
+}
+
+// The core determinism contract of DESIGN.md §13: every (depth, workers)
+// combination yields bit-identical losses, because all prepare-stage
+// randomness flows through per-(epoch, batch_index) RNG substreams that
+// are consumed in batch order no matter which worker produced them.
+TEST(TrainPipelineTest, PretrainLossesBitIdenticalAcrossDepthsAndWorkers) {
+  std::vector<double> serial = PretrainLosses(/*depth=*/0, /*workers=*/1);
+  ASSERT_EQ(serial.size(), 2u);
+  struct Setting {
+    int64_t depth, workers;
+  };
+  for (const Setting& s : {Setting{1, 1}, Setting{4, 1}, Setting{1, 4},
+                           Setting{4, 4}}) {
+    std::vector<double> losses = PretrainLosses(s.depth, s.workers);
+    ASSERT_EQ(losses.size(), serial.size())
+        << "depth=" << s.depth << " workers=" << s.workers;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      // Bitwise equality, not EXPECT_NEAR: the pipeline must not perturb
+      // a single floating-point operation.
+      EXPECT_EQ(losses[i], serial[i])
+          << "depth=" << s.depth << " workers=" << s.workers << " epoch="
+          << i;
+    }
+  }
+}
+
+TEST(TrainPipelineTest, TlpLossesBitIdenticalAcrossDepthsAndWorkers) {
+  std::vector<double> serial = TlpLosses(/*depth=*/0, /*workers=*/1);
+  ASSERT_EQ(serial.size(), 2u);
+  std::vector<double> deep = TlpLosses(/*depth=*/4, /*workers=*/4);
+  ASSERT_EQ(deep.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(deep[i], serial[i]) << "epoch=" << i;
+  }
+}
+
+// Every produced batch is consumed exactly once, in index order, even when
+// production is jittered so later tickets finish before earlier ones.
+TEST(TrainPipelineTest, DeliversBatchesInOrderWithJitteredProducers) {
+  constexpr int64_t kBatches = 48;
+  train::PrefetchOptions options;
+  options.depth = 4;
+  options.workers = 4;
+  std::atomic<int64_t> produced{0};
+  train::PrefetchPipeline pipeline(
+      options, /*first=*/0, kBatches, [&](int64_t index) {
+        // Stagger production so slot publication order != index order.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((index % 5) * 100));
+        produced.fetch_add(1);
+        train::PreparedBatch out;
+        out.events.first_event_index = index;
+        out.payload = index;
+        return out;
+      });
+  for (int64_t i = 0; i < kBatches; ++i) {
+    train::PreparedBatch batch = pipeline.Next(i);
+    EXPECT_EQ(batch.events.first_event_index, i);
+    EXPECT_EQ(std::any_cast<int64_t>(batch.payload), i);
+  }
+  pipeline.Stop();
+  train::PrefetchPipeline::Counters counters = pipeline.counters();
+  EXPECT_EQ(counters.produced, kBatches);
+  EXPECT_EQ(counters.consumed, kBatches);
+  EXPECT_EQ(counters.discarded, 0);
+}
+
+// Racing shutdown mid-epoch: Stop() while workers are mid-produce. The
+// conservation identity produced == consumed + discarded must hold — a
+// leaked batch here would be a leaked sampled subgraph in training.
+TEST(TrainPipelineTest, RacingShutdownConservesBatches) {
+  for (int round = 0; round < 20; ++round) {
+    train::PrefetchOptions options;
+    options.depth = 4;
+    options.workers = 4;
+    train::PrefetchPipeline pipeline(
+        options, /*first=*/0, /*num_batches=*/256, [&](int64_t index) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          train::PreparedBatch out;
+          out.events.first_event_index = index;
+          return out;
+        });
+    // Consume a prefix, then abandon the epoch while the window is full
+    // and workers are racing to refill it.
+    int64_t take = round % 7;
+    for (int64_t i = 0; i < take; ++i) {
+      train::PreparedBatch batch = pipeline.Next(i);
+      EXPECT_EQ(batch.events.first_event_index, i);
+    }
+    pipeline.Stop();
+    train::PrefetchPipeline::Counters counters = pipeline.counters();
+    EXPECT_EQ(counters.consumed, take);
+    EXPECT_EQ(counters.produced, counters.consumed + counters.discarded)
+        << "round " << round << ": leaked "
+        << counters.produced - counters.consumed - counters.discarded
+        << " batches";
+  }
+}
+
+// The same conservation identity, end to end through TrainLoop: a
+// max_batches graceful stop lands mid-epoch with ready-but-unconsumed
+// slots in the window, and the run's telemetry must account for them.
+TEST(TrainPipelineTest, MidEpochStopThroughTrainLoopConserves) {
+  ScopedEnv d("CPDG_PREFETCH_DEPTH", "4");
+  ScopedEnv w("CPDG_PREFETCH_WORKERS", "2");
+  TemporalGraph g = MakeGraph(31);
+  Rng rng(37);
+  dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+  dgnn::LinkPredictor decoder(8, 8, &rng);
+  core::CpdgConfig config;
+  config.epochs = 2;
+  config.batch_size = 50;
+  config.num_checkpoints = 2;
+  config.max_contrast_anchors = 8;
+  config.max_batches = 5;  // stop mid-epoch (8 batches/epoch)
+  core::CpdgPretrainer pretrainer(config, &rng);
+  core::PretrainResult result = pretrainer.Pretrain(&encoder, &decoder, g);
+  ASSERT_TRUE(result.log.status.ok());
+  EXPECT_TRUE(result.log.stopped_early);
+  EXPECT_EQ(result.log.prefetch_consumed, 5);
+  EXPECT_GE(result.log.prefetch_produced, result.log.prefetch_consumed);
+  EXPECT_EQ(result.log.prefetch_produced,
+            result.log.prefetch_consumed + result.log.prefetch_discarded);
+}
+
+// Telemetry attribution: with prefetch enabled, producer-side sample time
+// lands in sample_seconds and consumer-side compute in compute_seconds,
+// for every setting (the split is what makes overlap measurable).
+TEST(TrainPipelineTest, TelemetrySplitsSampleAndComputeTime) {
+  for (int64_t depth : {int64_t{0}, int64_t{4}}) {
+    ScopedEnv d("CPDG_PREFETCH_DEPTH", std::to_string(depth));
+    ScopedEnv w("CPDG_PREFETCH_WORKERS", "2");
+    TemporalGraph g = MakeGraph(11);
+    Rng rng(13);
+    dgnn::DgnnEncoder encoder(SmallConfig(g.num_nodes()), &g, &rng);
+    dgnn::LinkPredictor decoder(8, 8, &rng);
+    core::CpdgConfig config;
+    config.epochs = 1;
+    config.batch_size = 50;
+    config.num_checkpoints = 2;
+    config.max_contrast_anchors = 16;
+    core::CpdgPretrainer pretrainer(config, &rng);
+    core::PretrainResult result = pretrainer.Pretrain(&encoder, &decoder, g);
+    ASSERT_TRUE(result.log.status.ok());
+    ASSERT_EQ(result.log.epochs.size(), 1u);
+    const train::EpochTelemetry& et = result.log.epochs[0];
+    EXPECT_GT(et.sample_seconds, 0.0) << "depth=" << depth;
+    EXPECT_GT(et.compute_seconds, 0.0) << "depth=" << depth;
+  }
+}
+
+}  // namespace
+}  // namespace cpdg
