@@ -15,6 +15,7 @@
 // the ctest `bench-smoke` registration doubles as an acceptance check.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "serve/serving_engine.h"
 #include "tensor/checkpoint_container.h"
 #include "tensor/serialization.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 #include "train/checkpoint.h"
 #include "util/rng.h"
@@ -212,6 +214,334 @@ void WriteJson(const std::vector<Record>& records, const char* path) {
   std::fputs("]\n", f);
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized-serving comparison (DESIGN.md §14): two engines over the same
+// frozen checkpoint, one fp32 and one CPDG_SERVE_PRECISION=int8 equivalent,
+// at a GEMM-heavy encoder width where quantization can actually pay
+// (d=256; at the main benchmark's d=32 the forwards are too small to be
+// GEMM-bound). Reports embed throughput (cache off, so every request runs
+// the full forward), link-prediction AUC for both precisions over the same
+// labeled pairs, and the int8/fp32 speedup; writes
+// BENCH_serving_quant.json for the regression gate.
+//
+// Accuracy contract enforced here: |AUC(int8) - AUC(fp32)| <= 0.01 on
+// every backend (int8 results are bitwise backend-independent). The >= 2x
+// embed-throughput bar is enforced only when the AVX-VNNI kernels are
+// active: int8 beats fp32 by vpdpbusd's 4-MACs-per-lane rate, which plain
+// AVX2 (vpmaddwd + vpaddd) and scalar hardware simply do not have.
+
+dgnn::EncoderConfig QuantBenchConfig(int64_t num_nodes) {
+  dgnn::EncoderConfig config;
+  config.num_nodes = num_nodes;
+  config.memory_dim = 256;
+  config.embed_dim = 256;
+  config.time_dim = 8;
+  config.num_neighbors = 10;
+  return config;
+}
+
+constexpr int64_t kQuantPredictorHidden = 256;
+
+struct QuantRecord {
+  std::string precision;
+  int64_t nodes_embedded = 0;
+  double seconds = 0.0;
+  double nodes_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double auc = 0.0;
+};
+
+/// Rank-comparison AUC: P(score(pos) > score(neg)) with half-credit ties.
+double Auc(const std::vector<double>& pos, const std::vector<double>& neg) {
+  double wins = 0.0;
+  for (double p : pos) {
+    for (double n : neg) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(pos.size()) *
+                 static_cast<double>(neg.size()));
+}
+
+QuantRecord DriveQuantEngine(serve::ServingEngine* engine,
+                             const Workload& w, const std::string& precision,
+                             int64_t batches, int64_t batch_nodes,
+                             double t_query,
+                             const std::vector<graph::NodeId>& pos_src,
+                             const std::vector<graph::NodeId>& pos_dst,
+                             const std::vector<graph::NodeId>& neg_src,
+                             const std::vector<graph::NodeId>& neg_dst,
+                             ts::Tensor* probe_embeds, bool* ok) {
+  QuantRecord rec;
+  rec.precision = precision;
+
+  // Warm-up (allocators, thread-local kernel buffers) outside the window.
+  std::vector<graph::NodeId> nodes(static_cast<size_t>(batch_nodes));
+  for (int64_t i = 0; i < batch_nodes; ++i) {
+    nodes[static_cast<size_t>(i)] =
+        static_cast<graph::NodeId>(i % w.num_nodes);
+  }
+  if (!engine->Embed(nodes, t_query).ok()) *ok = false;
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(batches));
+  util::Timer wall;
+  for (int64_t b = 0; b < batches; ++b) {
+    for (int64_t i = 0; i < batch_nodes; ++i) {
+      nodes[static_cast<size_t>(i)] = static_cast<graph::NodeId>(
+          (b * batch_nodes + i * 13 + 5) % w.num_nodes);
+    }
+    util::Timer timer;
+    auto result = engine->Embed(nodes, t_query);
+    latencies.push_back(timer.ElapsedMillis());
+    if (!result.ok()) {
+      std::fprintf(stderr, "quant embed failed: %s\n",
+                   result.status().ToString().c_str());
+      *ok = false;
+    }
+  }
+  rec.seconds = wall.ElapsedSeconds();
+  rec.nodes_embedded = batches * batch_nodes;
+  rec.nodes_per_s = static_cast<double>(rec.nodes_embedded) / rec.seconds;
+  std::sort(latencies.begin(), latencies.end());
+  rec.p50_ms = latencies[latencies.size() / 2];
+  rec.p99_ms = latencies[latencies.size() * 99 / 100];
+
+  std::vector<double> pos =
+      engine->ScoreLinks(pos_src, pos_dst, t_query).ValueOrDie();
+  std::vector<double> neg =
+      engine->ScoreLinks(neg_src, neg_dst, t_query).ValueOrDie();
+  rec.auc = Auc(pos, neg);
+
+  // Fixed probe set for the cross-precision cosine contract.
+  std::vector<graph::NodeId> probe;
+  for (graph::NodeId v = 0; v < std::min<int64_t>(w.num_nodes, 32); ++v) {
+    probe.push_back(v);
+  }
+  *probe_embeds = engine->Embed(probe, t_query).ValueOrDie();
+
+  std::printf("quant/%-5s  %6lld nodes  %7.3f s  %8.1f nodes/s  "
+              "p50 %7.3f ms  p99 %7.3f ms  auc %.4f\n",
+              rec.precision.c_str(),
+              static_cast<long long>(rec.nodes_embedded), rec.seconds,
+              rec.nodes_per_s, rec.p50_ms, rec.p99_ms, rec.auc);
+  return rec;
+}
+
+bool RunQuantComparison(bool smoke) {
+  bool ok = true;
+  std::printf("\n--- quantized serving (d=256 encoder) ---\n");
+
+  // Fresh GEMM-heavy workload; the d=32 main-benchmark checkpoint would
+  // hide the kernel behind per-request overhead.
+  Workload w;
+  w.num_nodes = smoke ? 200 : 500;
+  Rng event_rng(11);
+  std::vector<graph::Event> events;
+  const size_t num_events = smoke ? 600 : 2000;
+  double t = 0.0;
+  for (size_t i = 0; i < num_events; ++i) {
+    graph::Event e;
+    e.src = static_cast<graph::NodeId>(
+        event_rng.NextBounded(static_cast<uint64_t>(w.num_nodes)));
+    e.dst = static_cast<graph::NodeId>(
+        event_rng.NextBounded(static_cast<uint64_t>(w.num_nodes)));
+    if (e.dst == e.src) e.dst = (e.src + 1) % w.num_nodes;
+    t += event_rng.NextUniform(0.05, 1.0);
+    e.time = t;
+    events.push_back(e);
+  }
+  w.graph = graph::TemporalGraph::Create(w.num_nodes, std::move(events))
+                .ValueOrDie();
+  const dgnn::EncoderConfig config = QuantBenchConfig(w.num_nodes);
+  w.rng = std::make_unique<Rng>(43);
+  w.reference =
+      std::make_unique<dgnn::DgnnEncoder>(config, &w.graph, w.rng.get());
+  dgnn::LinkPredictor predictor(config.embed_dim, kQuantPredictorHidden,
+                                w.rng.get());
+  {
+    ts::InferenceModeGuard guard;
+    w.reference->ReplayEvents(w.graph.events(), /*batch_size=*/200);
+  }
+  std::vector<ts::Tensor> params = w.reference->Parameters();
+  std::vector<ts::Tensor> dec = predictor.Parameters();
+  params.insert(params.end(), dec.begin(), dec.end());
+  ts::SectionWriter writer;
+  writer.Add(ts::kParamsSection, ts::EncodeTensorList(params).ValueOrDie());
+  std::string memory_bytes;
+  w.reference->memory().SerializeTo(&memory_bytes);
+  writer.Add(train::kMemorySection, memory_bytes);
+  w.checkpoint_path = "BENCH_serving_quant_ckpt.bin";
+  if (!writer.WriteAtomic(w.checkpoint_path).ok()) {
+    std::fprintf(stderr, "quant checkpoint write failed\n");
+    return false;
+  }
+
+  const double t_query = w.graph.max_time() + 1.0;
+  const int64_t batches = smoke ? 20 : 40;
+  const int64_t batch_nodes = 32;
+
+  // Labeled pairs for AUC, shared verbatim by both precisions: positives
+  // are real (replayed) graph edges, negatives are uniform random pairs.
+  std::vector<graph::NodeId> pos_src, pos_dst, neg_src, neg_dst;
+  const auto& evs = w.graph.events();
+  const size_t num_pairs = 200;
+  for (size_t i = evs.size() - std::min(evs.size(), num_pairs);
+       i < evs.size(); ++i) {
+    pos_src.push_back(evs[i].src);
+    pos_dst.push_back(evs[i].dst);
+  }
+  Rng neg_rng(99);
+  for (size_t i = 0; i < num_pairs; ++i) {
+    neg_src.push_back(static_cast<graph::NodeId>(
+        neg_rng.NextBounded(static_cast<uint64_t>(w.num_nodes))));
+    neg_dst.push_back(static_cast<graph::NodeId>(
+        neg_rng.NextBounded(static_cast<uint64_t>(w.num_nodes))));
+  }
+
+  QuantRecord fp32_rec;
+  QuantRecord int8_rec;
+  ts::Tensor fp32_probe;
+  ts::Tensor int8_probe;
+  const int64_t int8_calls_before =
+      obs::MetricsRegistry::Global().counter("tensor.matmul.int8_calls")
+          .value();
+  for (const serve::ServePrecision precision :
+       {serve::ServePrecision::kFp32, serve::ServePrecision::kInt8}) {
+    serve::ServingOptions options;
+    options.precision = precision;
+    options.max_batch = 64;
+    options.max_wait_micros = 0;
+    options.cache_capacity = 0;  // every request runs the full forward
+    auto engine = serve::ServingEngine::FromCheckpoint(
+                      config, kQuantPredictorHidden, &w.graph,
+                      w.checkpoint_path, options)
+                      .TakeValue();
+    const bool is_fp32 = precision == serve::ServePrecision::kFp32;
+    QuantRecord rec = DriveQuantEngine(
+        engine.get(), w, serve::ServePrecisionName(precision), batches,
+        batch_nodes, t_query, pos_src, pos_dst, neg_src, neg_dst,
+        is_fp32 ? &fp32_probe : &int8_probe, &ok);
+    if (is_fp32) {
+      fp32_rec = rec;
+    } else {
+      int8_rec = rec;
+    }
+  }
+
+  // Per-row cosine between the fp32 and int8 embeddings of the same probe
+  // nodes: a direct bound on quantization error, independent of how
+  // discriminative the (untrained-in-this-bench) predictor head is.
+  double min_cosine = 1.0;
+  {
+    const int64_t rows = fp32_probe.rows();
+    const int64_t cols = fp32_probe.cols();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* x = fp32_probe.data() + r * cols;
+      const float* y = int8_probe.data() + r * cols;
+      double dot = 0.0, nx = 0.0, ny = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        dot += static_cast<double>(x[j]) * y[j];
+        nx += static_cast<double>(x[j]) * x[j];
+        ny += static_cast<double>(y[j]) * y[j];
+      }
+      if (nx == 0.0 || ny == 0.0) continue;
+      min_cosine = std::min(min_cosine, dot / std::sqrt(nx * ny));
+    }
+  }
+  const int64_t int8_calls =
+      obs::MetricsRegistry::Global().counter("tensor.matmul.int8_calls")
+          .value() -
+      int8_calls_before;
+  if (int8_calls == 0) {
+    std::fprintf(stderr,
+                 "FAIL: int8 engine never took the quantized MatMul path "
+                 "(tensor.matmul.int8_calls stayed 0)\n");
+    ok = false;
+  }
+
+  const double auc_delta = std::abs(int8_rec.auc - fp32_rec.auc);
+  const double speedup = int8_rec.nodes_per_s / fp32_rec.nodes_per_s;
+  const bool vnni = tensor::simd::ActiveMode() == tensor::simd::Mode::kAvx2 &&
+                    tensor::simd::AvxVnniSupported();
+  std::printf("int8 vs fp32: speedup %.2fx, auc delta %.4f, min probe "
+              "cosine %.5f (simd=%s, avx_vnni=%s, int8 matmuls=%lld)\n",
+              speedup, auc_delta, min_cosine,
+              tensor::simd::ModeName(tensor::simd::ActiveMode()),
+              vnni ? "true" : "false", static_cast<long long>(int8_calls));
+
+  // JSON for bench/baselines + scripts/check_bench_regression.py.
+  {
+    std::FILE* f = std::fopen("BENCH_serving_quant.json", "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"simd_mode\": \"%s\",\n"
+          "  \"avx_vnni\": %s,\n"
+          "  \"embed_dim\": %lld,\n"
+          "  \"auc_fp32\": %.6g,\n"
+          "  \"auc_int8\": %.6g,\n"
+          "  \"auc_delta\": %.6g,\n"
+          "  \"min_probe_cosine\": %.6g,\n"
+          "  \"speedup_vs_fp32\": %.4g,\n"
+          "  \"records\": [\n",
+          tensor::simd::ModeName(tensor::simd::ActiveMode()),
+          vnni ? "true" : "false",
+          static_cast<long long>(config.embed_dim), fp32_rec.auc,
+          int8_rec.auc, auc_delta, min_cosine, speedup);
+      const QuantRecord* recs[2] = {&fp32_rec, &int8_rec};
+      for (int i = 0; i < 2; ++i) {
+        std::fprintf(
+            f,
+            "    {\"precision\": \"%s\", \"nodes_embedded\": %lld, "
+            "\"seconds\": %.6g, \"nodes_per_s\": %.6g, \"p50_ms\": %.6g, "
+            "\"p99_ms\": %.6g, \"auc\": %.6g}%s\n",
+            recs[i]->precision.c_str(),
+            static_cast<long long>(recs[i]->nodes_embedded),
+            recs[i]->seconds, recs[i]->nodes_per_s, recs[i]->p50_ms,
+            recs[i]->p99_ms, recs[i]->auc, i == 0 ? "," : "");
+      }
+      std::fputs("  ]\n}\n", f);
+      std::fclose(f);
+      std::printf("wrote BENCH_serving_quant.json\n");
+    }
+  }
+  std::remove(w.checkpoint_path.c_str());
+
+  if (auc_delta > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: int8 AUC %.4f deviates from fp32 AUC %.4f by "
+                 "%.4f (> 0.01 tolerance)\n",
+                 int8_rec.auc, fp32_rec.auc, auc_delta);
+    ok = false;
+  }
+  if (min_cosine < 0.99) {
+    std::fprintf(stderr,
+                 "FAIL: minimum int8-vs-fp32 probe embedding cosine %.5f "
+                 "is below the 0.99 floor\n",
+                 min_cosine);
+    ok = false;
+  }
+  if (vnni && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: int8 embed throughput %.1f nodes/s is only %.2fx "
+                 "fp32 (%.1f nodes/s) with AVX-VNNI active, below the 2x "
+                 "bar\n",
+                 int8_rec.nodes_per_s, speedup, fp32_rec.nodes_per_s);
+    ok = false;
+  } else if (!vnni) {
+    std::printf("note: AVX-VNNI inactive; the 2x int8 speedup bar is not "
+                "enforced on this hardware\n");
+  }
+  return ok;
 }
 
 }  // namespace
@@ -401,6 +731,8 @@ int main(int argc, char** argv) {
     }
   }
   std::remove(w.checkpoint_path.c_str());
+
+  if (!RunQuantComparison(smoke)) ok = false;
 
   const Record& batched = records[1];
   if (batched.speedup_vs_unbatched < 2.0) {

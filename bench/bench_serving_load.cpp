@@ -15,15 +15,24 @@
 //   - every submitted request is accounted for: answered, rejected, shed,
 //     or expired; nothing lost, no aborts.
 //
+// A final live-feed scenario exercises serving under churn: a feeder
+// thread streams freshly generated events through the journaled Advance
+// barrier at a configurable rate (CPDG_BENCH_FEED_EPS events/sec) while
+// Poisson query load runs, reporting how memory churn interacts with
+// latency and staleness (stale-served counts, cache invalidations) on top
+// of the same robustness gates.
+//
 // Usage:
 //   bench_serving_load          full size:  600 nodes, 3 s per rate
 //   bench_serving_load --smoke  CI-sized:   200 nodes, 1.2 s per rate
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -68,6 +77,10 @@ struct Record {
   int64_t stale = 0;
   int64_t deadline_exceeded = 0;
   int64_t peak_queue_depth = 0;
+  // Live-feed extras (zero for query-only scenarios).
+  int64_t events_fed = 0;
+  int64_t advances = 0;
+  int64_t cache_invalidations = 0;
 };
 
 struct Workload {
@@ -182,12 +195,10 @@ double MeasureSaturation(serve::ServingEngine* engine, const Workload& w,
 /// One open-loop run: Poisson arrivals at `offered_rps` for the workload's
 /// window, harvested after the arrival window closes.
 Record DriveOpenLoop(serve::ServingEngine* engine, const Workload& w,
-                     double t_query, double offered_rps, double multiple,
-                     Rng* rng) {
+                     double t_query, double offered_rps,
+                     const std::string& scenario, Rng* rng) {
   Record rec;
-  char label[32];
-  std::snprintf(label, sizeof(label), "load_%.2gx", multiple);
-  rec.scenario = label;
+  rec.scenario = scenario;
   rec.offered_rps = offered_rps;
 
   const int64_t arrivals = std::max<int64_t>(
@@ -301,7 +312,8 @@ void WriteJson(const std::vector<Record>& records, const char* path) {
         "\"p50_ms\": %.6g, \"p95_ms\": %.6g, \"p99_ms\": %.6g, "
         "\"answered\": %lld, \"rejected\": %lld, \"shed\": %lld, "
         "\"stale\": %lld, \"deadline_exceeded\": %lld, "
-        "\"peak_queue_depth\": %lld}%s\n",
+        "\"peak_queue_depth\": %lld, \"events_fed\": %lld, "
+        "\"advances\": %lld, \"cache_invalidations\": %lld}%s\n",
         r.scenario.c_str(), r.offered_rps,
         static_cast<long long>(r.requests), r.seconds, r.rps, r.p50_ms,
         r.p95_ms, r.p99_ms, static_cast<long long>(r.answered),
@@ -309,6 +321,9 @@ void WriteJson(const std::vector<Record>& records, const char* path) {
         static_cast<long long>(r.stale),
         static_cast<long long>(r.deadline_exceeded),
         static_cast<long long>(r.peak_queue_depth),
+        static_cast<long long>(r.events_fed),
+        static_cast<long long>(r.advances),
+        static_cast<long long>(r.cache_invalidations),
         i + 1 < records.size() ? "," : "");
   }
   std::fputs("]\n", f);
@@ -352,9 +367,10 @@ int main(int argc, char** argv) {
   Rng arrival_rng(0xa11ce);
   bool ok = true;
   for (double multiple : {0.5, 1.0, 2.0}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "load_%.2gx", multiple);
     Record rec = DriveOpenLoop(engine.get(), w, t_query,
-                               multiple * saturation, multiple,
-                               &arrival_rng);
+                               multiple * saturation, label, &arrival_rng);
     // Robustness gates, enforced at every offered rate including 2x
     // saturation:
     if (rec.peak_queue_depth > kQueueLimit) {
@@ -373,6 +389,145 @@ int main(int argc, char** argv) {
       ok = false;
     }
     records.push_back(rec);
+  }
+
+  // --- live feed: event churn through Advance while query load runs ---
+  //
+  // A feeder thread streams generated events through the Advance barrier
+  // at a fixed events/sec rate while Poisson queries run at half the
+  // closed-loop saturation. Two cache configurations, because the engine
+  // deliberately treats churn differently by deadline mode:
+  //   live_feed       — deadline set, so keep_stale_entries is forced on:
+  //                     advances keep old cache generations around for
+  //                     deadline-pressed stale serving. Reports the
+  //                     staleness/latency interaction.
+  //   live_feed_inval — no default deadline: every advance eagerly
+  //                     invalidates the cache; gates that churn actually
+  //                     exercised invalidation.
+  {
+    double feed_eps = smoke ? 400.0 : 800.0;
+    if (const char* v = std::getenv("CPDG_BENCH_FEED_EPS")) {
+      char* end = nullptr;
+      const double parsed = std::strtod(v, &end);
+      if (end != v && *end == '\0' && parsed > 0.0) feed_eps = parsed;
+    }
+    constexpr int64_t kFeedBatch = 20;  // events per Advance
+
+    // Query far enough ahead that fed event times (+1 ms per event) never
+    // pass the query horizon inside any plausible run length.
+    const double t_far = w.graph.max_time() + 1000.0;
+
+    struct LiveFeedCase {
+      const char* scenario;
+      int64_t default_deadline_us;
+    };
+    for (const LiveFeedCase& lf_case :
+         {LiveFeedCase{"live_feed", kDeadlineUs},
+          LiveFeedCase{"live_feed_inval", 0}}) {
+      serve::ServingOptions lf_options;
+      lf_options.max_batch = 64;
+      lf_options.cache_capacity = 4 * w.num_nodes;
+      lf_options.num_shards = 2;
+      lf_options.queue_limit = kQueueLimit;
+      lf_options.overload = serve::OverloadPolicy::kReject;
+      lf_options.default_deadline_us = lf_case.default_deadline_us;
+      auto lf_engine = serve::ServingEngine::FromCheckpoint(
+                           BenchConfig(w.num_nodes), kPredictorHidden,
+                           &w.graph, w.checkpoint_path, lf_options)
+                           .TakeValue();
+      const uint64_t version_before = lf_engine->memory_version();
+
+      std::atomic<bool> stop{false};
+      std::atomic<bool> feeder_ok{true};
+      std::atomic<int64_t> events_fed{0};
+      std::atomic<int64_t> advances{0};
+      std::thread feeder([&] {
+        Rng feed_rng(0xfeedd);
+        double t_event = w.graph.max_time() + 1.0;
+        auto next = std::chrono::steady_clock::now();
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::vector<graph::Event> batch;
+          batch.reserve(kFeedBatch);
+          for (int64_t i = 0; i < kFeedBatch; ++i) {
+            graph::Event e;
+            e.src = static_cast<graph::NodeId>(
+                feed_rng.NextBounded(static_cast<uint64_t>(w.num_nodes)));
+            e.dst = static_cast<graph::NodeId>(
+                feed_rng.NextBounded(static_cast<uint64_t>(w.num_nodes)));
+            if (e.dst == e.src) e.dst = (e.src + 1) % w.num_nodes;
+            t_event += 0.001;
+            e.time = t_event;
+            batch.push_back(e);
+          }
+          cpdg::Status status = lf_engine->Advance(std::move(batch));
+          if (!status.ok()) {
+            std::fprintf(stderr, "live-feed advance failed: %s\n",
+                         status.ToString().c_str());
+            feeder_ok.store(false);
+            return;
+          }
+          events_fed.fetch_add(kFeedBatch, std::memory_order_relaxed);
+          advances.fetch_add(1, std::memory_order_relaxed);
+          next += std::chrono::microseconds(
+              static_cast<int64_t>(kFeedBatch / feed_eps * 1e6));
+          std::this_thread::sleep_until(next);
+        }
+      });
+
+      Record rec = DriveOpenLoop(lf_engine.get(), w, t_far,
+                                 0.5 * saturation, lf_case.scenario,
+                                 &arrival_rng);
+      stop.store(true);
+      feeder.join();
+      rec.events_fed = events_fed.load();
+      rec.advances = advances.load();
+      rec.cache_invalidations = lf_engine->cache_invalidations();
+      std::printf("%s: %lld events in %lld advances (%.0f ev/s offered), "
+                  "%lld cache invalidations, %lld stale-served\n",
+                  lf_case.scenario, static_cast<long long>(rec.events_fed),
+                  static_cast<long long>(rec.advances), feed_eps,
+                  static_cast<long long>(rec.cache_invalidations),
+                  static_cast<long long>(rec.stale));
+
+      if (!feeder_ok.load()) ok = false;
+      if (rec.advances == 0 ||
+          lf_engine->memory_version() <= version_before) {
+        std::fprintf(stderr,
+                     "FAIL: %s produced no memory churn (advances %lld, "
+                     "version %llu -> %llu)\n",
+                     lf_case.scenario, static_cast<long long>(rec.advances),
+                     static_cast<unsigned long long>(version_before),
+                     static_cast<unsigned long long>(
+                         lf_engine->memory_version()));
+        ok = false;
+      }
+      if (lf_case.default_deadline_us == 0 &&
+          rec.cache_invalidations == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s advanced %lld times but never invalidated "
+                     "the cache\n",
+                     lf_case.scenario,
+                     static_cast<long long>(rec.advances));
+        ok = false;
+      }
+      if (rec.peak_queue_depth > kQueueLimit) {
+        std::fprintf(stderr,
+                     "FAIL: %s peak queue depth %lld exceeds limit %lld\n",
+                     lf_case.scenario,
+                     static_cast<long long>(rec.peak_queue_depth),
+                     static_cast<long long>(kQueueLimit));
+        ok = false;
+      }
+      if (rec.answered > 0 && rec.p99_ms > kDeadlineUs / 1000.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s p99 %.2f ms of admitted requests exceeds "
+                     "the %.0f ms deadline\n",
+                     lf_case.scenario, rec.p99_ms, kDeadlineUs / 1000.0);
+        ok = false;
+      }
+      records.push_back(rec);
+      lf_engine->Shutdown();
+    }
   }
 
   WriteJson(records, "BENCH_serving_load.json");

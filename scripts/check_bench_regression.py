@@ -23,6 +23,15 @@ the thread count — a 1-core CI box cannot exhibit real scaling, and
 oversubscribed numbers would only gate on noise. Pass --min-speedup none
 to disable.
 
+With --quant, both files are quantization summaries
+(BENCH_serving_quant.json: a top-level object whose per-precision
+timing records live under "records", keyed on "precision"). On top of
+the usual seconds comparison, the current summary is gated on hard
+quality floors mirroring the bench binary's own exit gates: int8
+link-prediction AUC within 0.01 of fp32, probe cosine >= 0.99, int8
+never slower than fp32, and — only when the run reports AVX-VNNI
+hardware (avx_vnni == true) — int8 embed throughput >= 2x fp32.
+
 Stdlib only — runs on a bare CI python3.
 """
 
@@ -31,21 +40,59 @@ import json
 import sys
 
 
-def load_records(path):
+def load_records(path, quant=False):
     with open(path, "r", encoding="utf-8") as f:
         records = json.load(f)
+    if quant:
+        if not isinstance(records, dict) or "records" not in records:
+            raise ValueError(f"{path}: expected a quant summary object "
+                             f"with a 'records' array")
+        records = records["records"]
     if not isinstance(records, list):
         raise ValueError(f"{path}: expected a JSON array of records")
     out = {}
     for r in records:
-        name = r.get("name", r.get("scenario"))
+        name = r.get("name", r.get("scenario", r.get("precision")))
         if name is None:
-            raise ValueError(f"{path}: record with neither name nor scenario")
+            raise ValueError(f"{path}: record with neither name, scenario, "
+                             f"nor precision")
         key = (name, int(r.get("threads", 0)))
         if key in out:
             raise ValueError(f"{path}: duplicate record for {key}")
         out[key] = r
     return out
+
+
+def quant_quality_failures(path):
+    """Hard quality gates on a current quant summary; list of failures."""
+    with open(path, "r", encoding="utf-8") as f:
+        summary = json.load(f)
+    failures = []
+    auc_delta = float(summary.get("auc_delta", float("inf")))
+    if auc_delta > 0.01:
+        failures.append(f"quant: int8 AUC delta {auc_delta:.4f} exceeds "
+                        f"the 0.01 accuracy tolerance")
+    cosine = float(summary.get("min_probe_cosine", 0.0))
+    if cosine < 0.99:
+        failures.append(f"quant: min probe cosine {cosine:.5f} below 0.99")
+    speedup = float(summary.get("speedup_vs_fp32", 0.0))
+    if speedup < 1.0:
+        failures.append(f"quant: int8 embed throughput {speedup:.2f}x fp32 "
+                        f"— slower than the path it replaces")
+    elif summary.get("avx_vnni"):
+        if speedup < 2.0:
+            failures.append(f"quant: int8 speedup {speedup:.2f}x below the "
+                            f"2x floor on AVX-VNNI hardware")
+        else:
+            print(f"ok    quant speedup_vs_fp32 {speedup:.2f}x "
+                  f"(avx_vnni, 2x floor)")
+    else:
+        print(f"note  quant speedup gate skipped: no AVX-VNNI on this "
+              f"machine (measured {speedup:.2f}x)")
+    if not failures:
+        print(f"ok    quant auc_delta {auc_delta:.4f}  "
+              f"min_probe_cosine {cosine:.5f}")
+    return failures
 
 
 def main():
@@ -58,6 +105,9 @@ def main():
                         metavar="NAME:THREADS:FACTOR",
                         help="thread-scaling gate; repeatable; 'none' "
                              "disables (default matmul_fwd:4:2.5)")
+    parser.add_argument("--quant", action="store_true",
+                        help="treat both files as BENCH_serving_quant.json "
+                             "summaries and apply the int8 quality gates")
     args = parser.parse_args()
 
     speedup_gates = []
@@ -73,14 +123,20 @@ def main():
             return 2
 
     try:
-        baseline = load_records(args.baseline)
-        current = load_records(args.current)
+        baseline = load_records(args.baseline, quant=args.quant)
+        current = load_records(args.current, quant=args.quant)
     except (OSError, ValueError, KeyError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
 
     failures = []
     warnings = []
+    if args.quant:
+        try:
+            failures.extend(quant_quality_failures(args.current))
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
     for key in sorted(set(baseline) & set(current)):
         name, threads = key
         if "seconds" not in baseline[key] or "seconds" not in current[key]:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation lint, run in CI (docs-lint job).
 
-Two checks keep the operational docs honest as the tree grows:
+Three checks keep the operational docs honest as the tree grows:
 
 1. Architecture coverage: every immediate subdirectory of src/ must be
    mentioned in docs/ARCHITECTURE.md (as ``src/<name>`` or ``<name>/``), so
@@ -15,6 +15,11 @@ Two checks keep the operational docs honest as the tree grows:
    reported as warnings only, since docs may legitimately lead the code by
    one PR.
 
+3. Runbook coverage: every serving-surface variable the code reads
+   (``CPDG_SERVE_*``, plus the serving fault-drill and live-feed knobs)
+   must be mentioned in docs/OPERATIONS.md — an operator knob cannot land
+   without runbook guidance.
+
 Exits nonzero on any hard failure, printing one line per problem.
 """
 
@@ -24,6 +29,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+OPERATIONS = REPO / "docs" / "OPERATIONS.md"
 README = REPO / "README.md"
 CODE_DIRS = ["src", "bench", "tests", "examples"]
 CODE_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
@@ -92,6 +98,23 @@ def main():
             failures.append(
                 f"env var {name} (read in {used[name]}) is missing from the "
                 f"README.md environment-variable table"
+            )
+
+    if not OPERATIONS.is_file():
+        failures.append(f"missing {OPERATIONS.relative_to(REPO)}")
+        ops_text = ""
+    else:
+        ops_text = OPERATIONS.read_text()
+    operator_vars = sorted(
+        name for name in used
+        if name.startswith(("CPDG_SERVE_", "CPDG_FAULT_SERVE_"))
+        or name == "CPDG_BENCH_FEED_EPS"
+    )
+    for name in operator_vars:
+        if name not in ops_text:
+            failures.append(
+                f"serving knob {name} (read in {used[name]}) is missing "
+                f"from the docs/OPERATIONS.md runbook"
             )
     for name in sorted(documented - set(used)):
         warnings.append(

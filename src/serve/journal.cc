@@ -1,0 +1,107 @@
+#include "serve/journal.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/event_log.h"
+#include "util/atomic_file.h"
+#include "util/byte_codec.h"
+
+namespace cpdg::serve {
+namespace {
+
+using storage::FileFooter;
+using storage::FileHeader;
+using storage::FileKind;
+using storage::MappedFile;
+using storage::ParsedFile;
+using storage::ParseStoreFile;
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError("cannot create journal dir " + dir + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+std::string JournalEntryPath(const std::string& dir, int64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "advance-%08lld.log",
+                static_cast<long long>(seq));
+  return dir + "/" + name;
+}
+
+Status AppendJournalEntry(const std::string& dir, int64_t seq,
+                          int64_t num_nodes,
+                          const std::vector<graph::Event>& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("journal entry must not be empty");
+  }
+  CPDG_RETURN_NOT_OK(EnsureDir(dir));
+  util::AtomicFileSink sink;
+  CPDG_RETURN_NOT_OK(sink.Open(JournalEntryPath(dir, seq)));
+  FileHeader header;
+  header.kind = static_cast<uint32_t>(FileKind::kDelta);
+  header.num_nodes = num_nodes;
+  CPDG_RETURN_NOT_OK(sink.Append(&header, sizeof(header)));
+  CPDG_RETURN_NOT_OK(
+      sink.Append(events.data(), events.size() * sizeof(graph::Event)));
+  FileFooter footer;
+  footer.record_count = static_cast<int64_t>(events.size());
+  footer.min_time = events.front().time;
+  footer.max_time = events.back().time;
+  footer.payload_crc =
+      util::Crc32(events.data(), events.size() * sizeof(graph::Event));
+  CPDG_RETURN_NOT_OK(sink.Append(&footer, sizeof(footer)));
+  return sink.Commit();
+}
+
+Result<std::vector<std::vector<graph::Event>>> LoadJournal(
+    const std::string& dir, int64_t num_nodes) {
+  std::vector<std::vector<graph::Event>> entries;
+  for (int64_t seq = 0;; ++seq) {
+    const std::string path = JournalEntryPath(dir, seq);
+    if (!util::FileExists(path)) break;
+    CPDG_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+    // Journal entries are small; always CRC them.
+    CPDG_ASSIGN_OR_RETURN(
+        ParsedFile parsed,
+        ParseStoreFile(file, FileKind::kDelta, path, /*verify_crc=*/true));
+    if (parsed.header->num_nodes != num_nodes) {
+      return Status::IoError(
+          "journal entry num_nodes mismatch (" + path + ": " +
+          std::to_string(parsed.header->num_nodes) + " vs engine " +
+          std::to_string(num_nodes) + ")");
+    }
+    if (parsed.payload_size !=
+        parsed.footer->record_count *
+            static_cast<int64_t>(sizeof(graph::Event))) {
+      return Status::IoError("journal entry truncated: " + path);
+    }
+    if (parsed.footer->record_count <= 0) {
+      return Status::IoError("journal entry empty: " + path);
+    }
+    const graph::Event* events =
+        reinterpret_cast<const graph::Event*>(parsed.payload);
+    std::vector<graph::Event> batch(
+        events, events + parsed.footer->record_count);
+    for (const graph::Event& e : batch) {
+      if (e.src < 0 || e.src >= num_nodes || e.dst < 0 ||
+          e.dst >= num_nodes) {
+        return Status::IoError("journal entry references node out of range: " +
+                               path);
+      }
+    }
+    entries.push_back(std::move(batch));
+  }
+  return entries;
+}
+
+}  // namespace cpdg::serve

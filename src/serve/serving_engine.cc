@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "serve/journal.h"
 #include "tensor/checkpoint_container.h"
 #include "tensor/ops.h"
 #include "tensor/serialization.h"
@@ -104,6 +105,23 @@ Status ValidateNodes(const std::vector<graph::NodeId>& nodes,
 
 }  // namespace
 
+const char* ServePrecisionName(ServePrecision precision) {
+  switch (precision) {
+    case ServePrecision::kFp32:
+      return "fp32";
+    case ServePrecision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+Result<ServePrecision> ParseServePrecision(const std::string& text) {
+  if (text == "fp32") return ServePrecision::kFp32;
+  if (text == "int8") return ServePrecision::kInt8;
+  return Status::InvalidArgument("unknown serve precision \"" + text +
+                                 "\" (expected fp32 | int8)");
+}
+
 ServingOptions ServingOptions::FromEnv() {
   ServingOptions o;
   o.max_batch = std::max<int64_t>(1, EnvInt64("CPDG_SERVE_MAX_BATCH",
@@ -122,6 +140,13 @@ ServingOptions ServingOptions::FromEnv() {
   }
   o.default_deadline_us = std::max<int64_t>(
       0, EnvInt64("CPDG_SERVE_DEADLINE_US", o.default_deadline_us));
+  if (const char* v = std::getenv("CPDG_SERVE_PRECISION")) {
+    Result<ServePrecision> parsed = ParseServePrecision(v);
+    if (parsed.ok()) o.precision = parsed.value();
+  }
+  if (const char* v = std::getenv("CPDG_SERVE_JOURNAL_DIR")) {
+    if (*v != '\0') o.journal_dir = v;
+  }
   return o;
 }
 
@@ -185,6 +210,21 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::FromCheckpoint(
 
   std::unique_ptr<ServingEngine> engine(new ServingEngine(
       config, predictor_hidden, graph, checkpoint_path, opts));
+  if (!opts.journal_dir.empty()) {
+    // Process-restart recovery: reload every durably-journaled advance so
+    // the BuildShard catch-up below replays them onto the checkpoint's
+    // memory snapshot, exactly as a watchdog-rebuilt shard would. No
+    // executors exist yet, so journal_ needs no lock here.
+    CPDG_ASSIGN_OR_RETURN(std::vector<std::vector<graph::Event>> persisted,
+                          LoadJournal(opts.journal_dir, config.num_nodes));
+    for (std::vector<graph::Event>& events : persisted) {
+      engine->journal_.push_back(
+          std::make_shared<const std::vector<graph::Event>>(
+              std::move(events)));
+    }
+    engine->journal_next_seq_ =
+        static_cast<int64_t>(engine->journal_.size());
+  }
   for (int i = 0; i < opts.num_shards; ++i) {
     size_t applied = 0;
     CPDG_ASSIGN_OR_RETURN(std::shared_ptr<Shard> shard,
@@ -254,6 +294,20 @@ Result<std::shared_ptr<ServingEngine::Shard>> ServingEngine::BuildShard(
   // construction entirely, but a frozen flag keeps any accidental
   // grad-enabled use (e.g. a caller poking encoder()) from training.
   for (ts::Tensor& p : params) p.set_requires_grad(false);
+
+  if (options_.precision == ServePrecision::kInt8) {
+    // Quantize the frozen weight matrices once, after restore. Only
+    // plausible MatMul right-operands qualify: [1, d] parameters (biases,
+    // time frequencies) never multiply, and per-node tables above the row
+    // bound are gathered by row, not multiplied. Registration is keyed by
+    // data pointer, so an extra registered matrix that never appears as a
+    // MatMul operand is inert (DESIGN.md §14).
+    constexpr int64_t kMaxQuantRows = 8192;
+    for (const ts::Tensor& p : params) {
+      if (p.rows() < 2 || p.rows() > kMaxQuantRows) continue;
+      shard->quant_params.AddWeight(p.data(), p.rows(), p.cols());
+    }
+  }
 
   // Catch up to the fleet: replay every journaled advance in the same
   // kAdvanceReplayBatch chunks the live replicas used, which makes this
@@ -611,6 +665,17 @@ Status ServingEngine::Advance(std::vector<graph::Event> events) {
   std::lock_guard<std::mutex> advance_lock(advance_mu_);
   auto shared_events =
       std::make_shared<const std::vector<graph::Event>>(std::move(events));
+  if (!options_.journal_dir.empty()) {
+    // Durable-first: once this entry is committed, a process restarted
+    // from the same checkpoint + journal dir replays the advance even if
+    // we crash before any replica does. An IO failure fails the whole
+    // advance before any replica (or the in-memory journal) saw it, so
+    // disk and fleet cannot disagree.
+    CPDG_RETURN_NOT_OK(AppendJournalEntry(options_.journal_dir,
+                                          journal_next_seq_,
+                                          config_.num_nodes, *shared_events));
+    ++journal_next_seq_;
+  }
   std::vector<std::shared_ptr<Shard>> snapshot;
   {
     // Journal-first, atomically with the shard-list snapshot: any replica
@@ -791,6 +856,7 @@ bool ServingEngine::TryServeStale(Shard* shard, Request* request,
   }
   CPDG_CHECK(request->kind == Request::Kind::kScoreLinks);
   ts::InferenceModeGuard guard;
+  ts::QuantModeGuard qguard(&shard->quant_params);
   ts::Tensor logits = shard->predictor->ForwardLogits(
       ts::Tensor::FromVector(static_cast<int64_t>(request->nodes.size()),
                              dim, std::move(src_data)),
@@ -881,6 +947,10 @@ void ServingEngine::ExecuteBatch(Shard* shard,
   if (!miss_nodes.empty()) {
     CPDG_TRACE_SPAN("serve/forward");
     ts::InferenceModeGuard guard;
+    // Query-time forwards may run int8 (the set is empty — inert — at
+    // fp32); advance replay in ExecuteBarrier deliberately does not, so
+    // persistent memory state is precision-independent.
+    ts::QuantModeGuard qguard(&shard->quant_params);
     // Read-only protocol: flush into the per-batch cache, never commit, so
     // memory (and its version) stay untouched.
     shard->encoder->BeginBatch();
@@ -923,6 +993,7 @@ void ServingEngine::ExecuteBatch(Shard* shard,
     } else {
       CPDG_TRACE_SPAN("serve/score");
       ts::InferenceModeGuard guard;
+      ts::QuantModeGuard qguard(&shard->quant_params);
       ts::Tensor logits = shard->predictor->ForwardLogits(
           gather(request->nodes, request->time),
           gather(request->dsts, request->time));

@@ -16,6 +16,7 @@
 #include "serve/request_queue.h"
 #include "serve/shard_router.h"
 #include "serve/watchdog.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -28,6 +29,18 @@ namespace cpdg::serve {
 /// including one rebuilt from checkpoint + journal after a crash —
 /// bit-identical to the fleet and to single-shard serving.
 inline constexpr int64_t kAdvanceReplayBatch = 128;
+
+/// \brief Numeric precision of query-time forwards (embed / score-links).
+/// Advance replay and journal catch-up always run fp32 regardless, so the
+/// persistent memory state — the recovery source of truth — is identical
+/// at every precision (DESIGN.md §14).
+enum class ServePrecision {
+  kFp32,  ///< bit-identical to the direct encoder forward (the default)
+  kInt8,  ///< quantized frozen-weight kernels (tensor/quant.h)
+};
+
+const char* ServePrecisionName(ServePrecision precision);
+Result<ServePrecision> ParseServePrecision(const std::string& text);
 
 /// \brief Knobs of the serving engine; every field has an environment
 /// override (see FromEnv) documented in the README env-var table.
@@ -72,9 +85,22 @@ struct ServingOptions {
   /// + journal by the watchdog).
   int64_t quiesce_timeout_ms = 2000;
 
+  /// Numeric precision of query-time forwards. CPDG_SERVE_PRECISION
+  /// (fp32 | int8). Advance replay always runs fp32 (ServePrecision
+  /// comment); int8 trades bit-identity for throughput within a measured
+  /// AUC tolerance (bench_serving, docs/OPERATIONS.md rollout checklist).
+  ServePrecision precision = ServePrecision::kFp32;
+
+  /// Directory of the on-disk advance journal (serve/journal.h); empty
+  /// disables persistence. When set, FromCheckpoint reloads any journaled
+  /// advances before building shards, and every Advance appends its entry
+  /// durably before any replica replays it. CPDG_SERVE_JOURNAL_DIR.
+  std::string journal_dir;
+
   /// Defaults overridden by CPDG_SERVE_MAX_BATCH, CPDG_SERVE_MAX_WAIT_MICROS,
   /// CPDG_SERVE_CACHE_CAPACITY, CPDG_SERVE_SHARDS, CPDG_SERVE_QUEUE_LIMIT,
-  /// CPDG_SERVE_OVERLOAD and CPDG_SERVE_DEADLINE_US when set.
+  /// CPDG_SERVE_OVERLOAD, CPDG_SERVE_DEADLINE_US, CPDG_SERVE_PRECISION and
+  /// CPDG_SERVE_JOURNAL_DIR when set.
   static ServingOptions FromEnv();
 };
 
@@ -255,6 +281,11 @@ class ServingEngine {
     std::unique_ptr<dgnn::LinkPredictor> predictor;
     std::unique_ptr<RequestQueue> queue;
     std::unique_ptr<EmbeddingCache> cache;
+    /// int8 copies of the frozen weight matrices, quantized once at build
+    /// time; empty unless options_.precision == kInt8. Activated per
+    /// query-time forward with tensor::QuantModeGuard — never during
+    /// replay, so memory state stays precision-independent.
+    tensor::QuantizedParamSet quant_params;
     std::thread executor;
 
     /// Bumped on every pop, every fulfilled request, and every barrier
@@ -321,6 +352,9 @@ class ServingEngine {
 
   /// Serializes Advance coordinators.
   std::mutex advance_mu_;
+  /// Sequence number of the next on-disk journal entry (mutated only under
+  /// advance_mu_); starts past the entries FromCheckpoint reloaded.
+  int64_t journal_next_seq_ = 0;
   std::atomic<uint64_t> serve_version_{0};
 
   std::unique_ptr<Watchdog> watchdog_;

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "tensor/gemm.h"
+#include "tensor/quant.h"
 #include "tensor/simd.h"
 #include "util/thread_pool.h"
 
@@ -282,6 +283,21 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         obs::MetricsRegistry::Global().counter("tensor.matmul.fwd_flops");
     calls.Add();
     flops.Add(2 * m * k * n);
+  }
+  // int8 serving path: inside inference mode, a product whose rhs is a
+  // registered frozen weight runs the quantized kernel (quant.h). Gated on
+  // inference mode because the quantized op records no usable backward.
+  if (InferenceModeEnabled()) {
+    if (const QuantizedMatrix* bq = ActiveQuantizedWeight(b.data())) {
+      CPDG_CHECK_EQ(bq->rows, n);
+      CPDG_CHECK_EQ(bq->cols, k);
+      static obs::Counter& int8_calls =
+          obs::MetricsRegistry::Global().counter("tensor.matmul.int8_calls");
+      int8_calls.Add();
+      Tensor out = Tensor::MakeOpResult(m, n, {a, b}, {}, "matmul_int8");
+      QuantGemmTransposedB(a.data(), m, k, *bq, out.data());
+      return out;
+    }
   }
   Tensor out = Tensor::MakeOpResult(
       m, n, {a, b},

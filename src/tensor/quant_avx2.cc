@@ -1,0 +1,220 @@
+// AVX2 int8-grid microkernel backend. Like gemm_avx2.cc, this translation
+// unit is the only quant one compiled with -mavx2 -mfma, and its entry
+// point runs only after simd::Avx2Supported() verified the CPU.
+//
+// Arithmetic: operands arrive pre-widened to int16 (quant.h
+// storage-vs-compute note), so the inner loop is nothing but loads and
+// _mm256_madd_epi16 (pairwise int16*int16 -> int32 adds) — no widening
+// shuffles. Values are bounded by |v| <= 127, so the pairwise products
+// (<= 16129) and their sums (<= 32258) are exact — madd cannot saturate —
+// and the int32 lane accumulators hold the exact integer sum for any
+// realistic k (overflow would need k > 2^31 / 32258 ≈ 66k). Exact integers
+// mean the result equals the scalar backend's bit for bit with no ordering
+// caveats.
+//
+// Shape: the hot path pins one A row against kQuantNR (= 4) B^T rows so
+// each 32-byte slice of A is loaded once and reused four times, with one
+// vector accumulator per output kept live across the whole k loop; the
+// four lane sums are folded together by a single hadd tree at the end.
+
+#ifdef CPDG_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+#include "tensor/quant_internal.h"
+
+namespace cpdg::tensor::quant_internal {
+namespace {
+
+int32_t DotInt16(const int16_t* a, const int16_t* b, int64_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t sum = _mm_cvtsi128_si32(s);
+  for (; p < k; ++p) {
+    sum += static_cast<int32_t>(a[p]) * static_cast<int32_t>(b[p]);
+  }
+  return sum;
+}
+
+/// One A row against four consecutive B^T rows: each A slice loaded once,
+/// four live accumulators, one combined reduction.
+void DotInt16x4(const int16_t* a, const int16_t* bt, int64_t ldb, int64_t k,
+                int32_t* out) {
+  const int16_t* b0 = bt;
+  const int16_t* b1 = bt + ldb;
+  const int16_t* b2 = bt + 2 * ldb;
+  const int16_t* b3 = bt + 3 * ldb;
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  int64_t p = 0;
+  for (; p + 32 <= k; p += 32) {
+    const __m256i va0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+    const __m256i va1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p + 16));
+    const auto step = [&](const int16_t* b, __m256i acc) {
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(va0, _mm256_loadu_si256(
+                                          reinterpret_cast<const __m256i*>(
+                                              b + p))));
+      return _mm256_add_epi32(
+          acc, _mm256_madd_epi16(va1, _mm256_loadu_si256(
+                                          reinterpret_cast<const __m256i*>(
+                                              b + p + 16))));
+    };
+    acc0 = step(b0, acc0);
+    acc1 = step(b1, acc1);
+    acc2 = step(b2, acc2);
+    acc3 = step(b3, acc3);
+  }
+  for (; p + 16 <= k; p += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+    const auto step = [&](const int16_t* b, __m256i acc) {
+      return _mm256_add_epi32(
+          acc, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i*>(
+                                             b + p))));
+    };
+    acc0 = step(b0, acc0);
+    acc1 = step(b1, acc1);
+    acc2 = step(b2, acc2);
+    acc3 = step(b3, acc3);
+  }
+  // hadd tree: low/high 128 lanes each end up [s0 s1 s2 s3]; one add
+  // folds them.
+  const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+  const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+  const __m256i h = _mm256_hadd_epi32(h01, h23);
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(h),
+                            _mm256_extracti128_si256(h, 1));
+  alignas(16) int32_t sums[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(sums), s);
+  for (; p < k; ++p) {
+    const int32_t ap = a[p];
+    sums[0] += ap * b0[p];
+    sums[1] += ap * b1[p];
+    sums[2] += ap * b2[p];
+    sums[3] += ap * b3[p];
+  }
+  out[0] = sums[0];
+  out[1] = sums[1];
+  out[2] = sums[2];
+  out[3] = sums[3];
+}
+
+/// Two A rows against four consecutive B^T rows — the register tile that
+/// matters: each B vector is loaded once and multiplied into both rows'
+/// accumulators, halving B load traffic per multiply-add versus the
+/// one-row shape (the kernel is load-bound, not madd-bound). 8 live
+/// accumulators + 4 B + 2 A vectors fit the 16 ymm registers.
+void DotInt16x2x4(const int16_t* a0, const int16_t* a1, const int16_t* bt,
+                  int64_t ldb, int64_t k, int32_t* out0, int32_t* out1) {
+  const int16_t* b0 = bt;
+  const int16_t* b1 = bt + ldb;
+  const int16_t* b2 = bt + 2 * ldb;
+  const int16_t* b3 = bt + 3 * ldb;
+  __m256i acc00 = _mm256_setzero_si256();
+  __m256i acc01 = _mm256_setzero_si256();
+  __m256i acc02 = _mm256_setzero_si256();
+  __m256i acc03 = _mm256_setzero_si256();
+  __m256i acc10 = _mm256_setzero_si256();
+  __m256i acc11 = _mm256_setzero_si256();
+  __m256i acc12 = _mm256_setzero_si256();
+  __m256i acc13 = _mm256_setzero_si256();
+  int64_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m256i va0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + p));
+    const __m256i va1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + p));
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b0 + p));
+    acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(va0, vb0));
+    acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(va1, vb0));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b1 + p));
+    acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(va0, vb1));
+    acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(va1, vb1));
+    const __m256i vb2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b2 + p));
+    acc02 = _mm256_add_epi32(acc02, _mm256_madd_epi16(va0, vb2));
+    acc12 = _mm256_add_epi32(acc12, _mm256_madd_epi16(va1, vb2));
+    const __m256i vb3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b3 + p));
+    acc03 = _mm256_add_epi32(acc03, _mm256_madd_epi16(va0, vb3));
+    acc13 = _mm256_add_epi32(acc13, _mm256_madd_epi16(va1, vb3));
+  }
+  const auto reduce = [](__m256i r0, __m256i r1, __m256i r2, __m256i r3,
+                         int32_t* sums) {
+    const __m256i h01 = _mm256_hadd_epi32(r0, r1);
+    const __m256i h23 = _mm256_hadd_epi32(r2, r3);
+    const __m256i h = _mm256_hadd_epi32(h01, h23);
+    const __m128i s = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                    _mm256_extracti128_si256(h, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sums), s);
+  };
+  alignas(16) int32_t sums0[4];
+  alignas(16) int32_t sums1[4];
+  reduce(acc00, acc01, acc02, acc03, sums0);
+  reduce(acc10, acc11, acc12, acc13, sums1);
+  for (; p < k; ++p) {
+    const int32_t a0p = a0[p];
+    const int32_t a1p = a1[p];
+    sums0[0] += a0p * b0[p];
+    sums0[1] += a0p * b1[p];
+    sums0[2] += a0p * b2[p];
+    sums0[3] += a0p * b3[p];
+    sums1[0] += a1p * b0[p];
+    sums1[1] += a1p * b1[p];
+    sums1[2] += a1p * b2[p];
+    sums1[3] += a1p * b3[p];
+  }
+  for (int l = 0; l < 4; ++l) out0[l] = sums0[l];
+  for (int l = 0; l < 4; ++l) out1[l] = sums1[l];
+}
+
+void Avx2QuantMicro(const int16_t* a, int64_t lda, const int16_t* bt,
+                    int64_t ldb, int64_t k, int64_t n, int32_t* acc,
+                    int64_t ldacc, int64_t mvalid) {
+  // j outer, r inner: a 4-row B panel (4k int16) stays hot in L1 across
+  // all rows of the strip, swept by row pairs.
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const int16_t* bpanel = bt + j * ldb;
+    int64_t r = 0;
+    for (; r + 2 <= mvalid; r += 2) {
+      DotInt16x2x4(a + r * lda, a + (r + 1) * lda, bpanel, ldb, k,
+                   acc + r * ldacc + j, acc + (r + 1) * ldacc + j);
+    }
+    if (r < mvalid) {
+      DotInt16x4(a + r * lda, bpanel, ldb, k, acc + r * ldacc + j);
+    }
+  }
+  for (; j < n; ++j) {
+    for (int64_t r = 0; r < mvalid; ++r) {
+      acc[r * ldacc + j] = DotInt16(a + r * lda, bt + j * ldb, k);
+    }
+  }
+}
+
+}  // namespace
+
+QuantMicroKernelFn Avx2QuantMicroKernel() { return &Avx2QuantMicro; }
+
+}  // namespace cpdg::tensor::quant_internal
+
+#endif  // CPDG_HAVE_AVX2_KERNELS

@@ -1,0 +1,60 @@
+#ifndef CPDG_TENSOR_QUANT_INTERNAL_H_
+#define CPDG_TENSOR_QUANT_INTERNAL_H_
+
+// Backend seam for the int8 GEMM, mirroring gemm_internal.h: quant.cc owns
+// activation quantization, tiling, the thread fan-out, and the float
+// dequant epilogue; backends supply only the integer tile accumulation.
+// int8-grid×int8-grid→int32 is exact integer arithmetic, so any backend
+// that computes the mathematical dot products is automatically bitwise
+// identical to every other — there is no rounding-order contract to keep.
+//
+// Operands arrive pre-sign-extended to int16 (quant.h storage-vs-compute
+// note); every value is on the int8 grid [-127, 127].
+
+#include <cstdint>
+
+namespace cpdg::tensor::quant_internal {
+
+/// \brief Computes one kQuantMR x n accumulator strip:
+/// acc[r * ldacc + j] = sum over p < k of a[r*lda + p] * bt[j*ldb + p]
+/// for r < mvalid, j < n (both operands row-major along k). One strip per
+/// indirect call — per-call overhead is amortized over the whole row
+/// block, and the backend owns the j sweep so its register tile never
+/// crosses a function-pointer boundary.
+using QuantMicroKernelFn = void (*)(const int16_t* a, int64_t lda,
+                                    const int16_t* bt, int64_t ldb, int64_t k,
+                                    int64_t n, int32_t* acc, int64_t ldacc,
+                                    int64_t mvalid);
+
+/// Portable backend (plain C++ int arithmetic). Always available.
+QuantMicroKernelFn ScalarQuantMicroKernel();
+
+#ifdef CPDG_HAVE_AVX2_KERNELS
+/// AVX2 backend (quant_avx2.cc): accumulates int16 lanes via
+/// _mm256_madd_epi16, which cannot saturate for |v| <= 127 operands, so
+/// every lane sum is the exact integer result. Call only after
+/// simd::Avx2Supported().
+QuantMicroKernelFn Avx2QuantMicroKernel();
+#endif
+
+#ifdef CPDG_HAVE_VNNI_KERNELS
+/// \brief AVX-VNNI packed-operand strip: for kQuantMR activation rows
+/// (biased u8, lda = kpad stride, rows beyond m zero-padded by the driver)
+/// against `nblk` lane-interleaved column blocks of B (quant.h packed
+/// layout), accumulates the *biased* int32 sums
+/// acc[r * ldacc + jb*8 + l] = Σ_p a_u8[r][p] * b[jb*8+l][p]
+/// via vpdpbusd — lanes hold whole column sums, so there are no horizontal
+/// reductions. The driver subtracts the 128·rowsum bias in its epilogue.
+/// Exact int32 arithmetic (k-quad partial sums ≤ 4·255·127 per lane, no
+/// saturation), so results match the signed backends bit for bit after
+/// bias correction. Call only after simd::AvxVnniSupported().
+using QuantPackedKernelFn = void (*)(const uint8_t* a, int64_t lda,
+                                     const int8_t* bpacked, int64_t kpad,
+                                     int64_t nblk, int32_t* acc,
+                                     int64_t ldacc);
+QuantPackedKernelFn VnniPackedKernel();
+#endif
+
+}  // namespace cpdg::tensor::quant_internal
+
+#endif  // CPDG_TENSOR_QUANT_INTERNAL_H_

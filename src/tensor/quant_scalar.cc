@@ -1,0 +1,30 @@
+// Portable int8-grid microkernel backend: plain C++ integer dot products.
+// The compiler is free to auto-vectorize (SSE2 is baseline) because integer
+// accumulation is exact — any evaluation order yields the same int32.
+
+#include "tensor/quant_internal.h"
+
+namespace cpdg::tensor::quant_internal {
+namespace {
+
+void ScalarQuantMicro(const int16_t* a, int64_t lda, const int16_t* bt,
+                      int64_t ldb, int64_t k, int64_t n, int32_t* acc,
+                      int64_t ldacc, int64_t mvalid) {
+  for (int64_t r = 0; r < mvalid; ++r) {
+    const int16_t* arow = a + r * lda;
+    for (int64_t j = 0; j < n; ++j) {
+      const int16_t* brow = bt + j * ldb;
+      int32_t sum = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        sum += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      acc[r * ldacc + j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+QuantMicroKernelFn ScalarQuantMicroKernel() { return &ScalarQuantMicro; }
+
+}  // namespace cpdg::tensor::quant_internal

@@ -1,0 +1,127 @@
+// AVX-VNNI int8 backend: vpdpbusd over the lane-interleaved packed-B
+// layout (quant.h). Each vpdpbusd retires 32 u8×s8 MACs — 4 per int32
+// lane, double the int16 vpmaddwd rate and 4x the fp32 FMA rate — and the
+// pack puts each output column's 4 k-values in one lane, so accumulator
+// lanes hold whole column sums and the kernel has no horizontal
+// reductions at all (the hadd trees are what cap the strip kernels).
+//
+// Operands follow the bias convention from quant.h: activations arrive as
+// u8 = q + 128, weights as signed int8; the driver's epilogue subtracts
+// the precomputed 128·rowsum bias. The per-quad products are at most
+// 4·255·127 = 129540, far from int32 limits, and VPDPBUSD (unlike the
+// -S form) does not saturate, so accumulation is exact for k < ~66k.
+//
+// Tile: 4 activation rows × 16 columns (2 packed blocks) = 8 accumulators;
+// per k-quad that is 2 B loads + 4 dword broadcasts against 8 vpdpbusd —
+// the load ports and the two VNNI ports stay balanced.
+//
+// Compiled only in this TU with -mavxvnni; entry point runs only after
+// simd::AvxVnniSupported() verified the CPU.
+
+#ifdef CPDG_HAVE_VNNI_KERNELS
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "tensor/quant_internal.h"
+
+namespace cpdg::tensor::quant_internal {
+namespace {
+
+// vpbroadcastd of one k-quad of a row; memcpy keeps the byte buffer's
+// aliasing clean and compiles to the single broadcast load.
+inline __m256i BroadcastQuad(const uint8_t* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return _mm256_set1_epi32(v);
+}
+
+// 4 rows × 16 columns (packed blocks b0, b1), full kpad sweep.
+void Dpbusd4x16(const uint8_t* a, int64_t lda, const int8_t* bp0,
+                const int8_t* bp1, int64_t kpad, int32_t* acc,
+                int64_t ldacc) {
+  __m256i acc00 = _mm256_setzero_si256();
+  __m256i acc01 = _mm256_setzero_si256();
+  __m256i acc10 = _mm256_setzero_si256();
+  __m256i acc11 = _mm256_setzero_si256();
+  __m256i acc20 = _mm256_setzero_si256();
+  __m256i acc21 = _mm256_setzero_si256();
+  __m256i acc30 = _mm256_setzero_si256();
+  __m256i acc31 = _mm256_setzero_si256();
+  const uint8_t* a0 = a;
+  const uint8_t* a1 = a + lda;
+  const uint8_t* a2 = a + 2 * lda;
+  const uint8_t* a3 = a + 3 * lda;
+  for (int64_t p = 0; p < kpad; p += 4) {
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp0 + p * 8));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp1 + p * 8));
+    const __m256i va0 = BroadcastQuad(a0 + p);
+    acc00 = _mm256_dpbusd_avx_epi32(acc00, va0, vb0);
+    acc01 = _mm256_dpbusd_avx_epi32(acc01, va0, vb1);
+    const __m256i va1 = BroadcastQuad(a1 + p);
+    acc10 = _mm256_dpbusd_avx_epi32(acc10, va1, vb0);
+    acc11 = _mm256_dpbusd_avx_epi32(acc11, va1, vb1);
+    const __m256i va2 = BroadcastQuad(a2 + p);
+    acc20 = _mm256_dpbusd_avx_epi32(acc20, va2, vb0);
+    acc21 = _mm256_dpbusd_avx_epi32(acc21, va2, vb1);
+    const __m256i va3 = BroadcastQuad(a3 + p);
+    acc30 = _mm256_dpbusd_avx_epi32(acc30, va3, vb0);
+    acc31 = _mm256_dpbusd_avx_epi32(acc31, va3, vb1);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc), acc00);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 8), acc01);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + ldacc), acc10);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + ldacc + 8), acc11);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * ldacc), acc20);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * ldacc + 8),
+                      acc21);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * ldacc), acc30);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * ldacc + 8),
+                      acc31);
+}
+
+// 4 rows × one trailing 8-column block.
+void Dpbusd4x8(const uint8_t* a, int64_t lda, const int8_t* bp,
+               int64_t kpad, int32_t* acc, int64_t ldacc) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  for (int64_t p = 0; p < kpad; p += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + p * 8));
+    acc0 = _mm256_dpbusd_avx_epi32(acc0, BroadcastQuad(a + p), vb);
+    acc1 = _mm256_dpbusd_avx_epi32(acc1, BroadcastQuad(a + lda + p), vb);
+    acc2 = _mm256_dpbusd_avx_epi32(acc2, BroadcastQuad(a + 2 * lda + p), vb);
+    acc3 = _mm256_dpbusd_avx_epi32(acc3, BroadcastQuad(a + 3 * lda + p), vb);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc), acc0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + ldacc), acc1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 2 * ldacc), acc2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 3 * ldacc), acc3);
+}
+
+void VnniPackedMicro(const uint8_t* a, int64_t lda, const int8_t* bpacked,
+                     int64_t kpad, int64_t nblk, int32_t* acc,
+                     int64_t ldacc) {
+  const int64_t blk_bytes = kpad * 8;
+  int64_t jb = 0;
+  for (; jb + 2 <= nblk; jb += 2) {
+    Dpbusd4x16(a, lda, bpacked + jb * blk_bytes,
+               bpacked + (jb + 1) * blk_bytes, kpad, acc + jb * 8, ldacc);
+  }
+  if (jb < nblk) {
+    Dpbusd4x8(a, lda, bpacked + jb * blk_bytes, kpad, acc + jb * 8, ldacc);
+  }
+}
+
+}  // namespace
+
+QuantPackedKernelFn VnniPackedKernel() { return &VnniPackedMicro; }
+
+}  // namespace cpdg::tensor::quant_internal
+
+#endif  // CPDG_HAVE_VNNI_KERNELS

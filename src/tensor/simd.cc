@@ -41,6 +41,8 @@ Mode ResolveFromEnv() {
 // -1 = follow env resolution; otherwise a forced Mode for tests.
 std::atomic<int> forced_mode{-1};
 
+std::atomic<bool> vnni_disabled_for_test{false};
+
 const simd_internal::ElementwiseKernels& KernelsFor(Mode m) {
 #ifdef CPDG_HAVE_AVX2_KERNELS
   if (m == Mode::kAvx2) return simd_internal::Avx2Elementwise();
@@ -58,6 +60,21 @@ bool Avx2Supported() {
 #else
   return false;
 #endif
+}
+
+bool AvxVnniSupported() {
+#if defined(CPDG_HAVE_VNNI_KERNELS) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+  static const bool supported =
+      CpuHasAvx2Fma() && __builtin_cpu_supports("avxvnni");
+  return supported && !vnni_disabled_for_test.load(std::memory_order_acquire);
+#else
+  return false;
+#endif
+}
+
+void DisableAvxVnniForTest(bool disabled) {
+  vnni_disabled_for_test.store(disabled, std::memory_order_release);
 }
 
 Mode ActiveMode() {

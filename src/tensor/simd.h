@@ -33,6 +33,18 @@ const char* ModeName(Mode m);
 /// reports AVX2 + FMA.
 bool Avx2Supported();
 
+/// \brief True when the AVX-VNNI int8 kernels were compiled in and the
+/// running CPU reports AVX-VNNI (the VEX-encoded vpdpwssd). A sub-variant
+/// of AVX2 mode used only by the quantized inference path (tensor/quant.h)
+/// — integer accumulation is exact, so the variant choice can never show
+/// in output bits and needs no Mode of its own.
+bool AvxVnniSupported();
+
+/// \brief Test hook: makes AvxVnniSupported() report false so parity tests
+/// can pin the AVX2 int16 backend on VNNI hardware. Pass false to restore
+/// the real CPU answer.
+void DisableAvxVnniForTest(bool disabled);
+
 /// \brief Test hook: pins the active mode, bypassing the env resolution.
 /// Forcing kAvx2 on a machine without support is a fatal error.
 void ForceModeForTest(Mode m);

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,6 +19,7 @@
 #include "graph/temporal_graph.h"
 #include "gtest/gtest.h"
 #include "serve/embedding_cache.h"
+#include "serve/journal.h"
 #include "serve/request_queue.h"
 #include "serve/serving_engine.h"
 #include "tensor/checkpoint_container.h"
@@ -126,6 +129,15 @@ bool WaitFor(const std::function<bool()>& pred, int64_t timeout_ms) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return pred();
+}
+
+/// Deletes any journal entries a previous test-binary run left behind —
+/// TempDir persists across runs, and a stale journal would replay into
+/// the fresh fixture.
+void ClearJournalDir(const std::string& dir) {
+  for (int64_t seq = 0;; ++seq) {
+    if (std::remove(serve::JournalEntryPath(dir, seq).c_str()) != 0) break;
+  }
 }
 
 std::unique_ptr<serve::Request> MakeEmbedRequest(graph::NodeId node) {
@@ -726,6 +738,135 @@ TEST(ServeRobustnessTest, ShutdownFailsRequestsWithExplicitStatus) {
   Status advance = engine->Advance(MakeEvents(5, 3, 100.0));
   ASSERT_FALSE(advance.ok());
   EXPECT_EQ(advance.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// On-disk advance journal (CPDG_SERVE_JOURNAL_DIR): process-restart
+// recovery, corruption handling, and entry-sequence semantics.
+// ---------------------------------------------------------------------------
+
+TEST(JournalTest, RoundTripStopsAtFirstMissingEntry) {
+  const std::string dir = ::testing::TempDir() + "journal_roundtrip";
+  ClearJournalDir(dir);
+  std::vector<graph::Event> batch0 = MakeEvents(1, 5, 10.0);
+  std::vector<graph::Event> batch1 = MakeEvents(2, 3, 50.0);
+  std::vector<graph::Event> batch2 = MakeEvents(3, 4, 90.0);
+  ASSERT_TRUE(serve::AppendJournalEntry(dir, 0, kNumNodes, batch0).ok());
+  ASSERT_TRUE(serve::AppendJournalEntry(dir, 1, kNumNodes, batch1).ok());
+  ASSERT_TRUE(serve::AppendJournalEntry(dir, 2, kNumNodes, batch2).ok());
+
+  auto all = serve::LoadJournal(dir, kNumNodes);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all.value().size(), 3u);
+  ASSERT_EQ(all.value()[1].size(), batch1.size());
+  EXPECT_EQ(all.value()[1][0].src, batch1[0].src);
+  EXPECT_EQ(all.value()[1][0].dst, batch1[0].dst);
+  EXPECT_EQ(all.value()[1][0].time, batch1[0].time);
+
+  // The sequence is contiguous-from-0: removing entry 1 hides entry 2.
+  ASSERT_EQ(std::remove(serve::JournalEntryPath(dir, 1).c_str()), 0);
+  auto truncated = serve::LoadJournal(dir, kNumNodes);
+  ASSERT_TRUE(truncated.ok()) << truncated.status().ToString();
+  EXPECT_EQ(truncated.value().size(), 1u);
+
+  // A journal written for one graph does not load against another size.
+  auto wrong_size = serve::LoadJournal(dir, kNumNodes + 1);
+  EXPECT_FALSE(wrong_size.ok());
+
+  // A missing directory is an empty journal, not an error.
+  auto missing = serve::LoadJournal(dir + "_nonexistent", kNumNodes);
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_TRUE(missing.value().empty());
+}
+
+TEST(ServeRobustnessTest, JournaledAdvancesSurviveProcessRestart) {
+  Fixture fx("journal_restart");
+  serve::ServingOptions options;
+  options.journal_dir = ::testing::TempDir() + "journal_restart_dir";
+  ClearJournalDir(options.journal_dir);
+  std::vector<graph::Event> fresh =
+      MakeEvents(88, kAdvanceEvents, fx.graph.max_time() + 1.0);
+  {
+    auto engine = serve::ServingEngine::FromCheckpoint(
+                      SmallConfig(), kPredictorHidden, &fx.graph,
+                      fx.checkpoint_path, options)
+                      .TakeValue();
+    const uint64_t v0 = engine->memory_version();
+    ASSERT_TRUE(engine->Advance(fresh).ok());
+    EXPECT_GT(engine->memory_version(), v0);
+    engine->Shutdown();
+  }
+  // The advance left a durable entry behind.
+  std::ifstream entry(serve::JournalEntryPath(options.journal_dir, 0),
+                      std::ios::binary);
+  ASSERT_TRUE(entry.good());
+
+  // A new process over the same checkpoint + journal dir resumes past the
+  // journaled advance and serves the advanced state, bit-for-bit equal to
+  // a reference encoder that replayed the same events.
+  auto restarted = serve::ServingEngine::FromCheckpoint(
+                       SmallConfig(), kPredictorHidden, &fx.graph,
+                       fx.checkpoint_path, options)
+                       .TakeValue();
+  EXPECT_GT(restarted->memory_version(), 0u);
+  {
+    ts::InferenceModeGuard guard;
+    fx.encoder->ReplayEvents(fresh, /*batch_size=*/128);
+  }
+  const double t = fx.graph.max_time() + 60.0;
+  const std::vector<graph::NodeId> probe = {0, 1, 2, 3, 4};
+  ExpectBitIdentical(restarted->Embed(probe, t).ValueOrDie(),
+                     fx.DirectEmbed(probe, t));
+
+  // New advances append at the recovered sequence position rather than
+  // overwriting history.
+  ASSERT_TRUE(
+      restarted->Advance(MakeEvents(89, 8, fx.graph.max_time() + 100.0))
+          .ok());
+  std::ifstream next(serve::JournalEntryPath(options.journal_dir, 1),
+                     std::ios::binary);
+  EXPECT_TRUE(next.good());
+  restarted->Shutdown();
+}
+
+TEST(ServeRobustnessTest, CorruptJournalEntryFailsLoadRecoverably) {
+  Fixture fx("journal_corrupt");
+  serve::ServingOptions options;
+  options.journal_dir = ::testing::TempDir() + "journal_corrupt_dir";
+  ClearJournalDir(options.journal_dir);
+  {
+    auto engine = serve::ServingEngine::FromCheckpoint(
+                      SmallConfig(), kPredictorHidden, &fx.graph,
+                      fx.checkpoint_path, options)
+                      .TakeValue();
+    ASSERT_TRUE(
+        engine
+            ->Advance(MakeEvents(91, kAdvanceEvents,
+                                 fx.graph.max_time() + 1.0))
+            .ok());
+    engine->Shutdown();
+  }
+  // Flip one payload byte mid-file; the CRC must catch it.
+  const std::string path = serve::JournalEntryPath(options.journal_dir, 0);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(f.tellg());
+    ASSERT_GT(size, 0);
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  auto reloaded = serve::ServingEngine::FromCheckpoint(
+      SmallConfig(), kPredictorHidden, &fx.graph, fx.checkpoint_path,
+      options);
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_EQ(reloaded.status().code(), StatusCode::kIoError)
+      << reloaded.status().ToString();
 }
 
 }  // namespace
